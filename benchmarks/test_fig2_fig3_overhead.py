@@ -1,0 +1,37 @@
+"""Benchmarks regenerating Figure 2 (runtime overhead) and Figure 3 (space overhead)."""
+
+import pytest
+
+from repro.experiments import fig2_overhead, fig3_space
+from repro.experiments.common import GLOBAL_CACHE
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_runtime_overhead(benchmark, sweep_sizes):
+    result = benchmark.pedantic(
+        lambda: fig2_overhead.run(sizes=sweep_sizes, cache=GLOBAL_CACHE),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig2_overhead.render(result))
+    # Shape checks against the paper's headline numbers: low geometric-mean
+    # overhead, bounded worst case, every slowdown >= 1.
+    assert 1.0 <= result.geometric_mean_slowdown < 1.25
+    assert result.worst_slowdown < 1.6
+    benchmark.extra_info["geomean_slowdown"] = result.geometric_mean_slowdown
+    benchmark.extra_info["worst_slowdown"] = result.worst_slowdown
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3_space_overhead(benchmark, sweep_sizes):
+    result = benchmark.pedantic(
+        lambda: fig3_space.run(sizes=sweep_sizes, cache=GLOBAL_CACHE),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig3_space.render(result))
+    overheads = [row.overhead_bytes for row in result.rows]
+    # The paper reports footprints between ~1 KB and a few MB.
+    assert min(overheads) >= 256
+    assert max(overheads) < 64 * (1 << 20)
+    # tealeaf accumulates collector memory fastest (Section 7.4).
+    assert result.heaviest_app() == "tealeaf"
+    benchmark.extra_info["geomean_rate_bytes_per_s"] = result.geometric_mean_rate

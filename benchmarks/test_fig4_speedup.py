@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 4 (predicted vs actual speedup)."""
+
+import pytest
+
+from repro.experiments import fig4_speedup
+from repro.experiments.common import GLOBAL_CACHE
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_fig4_predicted_vs_actual(benchmark, sweep_sizes):
+    result = benchmark.pedantic(
+        lambda: fig4_speedup.run(sizes=sweep_sizes, cache=GLOBAL_CACHE),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig4_speedup.render(result))
+    assert result.points, "expected at least one (predicted, actual) point"
+    for point in result.points:
+        assert point.predicted_speedup >= 1.0
+        assert point.actual_speedup > 0.5
+    # Paper: 14% mean relative error (excluding one outlier); allow slack for
+    # the simulated substrate while still requiring predictions to be useful.
+    mre = result.mean_relative_error(exclude_outliers=True)
+    assert mre < 0.35
+    benchmark.extra_info["mean_relative_error"] = mre
+    benchmark.extra_info["mse"] = result.mean_squared_error(exclude_outliers=True)

@@ -1,0 +1,55 @@
+"""Benchmark regenerating Table 1 (issues detected per application, Medium inputs)."""
+
+import pytest
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.experiments import table1_issues
+from repro.experiments.common import GLOBAL_CACHE
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_issue_counts(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_issues.run(size=ProblemSize.MEDIUM, cache=GLOBAL_CACHE),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table1_issues.render(result))
+
+    # Exact reproduction of the rows whose counts are structural.
+    exact = {
+        "babelstream": (499, 0, 499, 0, 0),
+        "bfs": (18, 10, 9, 0, 0),
+        "hotspot": (2, 0, 0, 0, 0),
+        "lud": (0, 0, 0, 0, 0),
+        "minife": (402, 4, 398, 0, 0),
+        "minifmm": (3, 0, 0, 0, 0),
+        "nw": (0, 0, 0, 0, 0),
+        "rsbench": (0, 1, 0, 0, 0),
+        "xsbench": (0, 1, 0, 0, 0),
+    }
+    for app, expected in exact.items():
+        row = result.find(app, AppVariant.BASELINE)
+        assert row is not None and row.as_tuple() == expected, app
+
+    # tealeaf's counts are dominated by the per-iteration reduction scalars;
+    # they match the paper to within a handful of init-time receipts.
+    tealeaf = result.find("tealeaf", AppVariant.BASELINE)
+    paper_dd, paper_rt, paper_ra, _, _ = table1_issues.PAPER_BASELINE_COUNTS["tealeaf"]
+    dd, rt, ra, ua, ut = tealeaf.as_tuple()
+    assert abs(dd - paper_dd) <= 20
+    assert rt == paper_rt
+    assert ra == paper_ra
+    assert (ua, ut) == (0, 0)
+
+    # Fixed rows.
+    for app, expected in table1_issues.PAPER_FIXED_COUNTS.items():
+        row = result.find(app, AppVariant.FIXED)
+        assert row is not None and row.as_tuple() == expected, app
+
+    # Synthetic rows: every class the paper reports is present.
+    for app, expected in table1_issues.PAPER_SYNTHETIC_COUNTS.items():
+        row = result.find(app, AppVariant.SYNTHETIC)
+        assert row is not None, app
+        got = row.as_tuple()
+        for got_count, paper_count in zip(got, expected):
+            assert (got_count > 0) == (paper_count > 0), (app, got, expected)

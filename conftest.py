@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (useful on offline machines where editable installs are awkward).
+An installed ``repro`` package always takes precedence because site-packages
+appears earlier on ``sys.path`` than this late insertion.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

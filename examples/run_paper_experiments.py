@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables and figures.
+
+Usage::
+
+    python examples/run_paper_experiments.py                 # everything, full sizes
+    python examples/run_paper_experiments.py --quick         # small inputs only
+    python examples/run_paper_experiments.py table1 fig2     # a subset
+
+The rendered tables are printed and also written to ``experiment_results/``.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.runner import available_experiments, run_experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset to run (default: all). Available: {', '.join(available_experiments())}")
+    parser.add_argument("--quick", action="store_true",
+                        help="restrict the application sweeps to the small problem size")
+    parser.add_argument("--output-dir", default="experiment_results",
+                        help="directory for the rendered tables (default: experiment_results/)")
+    args = parser.parse_args()
+
+    outputs = run_experiments(args.experiments or None, quick=args.quick, echo=print)
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for key, text in outputs.items():
+        (out_dir / f"{key}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\nwrote {len(outputs)} result file(s) to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

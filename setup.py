@@ -1,0 +1,14 @@
+"""Compatibility shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy (non-PEP 660) editable installs succeed on minimal offline
+environments, e.g.::
+
+    pip install -e . --no-build-isolation
+    # or, if PEP 517 editable builds are unavailable:
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

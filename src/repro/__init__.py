@@ -1,0 +1,39 @@
+"""OMPDataPerf reproduction.
+
+A from-scratch Python reproduction of *Dynamic Detection of Inefficient Data
+Mapping Patterns in Heterogeneous OpenMP Applications* (PPoPP '26).
+
+The package is organised in layers:
+
+``repro.omp``
+    A discrete-event OpenMP offload runtime simulator (host + N target
+    devices, device data environment, map clauses, cost model).
+``repro.ompt``
+    An OMPT-EMI-style callback interface emitted by the simulator.
+``repro.core``
+    OMPDataPerf itself: the trace collector, the five detection algorithms,
+    optimization-potential estimation, source attribution and reporting.
+``repro.apps``
+    Simulated ports of the benchmark applications used in the paper's
+    evaluation, in baseline / fixed / synthetic-issue variants.
+``repro.experiments``
+    One module per table and figure of the paper's evaluation.
+"""
+
+from repro._version import __version__
+from repro.core.profiler import OMPDataPerf, ProfileResult
+from repro.core.analysis import AnalysisReport, analyze_trace
+from repro.events.trace import Trace
+from repro.omp.runtime import OffloadRuntime
+from repro.omp.mapping import MapType
+
+__all__ = [
+    "__version__",
+    "OMPDataPerf",
+    "ProfileResult",
+    "AnalysisReport",
+    "analyze_trace",
+    "Trace",
+    "OffloadRuntime",
+    "MapType",
+]

@@ -1,0 +1,48 @@
+"""Simulated benchmark applications.
+
+Python ports of the data-mapping structure of the applications used in the
+paper's evaluation (Section 7.2 and Table 5): four Rodinia benchmarks (bfs,
+hotspot, lud, nw), babelstream, and five HPC proxy apps (minife, minifmm,
+rsbench, tealeaf, xsbench), plus the five HeCBench programs used for the
+Arbalest-Vec comparison (Section 7.7).
+
+Each application implements the *data movement* of the original code — which
+arrays are mapped where, when, how often, with which map types — against the
+offload runtime simulator, together with a scaled-down numpy version of the
+computational kernels so that device-side data genuinely changes (or does
+not) the way it would in the original program.  Every application provides
+up to three variants:
+
+``baseline``
+    The mapping structure of the published benchmark, including whatever
+    inefficiencies it ships with.
+``fixed``
+    The mapping structure after applying the fixes described in Sections
+    7.5 and 7.7 (only for the applications the paper fixes).
+``synthetic``
+    The baseline with artificial inefficiencies injected around key kernels
+    (only for the applications the paper lists under "Applications With
+    Injected Synthetic Issues").
+"""
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize
+from repro.apps.registry import (
+    EVALUATION_APP_NAMES,
+    HECBENCH_APP_NAMES,
+    all_apps,
+    evaluation_apps,
+    get_app,
+    hecbench_apps,
+)
+
+__all__ = [
+    "AppVariant",
+    "BenchmarkApp",
+    "ProblemSize",
+    "EVALUATION_APP_NAMES",
+    "HECBENCH_APP_NAMES",
+    "all_apps",
+    "evaluation_apps",
+    "get_app",
+    "hecbench_apps",
+]

@@ -1,0 +1,220 @@
+"""Rodinia ``bfs`` (breadth-first search), OpenMP offload version.
+
+The published offload port drives the level-synchronous traversal from the
+host: every level it maps a small "continue" flag ``tofrom`` around the
+frontier-update kernel and reads it back to decide whether to launch another
+level.  That flag is the source of all three issue classes the paper reports
+for bfs (Section 7.5): it is re-allocated every level (RA), re-sent with the
+same zero value every level (DD), and — because the final level reads back
+the same zero the host keeps sending — every send completes a content-level
+round trip (RT).  The two frontier masks are both zero-initialised, so
+mapping the second one is itself one duplicate receipt, which is why the
+*fixed* version still reports a single DD, exactly as in Table 1.
+
+The fixed variant applies the paper's fix: the level loop moves into a
+single target region, so the flag never crosses the interconnect.  The paper
+reports a 2.1x speedup for the small problem size from this change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.omp.mapping import to, tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class BFSApp(BenchmarkApp):
+    """Breadth-first search over a synthetic layered graph of known depth."""
+
+    name = "bfs"
+    domain = "Graph Algorithms"
+    suite = "Rodinia"
+    description = "Level-synchronous BFS with a host-side termination flag."
+
+    #: out-degree of every node (the Rodinia generator uses an average of 6)
+    _DEGREE = 6
+
+    def parameters(self, size: ProblemSize) -> dict:
+        nodes = {
+            ProblemSize.SMALL: 4096,
+            ProblemSize.MEDIUM: 65536,
+            ProblemSize.LARGE: 262144,
+        }[size]
+        return {"nodes": nodes, "edges": nodes * self._DEGREE, "levels": 10}
+
+    # ------------------------------------------------------------------ #
+    def _make_graph(self, nodes: int, levels: int) -> dict[str, np.ndarray]:
+        """Build a layered graph whose BFS depth from node 0 is exactly ``levels``.
+
+        Nodes are partitioned into ``levels`` layers; every node's edges point
+        at random nodes of the next layer (nodes of the last layer point back
+        at themselves, so the traversal terminates there).
+        """
+        rng = make_rng(self.name, nodes, levels)
+        degree = self._DEGREE
+        starts = np.arange(nodes, dtype=np.int64) * degree
+        degrees = np.full(nodes, degree, dtype=np.int64)
+        layer_of = np.minimum(np.arange(nodes) * levels // nodes, levels - 1)
+        edges = np.empty(nodes * degree, dtype=np.int64)
+        layer_bounds = [np.nonzero(layer_of == lvl)[0] for lvl in range(levels)]
+        for node in range(nodes):
+            lvl = int(layer_of[node])
+            if lvl + 1 < levels:
+                targets = layer_bounds[lvl + 1]
+                edges[node * degree : (node + 1) * degree] = rng.choice(targets, size=degree)
+            else:
+                edges[node * degree : (node + 1) * degree] = node
+        return {"starts": starts, "degrees": degrees, "edges": edges}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._baseline(params)
+        if variant is AppVariant.FIXED:
+            return self._fixed(params)
+        raise unsupported_variant(self.name, variant)
+
+    # ------------------------------------------------------------------ #
+    def _baseline(self, params: dict) -> Program:
+        nodes = params["nodes"]
+        levels = params["levels"]
+
+        def program(rt: OffloadRuntime) -> None:
+            graph = self._make_graph(nodes, levels)
+            mask = np.zeros(nodes, dtype=np.int8)
+            updating_mask = np.zeros(nodes, dtype=np.int8)
+            visited = np.zeros(nodes, dtype=np.int8)
+            cost = np.full(nodes, -1, dtype=np.int32)
+            over = np.zeros(1, dtype=np.int8)  # "another level is needed" flag
+
+            mask[0] = 1
+            visited[0] = 1
+            cost[0] = 0
+            rt.host_compute(nbytes=graph["edges"].nbytes)  # graph construction
+
+            kernel_time = nodes * 1.5e-9
+
+            with rt.target_data(
+                to(graph["starts"], name="h_graph_nodes_start"),
+                to(graph["degrees"], name="h_graph_nodes_edges"),
+                to(graph["edges"], name="h_graph_edges"),
+                to(mask, name="h_graph_mask"),
+                to(updating_mask, name="h_updating_graph_mask"),
+                to(visited, name="h_graph_visited"),
+                tofrom(cost, name="h_cost"),
+            ):
+                level = 0
+                while True:
+                    # Kernel 1: expand the current frontier (all data present).
+                    rt.target(
+                        reads=[graph["edges"], graph["starts"], graph["degrees"], mask, cost],
+                        writes=[mask, updating_mask, cost],
+                        kernel=lambda dev, lvl=level, g=graph: self._expand(
+                            dev, g, mask, updating_mask, cost, lvl
+                        ),
+                        kernel_time=kernel_time,
+                        name="bfs_kernel_1",
+                    )
+                    # Kernel 2: promote the updating mask and set the flag.
+                    # The flag is what the paper flags: mapped tofrom every
+                    # level, so it is re-allocated and re-sent each time.
+                    over[0] = 0
+                    rt.target(
+                        maps=[tofrom(over, name="h_over")],
+                        reads=[updating_mask, over],
+                        writes=[mask, visited, updating_mask, over],
+                        kernel=lambda dev: self._promote(dev, mask, updating_mask, visited, over),
+                        kernel_time=kernel_time * 0.5,
+                        name="bfs_kernel_2",
+                    )
+                    level += 1
+                    if over[0] == 0 or level >= levels + 2:
+                        break
+            rt.host_compute(nbytes=cost.nbytes)  # result verification
+
+        return program
+
+    def _fixed(self, params: dict) -> Program:
+        nodes = params["nodes"]
+        levels = params["levels"]
+
+        def program(rt: OffloadRuntime) -> None:
+            graph = self._make_graph(nodes, levels)
+            mask = np.zeros(nodes, dtype=np.int8)
+            updating_mask = np.zeros(nodes, dtype=np.int8)
+            visited = np.zeros(nodes, dtype=np.int8)
+            cost = np.full(nodes, -1, dtype=np.int32)
+
+            mask[0] = 1
+            visited[0] = 1
+            cost[0] = 0
+            rt.host_compute(nbytes=graph["edges"].nbytes)
+
+            def whole_traversal(dev) -> None:
+                # The continue flag is now a device-local (team-private)
+                # value: it never crosses the interconnect.
+                keep_going = True
+                level = 0
+                while keep_going and level < levels + 2:
+                    self._expand(dev, graph, mask, updating_mask, cost, level)
+                    keep_going = self._promote_buffers(
+                        dev[mask], dev[updating_mask], dev[visited]
+                    )
+                    level += 1
+
+            # The loop check lives on the device now: one region, one mapping.
+            rt.target(
+                maps=[
+                    to(graph["starts"], name="h_graph_nodes_start"),
+                    to(graph["degrees"], name="h_graph_nodes_edges"),
+                    to(graph["edges"], name="h_graph_edges"),
+                    to(mask, name="h_graph_mask"),
+                    to(updating_mask, name="h_updating_graph_mask"),
+                    to(visited, name="h_graph_visited"),
+                    tofrom(cost, name="h_cost"),
+                ],
+                kernel=whole_traversal,
+                kernel_time=nodes * 1.5e-9 * levels * 1.4,
+                name="bfs_fused_kernel",
+            )
+            rt.host_compute(nbytes=cost.nbytes)
+
+        return program
+
+    # ------------------------------------------------------------------ #
+    # Device kernels (operate on device buffers through the view)
+    # ------------------------------------------------------------------ #
+    def _expand(self, dev, graph, mask, updating_mask, cost, level) -> None:
+        d_mask = dev[mask]
+        d_updating = dev[updating_mask]
+        d_cost = dev[cost]
+        d_edges = dev[graph["edges"]]
+        frontier = np.nonzero(d_mask)[0]
+        d_mask[:] = 0
+        if frontier.size == 0:
+            return
+        degree = self._DEGREE
+        slots = (frontier[:, None] * degree + np.arange(degree)[None, :]).ravel()
+        neighbors = d_edges[slots]
+        fresh = neighbors[d_cost[neighbors] < 0]
+        if fresh.size:
+            d_cost[fresh] = level + 1
+            d_updating[fresh] = 1
+
+    def _promote(self, dev, mask, updating_mask, visited, over) -> None:
+        """Kernel 2 of the baseline: promotes the frontier and sets the mapped flag."""
+        any_new = self._promote_buffers(dev[mask], dev[updating_mask], dev[visited])
+        if any_new:
+            dev[over][0] = 1
+
+    @staticmethod
+    def _promote_buffers(d_mask, d_updating, d_visited) -> bool:
+        newly = np.nonzero(d_updating)[0]
+        if newly.size:
+            d_mask[newly] = 1
+            d_visited[newly] = 1
+        d_updating[:] = 0
+        return bool(newly.size)

@@ -1,0 +1,18 @@
+"""HeCBench programs used for the Arbalest-Vec comparison (Section 7.7).
+
+Five OpenMP offload programs from HeCBench: ``resize-omp``,
+``mandelbrot-omp``, ``accuracy-omp``, ``lif-omp`` and ``bspline-vgh-omp``.
+They were chosen because their kernels are representative of computer
+vision, machine learning and simulation workloads; here each reproduces the
+data-mapping behaviour that made OMPDataPerf and Arbalest-Vec report the
+issue classes shown in Table 2, and — for the programs the paper fixes —
+provides the fixed variant whose runtime Table 3 reports.
+"""
+
+from repro.apps.hecbench.resize import ResizeApp
+from repro.apps.hecbench.mandelbrot import MandelbrotApp
+from repro.apps.hecbench.accuracy import AccuracyApp
+from repro.apps.hecbench.lif import LIFApp
+from repro.apps.hecbench.bspline import BSplineVGHApp
+
+__all__ = ["ResizeApp", "MandelbrotApp", "AccuracyApp", "LIFApp", "BSplineVGHApp"]

@@ -1,0 +1,96 @@
+"""HeCBench ``accuracy-omp``: top-1 classification accuracy computation.
+
+The kernel counts how many predicted class scores match the labels.  The
+shipped mapping sends the label vector twice (once explicitly, once through
+a defensive refresh — DD), allocates a per-class histogram that no kernel
+ever uses (UA), and stages a normalisation table that is overwritten before
+the kernel can read it (UT).  All three issues involve tiny buffers, which
+is why fixing them barely moves the runtime (11.644 s → 11.640 s in
+Table 3).  The kernel fully writes its output counter, so the Arbalest-style
+checker reports nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.omp.mapping import alloc, release, to, tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class AccuracyApp(BenchmarkApp):
+    """Top-1 accuracy over a batch of class-score vectors."""
+
+    name = "accuracy-omp"
+    domain = "Machine Learning"
+    suite = "HeCBench"
+    description = "Classification accuracy kernel over predicted class scores."
+
+    _CLASSES = 100
+
+    def parameters(self, size: ProblemSize) -> dict:
+        batch = {
+            ProblemSize.SMALL: 2048,
+            ProblemSize.MEDIUM: 8192,
+            ProblemSize.LARGE: 32768,
+        }[size]
+        return {"batch": batch, "classes": self._CLASSES, "repetitions": 100}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, fixed=False)
+        if variant is AppVariant.FIXED:
+            return self._build(params, fixed=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _build(self, params: dict, *, fixed: bool) -> Program:
+        batch = params["batch"]
+        classes = params["classes"]
+        reps = params["repetitions"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, batch)
+            scores = rng.random((batch, classes)).astype(np.float32)
+            labels = rng.integers(0, classes, size=batch).astype(np.int32)
+            correct = np.zeros(1, dtype=np.int64)
+            histogram = np.zeros(classes, dtype=np.int64)
+            norms = rng.random(classes).astype(np.float32)
+            rt.host_compute(nbytes=scores.nbytes)
+
+            kernel_time = batch * classes * 1.0e-10 + 2e-5
+
+            def accuracy_kernel(dev) -> None:
+                s = dev[scores]
+                l = dev[labels]
+                dev[correct][0] = int((s.argmax(axis=1) == l).sum())
+
+            with rt.target_data(
+                to(scores, name="scores"),
+                to(labels, name="labels"),
+                tofrom(correct, name="correct"),
+            ):
+                if not fixed:
+                    # Defensive refresh of the (unchanged) labels: DD.
+                    rt.target_update(to=[labels], name="defensive_label_refresh")
+                    # Normalisation table staged twice before any kernel can
+                    # read the first copy: the first transfer is unused (UT).
+                    rt.target_enter_data(to(norms, name="norms"))
+                    norms[0] += 1.0
+                    rt.target_update(to=[norms], name="restage_norms")
+                for _ in range(reps):
+                    rt.target(reads=[scores, labels, norms] if not fixed else [scores, labels],
+                              writes=[correct],
+                              kernel=accuracy_kernel, kernel_time=kernel_time,
+                              name="accuracy_kernel")
+                if not fixed:
+                    rt.target_exit_data(release(norms))
+                    # Per-class histogram allocated after the last kernel and
+                    # never used (UA).
+                    rt.target_enter_data(alloc(histogram, name="histogram"))
+                    rt.target_exit_data(release(histogram))
+            rt.host_compute(nbytes=correct.nbytes)
+
+        return program

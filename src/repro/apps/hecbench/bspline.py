@@ -1,0 +1,173 @@
+"""HeCBench ``bspline-vgh-omp``: B-spline value/gradient/hessian evaluation.
+
+The motivating example of Section 7.7.  The shipped program keeps nine small
+coefficient arrays mapped ``alloc`` over a host-side walker loop and issues a
+``target update to(...)`` for each of them on *every* iteration (Listing 3,
+"before").  Several of those arrays are re-initialised to the same values
+every iteration, so the updates are duplicate transfers; a staging update
+issued after the final kernel is an unused transfer; and a results-summary
+buffer allocated after the last kernel is an unused allocation.  The output
+arrays (``walkers_vals``/``grads``/``hess``) are only partially written by
+the kernel, which is what drives the Arbalest-style checker's UUM false
+positives.
+
+The fixed variant applies the paper's fix: the arrays are enlarged to hold
+all ``WSIZE`` per-iteration initialisations and copied to the device once
+before the loop ("after" in Listing 3), reducing the number of
+copy-to-device calls by ~99 % at the cost of a modest amount of extra device
+memory.  The paper measures a 14 % speedup (6.736 s → 5.899 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.omp.mapping import alloc, from_, release, to
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class BSplineVGHApp(BenchmarkApp):
+    """Spline value/gradient/hessian evaluation over a loop of walkers."""
+
+    name = "bspline-vgh-omp"
+    domain = "Simulation"
+    suite = "HeCBench"
+    description = "QMC-style B-spline evaluation with per-walker coefficient staging."
+
+    #: the nine per-walker coefficient arrays of the original program
+    _COEFF_NAMES = ("a", "b", "c", "da", "db", "dc", "d2a", "d2b", "d2c")
+    #: elements per coefficient array per walker (matches the 4-wide arrays)
+    _COEFF_LEN = 4
+
+    def parameters(self, size: ProblemSize) -> dict:
+        walkers = {ProblemSize.SMALL: 50, ProblemSize.MEDIUM: 100, ProblemSize.LARGE: 200}[size]
+        points = {ProblemSize.SMALL: 24576, ProblemSize.MEDIUM: 49152, ProblemSize.LARGE: 98304}[size]
+        return {"walkers": walkers, "grid_points": points}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._baseline(params)
+        if variant is AppVariant.FIXED:
+            return self._fixed(params)
+        raise unsupported_variant(self.name, variant)
+
+    # ------------------------------------------------------------------ #
+    def _make_arrays(self, walkers: int, points: int):
+        rng = make_rng(self.name, walkers, points)
+        base = rng.random((len(self._COEFF_NAMES), self._COEFF_LEN))
+        vals = np.zeros(points, dtype=np.float64)
+        grads = np.zeros((points, 3), dtype=np.float64)
+        hess = np.zeros((points, 6), dtype=np.float64)
+        return base, vals, grads, hess
+
+    def _init_coeffs(self, base: np.ndarray, walker: int) -> np.ndarray:
+        """Per-walker deterministic initialisation of the nine arrays.
+
+        The derivative arrays (``da`` .. ``d2c``) depend only on the base
+        coefficients, not on the walker index, so their re-initialisation
+        produces the same bytes every iteration — the duplicate transfers
+        OMPDataPerf reports.
+        """
+        coeffs = np.empty_like(base)
+        coeffs[:3] = base[:3] * (1.0 + 0.01 * walker)      # a, b, c change per walker
+        coeffs[3:] = base[3:] * 2.0                          # derivatives do not
+        return coeffs
+
+    def _baseline(self, params: dict) -> Program:
+        walkers = params["walkers"]
+        points = params["grid_points"]
+
+        def program(rt: OffloadRuntime) -> None:
+            base, vals, grads, hess = self._make_arrays(walkers, points)
+            coeff_arrays = {name: np.zeros(self._COEFF_LEN) for name in self._COEFF_NAMES}
+            summary = np.zeros(64, dtype=np.float64)
+            rt.host_compute(nbytes=points * 8)
+
+            kernel_time = points * 1.4e-8 + 2e-5
+
+            def vgh_kernel(dev, walker: int) -> None:
+                a = dev[coeff_arrays["a"]]
+                lo = (walker * 7) % max(points - 8, 1)
+                dev[vals][lo : lo + 4] = a
+                dev[grads][lo : lo + 4, 0] = a * 0.5
+                dev[hess][lo : lo + 4, 0] = a * 0.25
+
+            data_maps = [alloc(arr, name=name) for name, arr in coeff_arrays.items()]
+            data_maps += [
+                from_(vals, name="walkers_vals"),
+                from_(grads, name="walkers_grads"),
+                from_(hess, name="walkers_hess"),
+            ]
+            with rt.target_data(*data_maps):
+                for walker in range(walkers):
+                    coeffs = self._init_coeffs(base, walker)
+                    for i, name in enumerate(self._COEFF_NAMES):
+                        coeff_arrays[name][:] = coeffs[i]
+                    rt.host_compute(nbytes=1024)
+                    # Listing 3 "before": update every coefficient array to
+                    # the device on every walker iteration.
+                    rt.target_update(to=list(coeff_arrays.values()), name="coeff_update")
+                    rt.target(
+                        reads=list(coeff_arrays.values()),
+                        partial_writes=[vals, grads, hess],
+                        kernel=lambda dev, w=walker: vgh_kernel(dev, w),
+                        kernel_time=kernel_time,
+                        name="bspline_vgh_kernel",
+                    )
+                # A final staging update issued after the last kernel (the UT
+                # finding) and a summary buffer allocated too late to be used
+                # (the UA finding).
+                rt.target_update(to=[coeff_arrays["a"]], name="late_staging")
+                rt.target_enter_data(alloc(summary, name="summary"))
+                rt.target_exit_data(release(summary))
+            rt.host_compute(nbytes=vals.nbytes)
+
+        return program
+
+    def _fixed(self, params: dict) -> Program:
+        walkers = params["walkers"]
+        points = params["grid_points"]
+
+        def program(rt: OffloadRuntime) -> None:
+            base, vals, grads, hess = self._make_arrays(walkers, points)
+            # Listing 3 "after": one wide array per coefficient holding every
+            # walker's initialisation, copied to the device once.
+            wide = {
+                name: np.zeros(self._COEFF_LEN * walkers) for name in self._COEFF_NAMES
+            }
+            for walker in range(walkers):
+                coeffs = self._init_coeffs(base, walker)
+                for i, name in enumerate(self._COEFF_NAMES):
+                    wide[name][walker * self._COEFF_LEN : (walker + 1) * self._COEFF_LEN] = coeffs[i]
+            rt.host_compute(nbytes=1024 * walkers)
+
+            kernel_time = points * 1.4e-8 + 2e-5
+
+            def vgh_kernel(dev, walker: int) -> None:
+                a = dev[wide["a"]][walker * self._COEFF_LEN : (walker + 1) * self._COEFF_LEN]
+                lo = (walker * 7) % max(points - 8, 1)
+                dev[vals][lo : lo + 4] = a
+                dev[grads][lo : lo + 4, 0] = a * 0.5
+                dev[hess][lo : lo + 4, 0] = a * 0.25
+
+            data_maps = [to(arr, name=name) for name, arr in wide.items()]
+            data_maps += [
+                from_(vals, name="walkers_vals"),
+                from_(grads, name="walkers_grads"),
+                from_(hess, name="walkers_hess"),
+            ]
+            with rt.target_data(*data_maps):
+                for walker in range(walkers):
+                    rt.target(
+                        reads=list(wide.values()),
+                        partial_writes=[vals, grads, hess],
+                        kernel=lambda dev, w=walker: vgh_kernel(dev, w),
+                        kernel_time=kernel_time,
+                        name="bspline_vgh_kernel",
+                    )
+            rt.host_compute(nbytes=vals.nbytes)
+
+        return program

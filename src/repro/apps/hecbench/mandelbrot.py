@@ -1,0 +1,95 @@
+"""HeCBench ``mandelbrot-omp``: Mandelbrot-set escape-time rendering.
+
+The benchmark renders the set repeatedly while re-mapping a small
+colour-table on every launch (DD + RA) and allocates a diagnostics buffer
+whose lifetime never overlaps a kernel (UA).  The output tile ``b`` is
+mapped ``alloc`` and only *partially* written by the kernel (interior pixels
+that never escape keep their default), which is what makes the
+Arbalest-style checker conservatively report use-of-uninitialised-memory for
+``b[0]`` — a false positive, since the untouched elements are never read.
+The fixed variant hoists the colour table and drops the dead allocation; the
+paper measures 3.974 s → 3.950 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.omp.mapping import alloc, release, to
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class MandelbrotApp(BenchmarkApp):
+    """Escape-time fractal rendering with a per-launch colour table."""
+
+    name = "mandelbrot-omp"
+    domain = "Computer Vision"
+    suite = "HeCBench"
+    description = "Mandelbrot rendering with a re-mapped colour table per launch."
+
+    def parameters(self, size: ProblemSize) -> dict:
+        side = {ProblemSize.SMALL: 128, ProblemSize.MEDIUM: 256, ProblemSize.LARGE: 512}[size]
+        return {"width": side, "height": side, "launches": 50, "max_iterations": 64}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, fixed=False)
+        if variant is AppVariant.FIXED:
+            return self._build(params, fixed=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _build(self, params: dict, *, fixed: bool) -> Program:
+        side = params["width"]
+        launches = params["launches"]
+        max_iter = params["max_iterations"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, side)
+            colors = (rng.random(256) * 255).astype(np.float32)  # colour table
+            b = np.zeros((side, side), dtype=np.float32)          # output tile
+            diagnostics = np.zeros(1024, dtype=np.float64)
+            rt.host_compute(nbytes=b.nbytes)
+
+            kernel_time = side * side * max_iter * 1.2e-9 + 2e-5
+
+            def render(dev, frame: int) -> None:
+                tile = dev[b]
+                table = dev[colors]
+                # Only pixels outside the set are written (partial write).
+                ys, xs = np.meshgrid(np.arange(1, side), np.arange(1, side), indexing="ij")
+                escape = ((xs * 13 + ys * 7 + frame) % max_iter).astype(np.float32)
+                tile[1:, 1:] = table[escape.astype(np.int64) % 256]
+
+            if fixed:
+                with rt.target_data(
+                    to(colors, name="colors"),
+                    alloc(b, name="b"),
+                ):
+                    for frame in range(launches):
+                        rt.target(reads=[colors], partial_writes=[b],
+                                  kernel=lambda dev, f=frame: render(dev, f),
+                                  kernel_time=kernel_time, name="mandelbrot_kernel")
+                    rt.target_update(from_=[b], name="readback")
+            else:
+                with rt.target_data(alloc(b, name="b")):
+                    for frame in range(launches):
+                        # The colour table is re-mapped around every launch.
+                        rt.target(
+                            maps=[to(colors, name="colors")],
+                            reads=[colors],
+                            partial_writes=[b],
+                            kernel=lambda dev, f=frame: render(dev, f),
+                            kernel_time=kernel_time,
+                            name="mandelbrot_kernel",
+                        )
+                    rt.target_update(from_=[b], name="readback")
+                    # Dead diagnostics buffer: allocated after the last kernel,
+                    # never used (the UA finding).
+                    rt.target_enter_data(alloc(diagnostics, name="diagnostics"))
+                    rt.target_exit_data(release(diagnostics))
+            rt.host_compute(nbytes=b.nbytes)
+
+        return program

@@ -1,0 +1,95 @@
+"""Rodinia ``hotspot`` (thermal simulation), OpenMP offload version.
+
+The simulation maps the power grid and two temperature buffers over the
+whole run; the only inefficiency in the shipped code is a defensive
+``target update to(power)`` issued before each of the two pyramid passes
+even though the power grid never changes, producing the two duplicate data
+transfers reported in Table 1.  The synthetic variant injects the issue mix
+listed in the "Applications With Injected Synthetic Issues" rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.apps import synthetic
+from repro.omp.mapping import alloc, from_, to
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class HotspotApp(BenchmarkApp):
+    """Iterative 5-point stencil on a 2-D temperature grid."""
+
+    name = "hotspot"
+    domain = "Thermal Simulation"
+    suite = "Rodinia"
+    description = "Transient thermal simulation with ping-pong temperature grids."
+
+    def parameters(self, size: ProblemSize) -> dict:
+        rows = {
+            ProblemSize.SMALL: 64,
+            ProblemSize.MEDIUM: 512,
+            ProblemSize.LARGE: 1024,
+        }[size]
+        return {"rows": rows, "cols": rows, "pyramid_height": 2, "sim_steps": 4}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, inject=False)
+        if variant is AppVariant.SYNTHETIC:
+            return self._build(params, inject=True)
+        raise unsupported_variant(self.name, variant)
+
+    # ------------------------------------------------------------------ #
+    def _build(self, params: dict, *, inject: bool) -> Program:
+        rows, cols = params["rows"], params["cols"]
+        sim_steps = params["sim_steps"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, rows)
+            temp = rng.random((rows, cols)) * 30.0 + 320.0
+            power = rng.random((rows, cols)) * 0.5
+            temp_dst = np.zeros_like(temp)
+            scratch = np.zeros(rows, dtype=np.float64)
+            rt.host_compute(nbytes=temp.nbytes * 2)  # read input grids
+
+            kernel_time = rows * cols * 2.0e-9
+
+            def stencil(dev) -> None:
+                src = dev[temp]
+                dst = dev[temp_dst]
+                p = dev[power]
+                dst[1:-1, 1:-1] = src[1:-1, 1:-1] + 0.1 * (
+                    src[:-2, 1:-1] + src[2:, 1:-1] + src[1:-1, :-2] + src[1:-1, 2:]
+                    - 4.0 * src[1:-1, 1:-1]
+                ) + 0.05 * p[1:-1, 1:-1]
+                src[...] = dst
+
+            with rt.target_data(
+                to(power, name="power"),
+                to(temp, name="temp_src"),
+                from_(temp_dst, name="temp_dst"),
+            ):
+                for step in range(sim_steps):
+                    # The shipped code refreshes the (unchanged) power grid
+                    # before the second and third pyramid passes "to be safe".
+                    if 1 <= step <= 2:
+                        rt.target_update(to=[power], name="defensive_power_refresh")
+                    rt.target(
+                        reads=[temp, power],
+                        writes=[temp, temp_dst],
+                        kernel=stencil,
+                        kernel_time=kernel_time,
+                        name="hotspot_kernel",
+                    )
+                    if inject and step == sim_steps - 1:
+                        # Synthetic issues around the key kernel (Table 1 syn row).
+                        synthetic.inject_duplicate_transfers(rt, power, 10)
+                        synthetic.inject_round_trips(rt, temp_dst, 4)
+                        synthetic.inject_repeated_allocations(rt, scratch, 11)
+            rt.host_compute(nbytes=temp_dst.nbytes)  # write output
+
+        return program

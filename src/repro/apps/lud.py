@@ -1,0 +1,126 @@
+"""Rodinia ``lud`` (LU decomposition), OpenMP offload version.
+
+The shipped offload port is already clean: the matrix is mapped ``tofrom``
+once around the whole blocked factorisation and every per-block kernel works
+on present data, so Table 1 reports zeros across the board.  The synthetic
+variant injects a large issue mix around the per-block kernels (the largest
+synthetic row of Table 1), which is what makes lud useful for stress-testing
+the detectors and the overhead accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.apps import synthetic
+from repro.omp.mapping import tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class LUDApp(BenchmarkApp):
+    """Blocked LU factorisation of a dense matrix."""
+
+    name = "lud"
+    domain = "Linear Algebra"
+    suite = "Rodinia"
+    description = "Blocked in-place LU decomposition (diagonal/perimeter/internal kernels)."
+
+    _BLOCK = 32
+
+    def parameters(self, size: ProblemSize) -> dict:
+        n = {
+            ProblemSize.SMALL: 256,
+            ProblemSize.MEDIUM: 512,
+            ProblemSize.LARGE: 1024,
+        }[size]
+        return {"matrix_dim": n, "block_size": self._BLOCK}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, inject=False, size=size)
+        if variant is AppVariant.SYNTHETIC:
+            return self._build(params, inject=True, size=size)
+        raise unsupported_variant(self.name, variant)
+
+    def _synthetic_plan(self, size: ProblemSize) -> dict:
+        """Injection counts, scaled with problem size (Medium matches Table 1)."""
+        scale = {ProblemSize.SMALL: 0.25, ProblemSize.MEDIUM: 1.0, ProblemSize.LARGE: 2.0}[size]
+        return {
+            "duplicates": int(1736 * scale),
+            "round_trips": int(1243 * scale),
+            "reallocs": int(748 * scale),
+            "unused_allocs": int(250 * scale),
+            "unused_transfers": int(252 * scale),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _build(self, params: dict, *, inject: bool, size: ProblemSize) -> Program:
+        n = params["matrix_dim"]
+        block = params["block_size"]
+        steps = n // block
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, n)
+            # Diagonally dominant matrix so the factorisation is stable.
+            matrix = rng.random((n, n)) + np.eye(n) * n
+            scratch = rng.random(n)
+            lookahead = rng.random((block, block))
+            # Small per-block workspace: the array the synthetic issues are
+            # injected around (mimicking a mishandled intermediate buffer).
+            workspace = rng.random((block, block))
+            rt.host_compute(nbytes=matrix.nbytes)
+
+            kernel_time = block * block * 2.0e-9
+            plan = self._synthetic_plan(size) if inject else None
+
+            def diagonal(dev, offset: int) -> None:
+                a = dev[matrix]
+                blk = a[offset : offset + block, offset : offset + block]
+                for i in range(1, block):
+                    blk[i, :i] /= np.maximum(np.diag(blk)[:i], 1e-9)
+                    blk[i, i:] -= blk[i, :i] @ blk[:i, i:]
+
+            def perimeter(dev, offset: int) -> None:
+                a = dev[matrix]
+                a[offset + block :, offset : offset + block] *= 0.999
+                a[offset : offset + block, offset + block :] *= 0.999
+
+            def internal(dev, offset: int) -> None:
+                a = dev[matrix]
+                diag = a[offset : offset + block, offset : offset + block]
+                a[offset + block :, offset + block :] -= (
+                    a[offset + block :, offset : offset + block]
+                    @ np.linalg.solve(np.triu(diag) + np.eye(block) * 1e-9,
+                                      a[offset : offset + block, offset + block :])
+                ) * 1e-3
+
+            data_maps = [tofrom(matrix, name="m")]
+            if plan:
+                data_maps.append(tofrom(workspace, name="workspace"))
+            with rt.target_data(*data_maps):
+                for step in range(steps):
+                    offset = step * block
+                    rt.target(reads=[matrix], writes=[matrix],
+                              kernel=lambda dev, o=offset: diagonal(dev, o),
+                              kernel_time=kernel_time, name="lud_diagonal")
+                    if step < steps - 1:
+                        rt.target(reads=[matrix], writes=[matrix],
+                                  kernel=lambda dev, o=offset: perimeter(dev, o),
+                                  kernel_time=kernel_time * 2, name="lud_perimeter")
+                        rt.target(reads=[matrix], writes=[matrix],
+                                  kernel=lambda dev, o=offset: internal(dev, o),
+                                  kernel_time=kernel_time * 4, name="lud_internal")
+                    if plan and step == steps // 2:
+                        # Inject the synthetic issue mix around the mid-point
+                        # kernels (Table 1 "lud (syn)" row).
+                        synthetic.inject_duplicate_transfers(rt, workspace, plan["duplicates"])
+                        synthetic.inject_round_trips(rt, workspace, plan["round_trips"])
+                        synthetic.inject_repeated_allocations(rt, scratch, plan["reallocs"])
+                        synthetic.inject_unused_allocations(rt, lookahead, plan["unused_allocs"])
+                        synthetic.inject_unused_transfers(rt, workspace, plan["unused_transfers"])
+            rt.host_compute(nbytes=matrix.nbytes)
+
+        return program

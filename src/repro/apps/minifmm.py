@@ -1,0 +1,124 @@
+"""``minifmm``: a task-based fast multipole method proxy (University of Bristol).
+
+The offload port is compute dominated: the multipole and local expansion
+buffers are mapped once and a large number of small P2P/M2L kernels run on
+resident data.  The only reported issues are three duplicate receipts caused
+by mapping several zero-initialised expansion buffers of identical length at
+setup (Section 7.5 notes these init-time DDs are not worth fixing).  The
+synthetic variant injects the "minifmm (syn)" issue mix of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.apps import synthetic
+from repro.omp.mapping import to, tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class MiniFMMApp(BenchmarkApp):
+    """Fast multipole method proxy: tree of cells, P2P and M2L interaction kernels."""
+
+    name = "minifmm"
+    domain = "Particle Physics"
+    suite = "UoB-HPC"
+    description = "Task-based FMM proxy with resident particle and expansion data."
+
+    _TERMS = 16
+
+    def parameters(self, size: ProblemSize) -> dict:
+        particles = {
+            ProblemSize.SMALL: 1000,
+            ProblemSize.MEDIUM: 10000,
+            ProblemSize.LARGE: 40000,
+        }[size]
+        cells = max(particles // 64, 8)
+        return {"particles": particles, "cells": cells, "terms": self._TERMS}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, inject=False)
+        if variant is AppVariant.SYNTHETIC:
+            return self._build(params, inject=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _build(self, params: dict, *, inject: bool) -> Program:
+        n = params["particles"]
+        cells = params["cells"]
+        terms = params["terms"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, n)
+            positions = rng.random((n, 3))
+            charges = rng.random(n)
+            forces = np.zeros((n, 3))
+            potentials = np.zeros(n)
+            # Expansion buffers: all zero-initialised, all the same length —
+            # the source of the three init-time duplicate receipts.
+            multipoles = np.zeros((cells, terms))
+            locals_ = np.zeros((cells, terms))
+            downward = np.zeros((cells, terms))
+            upward = np.zeros((cells, terms))
+            scratch = rng.random(terms)
+            rt.host_compute(nbytes=positions.nbytes)
+
+            p2p_time = (n / cells) ** 2 * 2.0e-9 + 4e-6
+            m2l_time = terms * terms * 2.0e-9 + 4e-6
+
+            def p2m(dev) -> None:
+                # Upward pass: compute multipole expansions from the charges.
+                per_cell = n // cells
+                q = dev[charges][: per_cell * cells].reshape(cells, per_cell)
+                dev[multipoles][...] = q.sum(axis=1)[:, None] * (
+                    1.0 / (1.0 + np.arange(terms))[None, :]
+                )
+
+            def p2p(dev, cell: int) -> None:
+                lo = cell * (n // cells)
+                hi = min(n, lo + (n // cells))
+                pos = dev[positions][lo:hi]
+                q = dev[charges][lo:hi]
+                if pos.shape[0] == 0:
+                    return
+                d = pos[:, None, :] - pos[None, :, :]
+                r2 = (d * d).sum(axis=2) + 1e-6
+                inv_r = 1.0 / np.sqrt(r2)
+                dev[potentials][lo:hi] += (q[None, :] * inv_r).sum(axis=1)
+                dev[forces][lo:hi] += (d * (q[None, :, None] * inv_r[..., None] ** 3)).sum(axis=1)
+
+            def m2l(dev, cell: int) -> None:
+                dev[locals_][cell] += dev[multipoles][(cell * 7 + 3) % cells] * 0.01
+
+            with rt.target_data(
+                to(positions, name="positions"),
+                to(charges, name="charges"),
+                tofrom(forces, name="forces"),
+                tofrom(potentials, name="potentials"),
+                to(multipoles, name="multipoles"),
+                to(locals_, name="locals"),
+                to(downward, name="downward"),
+                to(upward, name="upward"),
+            ):
+                rt.target(reads=[charges], writes=[multipoles],
+                          kernel=p2m, kernel_time=m2l_time, name="fmm_p2m")
+                for cell in range(cells):
+                    rt.target(reads=[positions, charges], writes=[potentials, forces],
+                              kernel=lambda dev, c=cell: p2p(dev, c),
+                              kernel_time=p2p_time, name="fmm_p2p")
+                    rt.target(reads=[multipoles], writes=[locals_],
+                              kernel=lambda dev, c=cell: m2l(dev, c),
+                              kernel_time=m2l_time, name="fmm_m2l")
+                if inject:
+                    # "minifmm (syn)" row: DD=75, RT=64, RA=57, UA=57, UT=76.
+                    synthetic.inject_duplicate_transfers(rt, multipoles, 72)
+                    synthetic.inject_round_trips(rt, locals_, 64)
+                    synthetic.inject_repeated_allocations(rt, scratch, 58)
+                    synthetic.inject_unused_allocations(rt, scratch, 57)
+                    synthetic.inject_unused_transfers(rt, downward, 76)
+            rt.host_compute(nbytes=forces.nbytes)
+
+        return program

@@ -1,0 +1,105 @@
+"""Rodinia ``nw`` (Needleman-Wunsch sequence alignment), OpenMP offload version.
+
+The shipped offload port maps the reference matrix and the itemsets matrix
+once around the wave-front kernels, so the baseline reports no issues
+(Table 1).  The synthetic variant injects the small issue mix of the
+"nw (syn)" row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.apps import synthetic
+from repro.omp.mapping import to, tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class NWApp(BenchmarkApp):
+    """Wave-front dynamic programming over an (n+1) x (n+1) score matrix."""
+
+    name = "nw"
+    domain = "Bioinformatics"
+    suite = "Rodinia"
+    description = "Needleman-Wunsch global sequence alignment (wave-front kernels)."
+
+    _BLOCK = 16
+
+    def parameters(self, size: ProblemSize) -> dict:
+        n = {
+            ProblemSize.SMALL: 512,
+            ProblemSize.MEDIUM: 1024,
+            ProblemSize.LARGE: 2048,
+        }[size]
+        return {"max_rows": n, "penalty": 10, "block_size": self._BLOCK}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, inject=False)
+        if variant is AppVariant.SYNTHETIC:
+            return self._build(params, inject=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _build(self, params: dict, *, inject: bool) -> Program:
+        n = params["max_rows"]
+        block = params["block_size"]
+        penalty = params["penalty"]
+        blocks = n // block
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, n)
+            reference = rng.integers(-4, 10, size=(n, n)).astype(np.int32)
+            itemsets = np.zeros((n, n), dtype=np.int32)
+            itemsets[0, :] = -penalty * np.arange(n)
+            itemsets[:, 0] = -penalty * np.arange(n)
+            scratch = rng.random(block * block)
+            rt.host_compute(nbytes=reference.nbytes)
+
+            kernel_time = block * n * 1.0e-9
+
+            def wavefront(dev, diag: int, forward: bool) -> None:
+                score = dev[itemsets]
+                ref = dev[reference]
+                # Simplified wave-front relaxation over one block diagonal:
+                # accumulate the best predecessor score plus the match bonus.
+                lo = max(1, diag * block)
+                hi = min(n, lo + block)
+                score[lo:hi, lo:hi] = np.maximum(
+                    score[lo - 1 : hi - 1, lo - 1 : hi - 1] + ref[lo:hi, lo:hi],
+                    score[lo:hi, lo:hi] - penalty,
+                )
+
+            with rt.target_data(
+                to(reference, name="reference"),
+                tofrom(itemsets, name="input_itemsets"),
+            ):
+                # Forward pass over the upper-left block diagonals.
+                for diag in range(blocks):
+                    rt.target(
+                        reads=[reference, itemsets],
+                        writes=[itemsets],
+                        kernel=lambda dev, d=diag: wavefront(dev, d, True),
+                        kernel_time=kernel_time,
+                        name="nw_kernel_1",
+                    )
+                # Backward pass over the lower-right block diagonals.
+                for diag in range(blocks - 1, -1, -1):
+                    rt.target(
+                        reads=[reference, itemsets],
+                        writes=[itemsets],
+                        kernel=lambda dev, d=diag: wavefront(dev, d, False),
+                        kernel_time=kernel_time,
+                        name="nw_kernel_2",
+                    )
+                if inject:
+                    # "nw (syn)" row of Table 1: DD=8, RA=4, UA=1, UT=3.
+                    synthetic.inject_duplicate_transfers(rt, reference, 8)
+                    synthetic.inject_repeated_allocations(rt, scratch, 5)
+                    synthetic.inject_unused_allocations(rt, scratch, 1)
+                    synthetic.inject_unused_transfers(rt, itemsets, 3)
+            rt.host_compute(nbytes=itemsets.nbytes)
+
+        return program

@@ -1,0 +1,113 @@
+"""Registry of the simulated benchmark applications.
+
+The ten evaluation applications (Sections 7.2–7.6, Table 5) and the five
+HeCBench applications used for the Arbalest-Vec comparison (Section 7.7) are
+registered here; the experiment harness, the CLI and the tests all resolve
+applications by name through this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.apps.base import BenchmarkApp
+from repro.apps.babelstream import BabelStreamApp
+from repro.apps.bfs import BFSApp
+from repro.apps.hotspot import HotspotApp
+from repro.apps.lud import LUDApp
+from repro.apps.minife import MiniFEApp
+from repro.apps.minifmm import MiniFMMApp
+from repro.apps.nw import NWApp
+from repro.apps.rsbench import RSBenchApp
+from repro.apps.tealeaf import TeaLeafApp
+from repro.apps.xsbench import XSBenchApp
+from repro.apps.hecbench import (
+    AccuracyApp,
+    BSplineVGHApp,
+    LIFApp,
+    MandelbrotApp,
+    ResizeApp,
+)
+
+#: The ten applications of the main evaluation, in the order the paper lists
+#: them (Table 1 / Figures 2–4).
+EVALUATION_APP_NAMES: tuple[str, ...] = (
+    "babelstream",
+    "bfs",
+    "hotspot",
+    "lud",
+    "minife",
+    "minifmm",
+    "nw",
+    "rsbench",
+    "tealeaf",
+    "xsbench",
+)
+
+#: The five HeCBench programs of the Arbalest-Vec comparison (Tables 2 and 3).
+HECBENCH_APP_NAMES: tuple[str, ...] = (
+    "resize-omp",
+    "mandelbrot-omp",
+    "accuracy-omp",
+    "lif-omp",
+    "bspline-vgh-omp",
+)
+
+_APP_CLASSES: tuple[type[BenchmarkApp], ...] = (
+    BabelStreamApp,
+    BFSApp,
+    HotspotApp,
+    LUDApp,
+    MiniFEApp,
+    MiniFMMApp,
+    NWApp,
+    RSBenchApp,
+    TeaLeafApp,
+    XSBenchApp,
+    ResizeApp,
+    MandelbrotApp,
+    AccuracyApp,
+    LIFApp,
+    BSplineVGHApp,
+)
+
+
+def _build_registry() -> dict[str, BenchmarkApp]:
+    registry: dict[str, BenchmarkApp] = {}
+    for cls in _APP_CLASSES:
+        app = cls()
+        if app.name in registry:
+            raise RuntimeError(f"duplicate application name {app.name!r}")
+        registry[app.name] = app
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_apps() -> dict[str, BenchmarkApp]:
+    """Every registered application, keyed by name."""
+    return dict(_REGISTRY)
+
+
+def get_app(name: str) -> BenchmarkApp:
+    """Look up one application by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown application {name!r}; known applications: {known}") from None
+
+
+def _subset(names: Iterable[str]) -> dict[str, BenchmarkApp]:
+    return {name: get_app(name) for name in names}
+
+
+def evaluation_apps() -> dict[str, BenchmarkApp]:
+    """The ten main-evaluation applications, in paper order."""
+    return _subset(EVALUATION_APP_NAMES)
+
+
+def hecbench_apps() -> dict[str, BenchmarkApp]:
+    """The five HeCBench applications of the Arbalest-Vec comparison."""
+    return _subset(HECBENCH_APP_NAMES)

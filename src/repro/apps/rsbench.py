@@ -1,0 +1,94 @@
+"""ANL ``rsbench``: multipole cross-section lookup proxy (event-based mode).
+
+The offload port stages the pole and window data on the device and runs one
+large event-based lookup kernel.  The shipped code omits a ``map`` clause
+for the simulation-input structure, so the implicit ``tofrom`` rule copies
+the (unmodified) inputs back from the GPU after the kernel — the single
+round trip reported in Table 1.  The fixed variant adds ``map(to:)`` for the
+input structure, which removes the issue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.omp.mapping import from_, to
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class RSBenchApp(BenchmarkApp):
+    """Event-based multipole cross-section lookups."""
+
+    name = "rsbench"
+    domain = "Neutron Transport"
+    suite = "ANL"
+    description = "Monte Carlo cross-section lookup proxy (multipole representation)."
+
+    def parameters(self, size: ProblemSize) -> dict:
+        lookups = {
+            ProblemSize.SMALL: 100_000,
+            ProblemSize.MEDIUM: 1_000_000,
+            ProblemSize.LARGE: 4_250_000,
+        }[size]
+        return {"lookups": lookups, "nuclides": 68, "poles": 1000, "mode": "event"}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, fixed=False)
+        if variant is AppVariant.FIXED:
+            return self._build(params, fixed=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _build(self, params: dict, *, fixed: bool) -> Program:
+        lookups = params["lookups"]
+        nuclides = params["nuclides"]
+        poles = params["poles"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, lookups)
+            pole_data = rng.random((nuclides, poles, 4))
+            window_data = rng.random((nuclides, poles // 10, 3))
+            # The simulation-input structure (problem parameters, seeds, ...)
+            # — the variable the paper's fix adds an explicit map(to:) for.
+            sim_inputs = np.array(
+                [lookups, nuclides, poles, 42, 0, 0, 0, 0], dtype=np.float64
+            )
+            verification = np.zeros(16, dtype=np.float64)
+            rt.host_compute(nbytes=pole_data.nbytes)
+
+            kernel_time = lookups * 6.0e-9 + 1e-5
+
+            def lookup_kernel(dev) -> None:
+                p = dev[pole_data]
+                v = dev[verification]
+                sample = p[:, :: max(poles // 16, 1), 0]
+                v[: sample.shape[0] % 16 or 16] += sample.sum()
+
+            maps = [
+                to(pole_data, name="poles"),
+                to(window_data, name="windows"),
+                from_(verification, name="verification"),
+            ]
+            if fixed:
+                maps.append(to(sim_inputs, name="inputs"))
+                reads = [pole_data, window_data, sim_inputs]
+            else:
+                # No map clause for the inputs: the implicit tofrom rule
+                # copies them back from the device even though the kernel
+                # never modifies them.
+                reads = [pole_data, window_data, sim_inputs]
+
+            rt.target(
+                maps=maps,
+                reads=reads,
+                writes=[verification],
+                kernel=lookup_kernel,
+                kernel_time=kernel_time,
+                name="xs_lookup_kernel",
+            )
+            rt.host_compute(nbytes=verification.nbytes)
+
+        return program

@@ -1,0 +1,192 @@
+"""Synthetic inefficiency injection.
+
+Section 7.5: "For the benchmarks that were already well optimized, we
+injected artificial issues meant to mimic common inefficiencies (...) that a
+programmer may stumble into around key kernels."  The helpers below perform
+those patterns through the *public* runtime API — re-mapping data that is
+already resident, bouncing unmodified data back and forth, tearing mappings
+down per-kernel only to recreate them — so the injected traces look exactly
+like the programmer mistakes they imitate.
+
+Each helper interleaves a small "consumer" kernel with the injected data
+operations where the corresponding real-world pattern would have one (e.g.
+Listing 2's round trips happen *around* kernel executions).  That keeps the
+patterns separable: injecting duplicate transfers does not also create
+unused transfers, matching how the paper's synthetic rows show zero UA/UT
+for several applications despite large DD/RT/RA counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.omp.mapping import alloc, release
+from repro.omp.runtime import OffloadRuntime
+
+#: Duration charged for the tiny consumer kernels the injectors launch.
+_CONSUMER_KERNEL_TIME = 2.0e-6
+
+
+def _consume(
+    runtime: OffloadRuntime,
+    array: np.ndarray,
+    device_num: int | None,
+    *,
+    mutate: bool = False,
+) -> None:
+    """Launch a trivial kernel that reads (and optionally updates) ``array``."""
+
+    def kernel(dev) -> None:
+        if mutate:
+            dev[array].reshape(-1)[0] += 1.0
+
+    runtime.target(
+        reads=[array],
+        writes=[array] if mutate else (),
+        kernel=kernel,
+        kernel_time=_CONSUMER_KERNEL_TIME,
+        device_num=device_num,
+        name="synthetic-consumer",
+    )
+
+
+def inject_duplicate_transfers(
+    runtime: OffloadRuntime,
+    array: np.ndarray,
+    count: int,
+    *,
+    device_num: int | None = None,
+) -> None:
+    """Re-send an already-present, unmodified array before ``count`` kernels.
+
+    Mimics a programmer refreshing device data "just in case" inside a loop.
+    The array must currently be mapped on the device.  Produces ``count``
+    duplicate receipts (plus one more if the original mapping already copied
+    the same content to the device); produces no unused transfers because a
+    kernel runs after every refresh, and no round trips because the consumer
+    kernel modifies the device copy (so the stale host payload keeps being
+    re-sent, which is precisely the mistake being imitated).
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    for _ in range(count):
+        runtime.target_update(to=[array], device_num=device_num, name="synthetic-duplicate")
+        _consume(runtime, array, device_num, mutate=True)
+
+
+def inject_round_trips(
+    runtime: OffloadRuntime,
+    array: np.ndarray,
+    count: int,
+    *,
+    device_num: int | None = None,
+) -> None:
+    """Bounce an unmodified array device→host→device across ``count`` kernels.
+
+    Mimics the Listing-2 pattern: the result is copied back after a kernel
+    and re-sent, unmodified, before the next one.  The consumer kernel run
+    after every bounce *modifies* the data, so successive bounces carry
+    different payloads — each bounce is a round trip but not also a
+    duplicate transfer, exactly like Listing 2.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    for _ in range(count):
+        runtime.target_update(from_=[array], device_num=device_num, name="synthetic-roundtrip")
+        runtime.target_update(to=[array], device_num=device_num, name="synthetic-roundtrip")
+        _consume(runtime, array, device_num, mutate=True)
+
+
+def inject_repeated_allocations(
+    runtime: OffloadRuntime,
+    array: np.ndarray,
+    count: int,
+    *,
+    device_num: int | None = None,
+) -> None:
+    """Map ``array`` with ``map(alloc)`` around ``count`` separate kernels.
+
+    Mimics mappings whose lifetime does not extend across kernels, the root
+    cause of repeated device memory allocation (Section 4.3).  Produces
+    ``count - 1`` redundant allocations and no transfers; the allocations all
+    overlap a kernel, so none of them is an *unused* allocation.  The array
+    must not currently be mapped.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    for _ in range(count):
+        runtime.target(
+            maps=[alloc(array, name="synthetic-realloc")],
+            kernel=None,
+            kernel_time=_CONSUMER_KERNEL_TIME,
+            device_num=device_num,
+            name="synthetic-realloc",
+        )
+
+
+def inject_unused_allocation(
+    runtime: OffloadRuntime,
+    array: np.ndarray,
+    *,
+    device_num: int | None = None,
+) -> None:
+    """Allocate device storage that no kernel will ever overlap, then free it.
+
+    Mimics dead-code mappings and overly cautious pre-allocations.  Because
+    the allocation's whole lifetime sits between kernel executions it is
+    provably unused.  Repeated calls with the same array also accumulate
+    repeated-allocation findings, as the corresponding real mistake would.
+    """
+    runtime.target_enter_data(alloc(array), device_num=device_num, name="synthetic-unused-alloc")
+    runtime.target_exit_data(release(array), device_num=device_num, name="synthetic-unused-alloc")
+
+
+def inject_unused_allocations(
+    runtime: OffloadRuntime,
+    like: np.ndarray,
+    count: int,
+    *,
+    device_num: int | None = None,
+) -> None:
+    """Inject ``count`` independent unused allocations.
+
+    Each injection uses its own freshly created buffer (all kept alive for
+    the duration of the call) so the unused allocations do not additionally
+    register as *repeated* allocations of a single variable — matching the
+    paper's synthetic rows, where the UA and RA counts are independent.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    buffers = [np.zeros_like(like) for _ in range(count)]
+    for buf in buffers:
+        inject_unused_allocation(runtime, buf, device_num=device_num)
+
+
+def inject_unused_transfers(
+    runtime: OffloadRuntime,
+    array: np.ndarray,
+    count: int,
+    *,
+    device_num: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> None:
+    """Send ``count`` payloads that are overwritten before any kernel runs.
+
+    Each injected transfer is immediately superseded by the next transfer
+    from the same host address with no intervening kernel, so all but the
+    final send are provably unused.  Host contents are perturbed between
+    sends so the pattern is not also a duplicate transfer.  The array must
+    currently be mapped; the final payload is handed to a consumer kernel so
+    it does not count as unused itself.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    if rng is None:
+        rng = np.random.default_rng(0xC0FFEE)
+    flat = array.reshape(-1)
+    for _ in range(count + 1):
+        flat[0] = flat[0] + float(rng.random()) + 1.0
+        runtime.target_update(to=[array], device_num=device_num, name="synthetic-unused-transfer")
+    # The consumer modifies the device copy so that a later copy-back of the
+    # array (e.g. a tofrom mapping ending) does not also read as a round trip.
+    _consume(runtime, array, device_num, mutate=True)

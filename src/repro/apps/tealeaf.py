@@ -1,0 +1,153 @@
+"""UK-MAC ``tealeaf``: a heat-conduction mini-app (iterative sparse solver).
+
+The offload port keeps the field arrays resident, but every inner CG
+iteration initialises two reduction scalars on the host and maps them
+``tofrom`` around the reduction kernels.  Each of those mappings allocates
+and deletes device storage (RA) and ships the same 8-byte zero to the device
+(DD); Section 7.5 notes this is "usually the fastest way to initialise
+reduction variables with current OpenMP features", which is why there is no
+fixed variant.  Once per outer timestep the temperature field is copied out
+for a host-side energy check and copied back unmodified, producing one
+round trip per timestep boundary.
+
+The synthetic variant additionally injects the very large DD/RT mix of the
+"tealeaf (syn)" row of Table 1 around the solver kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.apps import synthetic
+from repro.omp.mapping import to, tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class TeaLeafApp(BenchmarkApp):
+    """2-D implicit heat conduction solved with a CG iteration."""
+
+    name = "tealeaf"
+    domain = "High Energy Physics"
+    suite = "UK-MAC"
+    description = "Linear heat-conduction solver with per-iteration host-initialised reductions."
+
+    def parameters(self, size: ProblemSize) -> dict:
+        grid = {ProblemSize.SMALL: 32, ProblemSize.MEDIUM: 64, ProblemSize.LARGE: 96}[size]
+        outer = {ProblemSize.SMALL: 6, ProblemSize.MEDIUM: 12, ProblemSize.LARGE: 12}[size]
+        total_inner = {
+            ProblemSize.SMALL: 600,
+            ProblemSize.MEDIUM: 2354,
+            ProblemSize.LARGE: 4708,
+        }[size]
+        return {"grid": grid, "outer_steps": outer, "total_inner_iterations": total_inner}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, size, inject=False)
+        if variant is AppVariant.SYNTHETIC:
+            return self._build(params, size, inject=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _synthetic_plan(self, size: ProblemSize) -> dict:
+        scale = {ProblemSize.SMALL: 0.25, ProblemSize.MEDIUM: 1.0, ProblemSize.LARGE: 1.5}[size]
+        return {"duplicates": int(12688 * scale), "round_trips": int(25603 * scale)}
+
+    # ------------------------------------------------------------------ #
+    def _build(self, params: dict, size, *, inject: bool) -> Program:
+        grid = params["grid"]
+        outer_steps = params["outer_steps"]
+        total_inner = params["total_inner_iterations"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, grid, total_inner)
+            u = rng.random((grid, grid)) + 1.0          # temperature
+            u0 = np.array(u)                             # state at step start
+            kx = rng.random((grid, grid)) * 0.1 + 1.0
+            ky = rng.random((grid, grid)) * 0.1 + 1.0
+            # Work fields: all zero-initialised, identical length (the source
+            # of the setup-time duplicate receipts).
+            p = np.zeros((grid, grid))
+            r = np.zeros((grid, grid))
+            w = np.zeros((grid, grid))
+            z = np.zeros((grid, grid))
+            sd = np.zeros((grid, grid))
+            mi = np.zeros((grid, grid))
+            # Per-iteration reduction scalars (host-initialised every time).
+            rro = np.zeros(1)
+            pw = np.zeros(1)
+            # Small exchange buffer bounced by the synthetic variant.
+            halo = rng.random(64)
+            rt.host_compute(nbytes=u.nbytes * 4)
+
+            kernel_time = grid * grid * 1.5e-9 + 4e-6
+            # Split the inner iterations as evenly as possible over the outer
+            # timesteps while preserving the configured total.
+            base, extra = divmod(total_inner, outer_steps)
+            inner_counts = [base + (1 if step < extra else 0) for step in range(outer_steps)]
+            plan = self._synthetic_plan(size) if inject else None
+
+            def cg_init_kernel(dev) -> None:
+                dev[r][...] = dev[u] * 0.01
+                dev[p][...] = dev[r]
+
+            def cg_w_kernel(dev) -> None:
+                d_w, d_p = dev[w], dev[p]
+                d_w[1:-1, 1:-1] = d_p[1:-1, 1:-1] * dev[kx][1:-1, 1:-1]
+                dev[pw][0] = float((d_w * d_p).sum())
+
+            def cg_ur_kernel(dev) -> None:
+                d_u, d_r, d_p = dev[u], dev[r], dev[p]
+                d_u += 1e-4 * d_p
+                d_r -= 1e-4 * dev[w]
+                d_p[...] = d_r + 0.5 * d_p
+                dev[rro][0] = float((d_r * d_r).sum())
+
+            data_maps = [
+                tofrom(u, name="u"),
+                to(u0, name="u0"),
+                to(kx, name="kx"),
+                to(ky, name="ky"),
+                to(p, name="p"),
+                to(r, name="r"),
+                to(w, name="w"),
+                to(z, name="z"),
+                to(sd, name="sd"),
+                to(mi, name="mi"),
+            ]
+            if plan:
+                data_maps.append(tofrom(halo, name="halo"))
+
+            with rt.target_data(*data_maps):
+                rt.target(reads=[u], writes=[r, p],
+                          kernel=cg_init_kernel, kernel_time=kernel_time,
+                          name="tea_leaf_cg_init")
+                for step, inner in enumerate(inner_counts):
+                    for _ in range(inner):
+                        # Reduction scalars initialised on the host and mapped
+                        # tofrom around each reduction kernel: the DD/RA source.
+                        pw[0] = 0.0
+                        rt.target(maps=[tofrom(pw, name="pw")],
+                                  reads=[p, kx, pw], writes=[w, pw],
+                                  kernel=cg_w_kernel, kernel_time=kernel_time,
+                                  name="tea_leaf_cg_calc_w")
+                        rro[0] = 0.0
+                        rt.target(maps=[tofrom(rro, name="rro")],
+                                  reads=[p, w, rro], writes=[u, r, rro],
+                                  kernel=cg_ur_kernel, kernel_time=kernel_time,
+                                  name="tea_leaf_cg_calc_ur")
+                    if step < outer_steps - 1:
+                        # Outer-step boundary: the field is copied out for the
+                        # host-side energy check and sent back unmodified.
+                        rt.target_update(from_=[u], name="field_summary")
+                        rt.host_compute(nbytes=u.nbytes)
+                        rt.target_update(to=[u], name="field_summary")
+                if plan:
+                    synthetic.inject_duplicate_transfers(rt, halo, plan["duplicates"])
+                    synthetic.inject_round_trips(rt, halo, plan["round_trips"])
+                    synthetic.inject_unused_transfers(rt, halo, 1)
+            rt.host_compute(nbytes=u.nbytes)
+
+        return program

@@ -1,0 +1,91 @@
+"""ANL ``xsbench``: continuous-energy cross-section lookup proxy (event mode).
+
+Structurally the same story as rsbench (Section 7.5): the nuclide grid data
+is staged once and a single event-based lookup kernel dominates, but the
+simulation-input structure lacks an explicit map clause, so the implicit
+``tofrom`` rule ships it back from the GPU unmodified — one round trip.
+The fixed variant adds the missing ``map(to:)`` clause.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
+from repro.omp.mapping import from_, to
+from repro.omp.runtime import OffloadRuntime
+from repro.util.rng import make_rng
+
+
+class XSBenchApp(BenchmarkApp):
+    """Event-based continuous-energy macroscopic cross-section lookups."""
+
+    name = "xsbench"
+    domain = "Neutron Transport"
+    suite = "ANL"
+    description = "Monte Carlo cross-section lookup proxy (nuclide grid representation)."
+
+    def parameters(self, size: ProblemSize) -> dict:
+        lookups = {
+            ProblemSize.SMALL: 170_000,
+            ProblemSize.MEDIUM: 1_700_000,
+            ProblemSize.LARGE: 17_000_000,
+        }[size]
+        gridpoints = {
+            ProblemSize.SMALL: 2_000,
+            ProblemSize.MEDIUM: 11_303,
+            ProblemSize.LARGE: 11_303,
+        }[size]
+        return {"lookups": lookups, "nuclides": 68, "gridpoints": gridpoints, "mode": "event"}
+
+    def build_program(self, size: ProblemSize, variant: AppVariant) -> Program:
+        params = self.parameters(size)
+        if variant is AppVariant.BASELINE:
+            return self._build(params, fixed=False)
+        if variant is AppVariant.FIXED:
+            return self._build(params, fixed=True)
+        raise unsupported_variant(self.name, variant)
+
+    def _build(self, params: dict, *, fixed: bool) -> Program:
+        lookups = params["lookups"]
+        nuclides = params["nuclides"]
+        gridpoints = params["gridpoints"]
+
+        def program(rt: OffloadRuntime) -> None:
+            rng = make_rng(self.name, lookups, gridpoints)
+            energy_grid = np.sort(rng.random(nuclides * gridpoints // 8))
+            xs_data = rng.random((nuclides, gridpoints // 8, 6))
+            concentrations = rng.random((12, nuclides))
+            sim_inputs = np.array(
+                [lookups, nuclides, gridpoints, 7, 1, 0, 0, 0], dtype=np.float64
+            )
+            results = np.zeros(32, dtype=np.float64)
+            rt.host_compute(nbytes=xs_data.nbytes)
+
+            kernel_time = lookups * 4.0e-9 + 1e-5
+
+            def lookup_kernel(dev) -> None:
+                xs = dev[xs_data]
+                out = dev[results]
+                out[:] += xs[:, :: max(gridpoints // 64, 1), 0].sum()
+
+            maps = [
+                to(energy_grid, name="energy_grid"),
+                to(xs_data, name="nuclide_grid"),
+                to(concentrations, name="concentrations"),
+                from_(results, name="verification"),
+            ]
+            if fixed:
+                maps.append(to(sim_inputs, name="inputs"))
+
+            rt.target(
+                maps=maps,
+                reads=[energy_grid, xs_data, concentrations, sim_inputs],
+                writes=[results],
+                kernel=lookup_kernel,
+                kernel_time=kernel_time,
+                name="xs_lookup_kernel",
+            )
+            rt.host_compute(nbytes=results.nbytes)
+
+        return program

@@ -1,0 +1,22 @@
+"""Comparison tools.
+
+* :mod:`repro.baselines.arbalest` — an Arbalest-Vec-style data-mapping
+  *correctness* checker (UUM / USD / UAF / BO), used for the Table 2 / 3
+  comparison.  It consumes the OMPT callbacks *plus* the runtime's
+  instrumentation probe (the stand-in for binary instrumentation).
+* :mod:`repro.baselines.coarse_profiler` — a coarse-grained timing/volume
+  profiler in the spirit of the vendor tools discussed in Section 3: it
+  reports how much time and volume went into transfers, but never *which*
+  transfers were unnecessary.
+"""
+
+from repro.baselines.arbalest import ArbalestVecChecker, CorrectnessIssue, IssueKind
+from repro.baselines.coarse_profiler import CoarseProfile, CoarseProfiler
+
+__all__ = [
+    "ArbalestVecChecker",
+    "CorrectnessIssue",
+    "IssueKind",
+    "CoarseProfile",
+    "CoarseProfiler",
+]

@@ -1,0 +1,133 @@
+"""Command-line interface, mirroring the artifact's ``ompdataperf`` usage.
+
+The real tool wraps a native binary (``ompdataperf ./prog args``); in this
+reproduction the "programs" are the registered simulated applications, so
+the CLI takes an application name plus options::
+
+    ompdataperf bfs --size small                 # analyze the baseline
+    ompdataperf bfs --size small --variant fixed # analyze the fixed version
+    ompdataperf --list                           # list available programs
+    ompdataperf --experiments table1 fig2        # regenerate paper tables
+    ompdataperf bfs --trace-out bfs.json         # save the raw trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.apps.base import AppVariant, ProblemSize
+from repro.apps.registry import all_apps, get_app
+from repro.core.profiler import OMPDataPerf
+from repro.experiments.runner import available_experiments, run_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdataperf",
+        description="Detect inefficient data mapping patterns in (simulated) OpenMP offload programs.",
+    )
+    parser.add_argument("program", nargs="?", help="registered application name (see --list)")
+    parser.add_argument("--size", default="medium",
+                        help="problem size: small, medium or large (default: medium)")
+    parser.add_argument("--variant", default="baseline",
+                        help="application variant: baseline, fixed or synthetic")
+    parser.add_argument("--hasher", default=None,
+                        help="content hash to use (see repro.hashing.available_hashers)")
+    parser.add_argument("--audit-collisions", action="store_true",
+                        help="store payload copies and verify the hash is collision-free")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the recorded trace as JSON to PATH")
+    parser.add_argument("-q", "--quiet", action="store_true", help="suppress warnings")
+    parser.add_argument("-v", "--verbose", action="store_true", help="enable verbose output")
+    parser.add_argument("--list", action="store_true", help="list registered applications")
+    parser.add_argument("--experiments", nargs="*", metavar="KEY",
+                        help="regenerate paper tables/figures (no KEY = all); "
+                             f"available: {', '.join(available_experiments())}")
+    parser.add_argument("--quick", action="store_true",
+                        help="with --experiments: restrict sweeps to the small problem size")
+    parser.add_argument("--version", action="version", version=f"ompdataperf {__version__}")
+    return parser
+
+
+def _list_programs() -> str:
+    lines = ["Registered applications:"]
+    for name, app in sorted(all_apps().items()):
+        variants = ", ".join(v.value for v in app.supported_variants())
+        lines.append(f"  {name:18s} {app.domain:24s} variants: {variants}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_list_programs())
+        return 0
+
+    if args.experiments is not None:
+        keys = args.experiments or None
+        try:
+            run_experiments(keys, quick=args.quick, echo=print)
+        except KeyError as exc:
+            parser.error(str(exc))
+        return 0
+
+    if not args.program:
+        parser.error("a program name is required (or use --list / --experiments)")
+
+    try:
+        app = get_app(args.program)
+    except KeyError as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error raises SystemExit
+
+    try:
+        size = ProblemSize.parse(args.size)
+        variant = AppVariant.parse(args.variant)
+    except ValueError as exc:
+        parser.error(str(exc))
+        return 2
+
+    if not app.supports_variant(variant):
+        parser.error(f"{app.name} does not provide a {variant.value!r} variant")
+
+    if not args.quiet:
+        print(f"info: OpenMP OMPT interface version 5.1 (simulated)")
+        print(f"info: analyzing {app.name} [{size.value}, {variant.value}] with OMPDataPerf {__version__}")
+
+    tool = OMPDataPerf(
+        hasher=args.hasher or "vector64",
+        audit_collisions=args.audit_collisions,
+    )
+    result = tool.profile(
+        app.build_program(size, variant),
+        program_name=app.program_name(size, variant),
+    )
+
+    if args.trace_out:
+        result.trace.save(args.trace_out)
+        if not args.quiet:
+            print(f"info: trace written to {args.trace_out}")
+
+    if args.verbose:
+        summary = result.trace.summary()
+        print("info: trace summary:")
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+
+    print(result.render_report())
+
+    if args.audit_collisions and result.collector.auditor is not None:
+        auditor = result.collector.auditor
+        status = "collision-free" if auditor.is_collision_free() else "COLLISIONS DETECTED"
+        print(f"\nhash audit: {auditor.observed} payloads, {status}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

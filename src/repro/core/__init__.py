@@ -1,0 +1,28 @@
+"""OMPDataPerf: the paper's primary contribution.
+
+* :mod:`repro.core.collector` — the OMPT tool that records the event trace.
+* :mod:`repro.core.overhead` — the collector's time/space overhead model.
+* :mod:`repro.core.detectors` — Algorithms 1–5 from Section 5.
+* :mod:`repro.core.analysis` — runs every detector and aggregates findings.
+* :mod:`repro.core.potential` — optimization-potential / predicted-speedup estimation.
+* :mod:`repro.core.report` — human-readable report rendering.
+* :mod:`repro.core.profiler` — the high-level :class:`OMPDataPerf` entry point.
+"""
+
+from repro.core.analysis import AnalysisReport, IssueCounts, analyze_trace
+from repro.core.collector import TraceCollector
+from repro.core.overhead import OverheadModel
+from repro.core.potential import OptimizationPotential, estimate_potential
+from repro.core.profiler import OMPDataPerf, ProfileResult
+
+__all__ = [
+    "AnalysisReport",
+    "IssueCounts",
+    "analyze_trace",
+    "TraceCollector",
+    "OverheadModel",
+    "OptimizationPotential",
+    "estimate_potential",
+    "OMPDataPerf",
+    "ProfileResult",
+]

@@ -1,0 +1,140 @@
+"""Run every detector over a trace and aggregate the findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.detectors.duplicates import count_redundant_transfers, find_duplicate_transfers
+from repro.core.detectors.findings import (
+    DuplicateTransferGroup,
+    RepeatedAllocationGroup,
+    RoundTripGroup,
+    UnusedAllocation,
+    UnusedTransfer,
+)
+from repro.core.detectors.repeated_allocs import (
+    count_redundant_allocations,
+    find_repeated_allocations,
+)
+from repro.core.detectors.roundtrips import count_round_trips, find_round_trips
+from repro.core.detectors.unused_allocs import find_unused_allocations
+from repro.core.detectors.unused_transfers import find_unused_transfers
+from repro.core.potential import OptimizationPotential, estimate_potential
+from repro.dwarf.debuginfo import DebugInfoRegistry
+from repro.events.trace import Trace
+
+
+@dataclass(frozen=True)
+class IssueCounts:
+    """The per-category issue counts reported in Table 1.
+
+    Abbreviations follow Section 7.5: DD (duplicate data transfers), RT
+    (round-trip data transfers), RA (repeated device memory allocations),
+    UA (unused device memory allocations), UT (unused data transfers).
+    """
+
+    duplicate_transfers: int = 0
+    round_trips: int = 0
+    repeated_allocations: int = 0
+    unused_allocations: int = 0
+    unused_transfers: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.duplicate_transfers
+            + self.round_trips
+            + self.repeated_allocations
+            + self.unused_allocations
+            + self.unused_transfers
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "DD": self.duplicate_transfers,
+            "RT": self.round_trips,
+            "RA": self.repeated_allocations,
+            "UA": self.unused_allocations,
+            "UT": self.unused_transfers,
+        }
+
+    def issue_classes(self) -> list[str]:
+        """The non-empty issue classes, in Table 2's abbreviation form."""
+        return [name for name, count in self.as_dict().items() if count > 0]
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of running all five detectors on one trace."""
+
+    trace: Trace
+    counts: IssueCounts
+    duplicate_groups: list[DuplicateTransferGroup]
+    round_trip_groups: list[RoundTripGroup]
+    repeated_alloc_groups: list[RepeatedAllocationGroup]
+    unused_allocations: list[UnusedAllocation]
+    unused_transfers: list[UnusedTransfer]
+    potential: OptimizationPotential
+    debug_info: Optional[DebugInfoRegistry] = None
+
+    @property
+    def has_issues(self) -> bool:
+        return self.counts.total > 0
+
+    def render(self) -> str:
+        """Human-readable report (see :mod:`repro.core.report`)."""
+        from repro.core.report import render_report
+
+        return render_report(self)
+
+    def summary(self) -> dict:
+        return {
+            "program_name": self.trace.program_name,
+            "counts": self.counts.as_dict(),
+            "potential": self.potential.as_dict(),
+        }
+
+
+def analyze_trace(
+    trace: Trace,
+    *,
+    debug_info: Optional[DebugInfoRegistry] = None,
+) -> AnalysisReport:
+    """Run Algorithms 1–5 over a trace and estimate the optimization potential."""
+    data_ops = trace.data_op_events
+    targets = trace.target_events
+    num_devices = max(trace.num_devices, 1)
+
+    duplicate_groups = find_duplicate_transfers(data_ops)
+    round_trip_groups = find_round_trips(data_ops)
+    repeated_alloc_groups = find_repeated_allocations(data_ops)
+    unused_allocs = find_unused_allocations(targets, data_ops, num_devices)
+    unused_txs = find_unused_transfers(targets, data_ops, num_devices)
+
+    counts = IssueCounts(
+        duplicate_transfers=count_redundant_transfers(duplicate_groups),
+        round_trips=count_round_trips(round_trip_groups),
+        repeated_allocations=count_redundant_allocations(repeated_alloc_groups),
+        unused_allocations=len(unused_allocs),
+        unused_transfers=len(unused_txs),
+    )
+    potential = estimate_potential(
+        trace,
+        duplicate_groups=duplicate_groups,
+        round_trip_groups=round_trip_groups,
+        repeated_alloc_groups=repeated_alloc_groups,
+        unused_allocations=unused_allocs,
+        unused_transfers=unused_txs,
+    )
+    return AnalysisReport(
+        trace=trace,
+        counts=counts,
+        duplicate_groups=duplicate_groups,
+        round_trip_groups=round_trip_groups,
+        repeated_alloc_groups=repeated_alloc_groups,
+        unused_allocations=unused_allocs,
+        unused_transfers=unused_txs,
+        potential=potential,
+        debug_info=debug_info,
+    )

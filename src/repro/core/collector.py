@@ -1,0 +1,225 @@
+"""The OMPT trace collector.
+
+This is the in-process half of OMPDataPerf: a tool that registers the two
+required EMI callbacks (``ompt_callback_target_emi`` and
+``ompt_callback_target_data_op_emi``, plus the submit callback for kernel
+intervals), hashes every transferred payload, and appends fixed-size records
+to an in-memory log.  The analysis half (Algorithms 1–5) runs post-mortem on
+the resulting :class:`~repro.events.trace.Trace`.
+
+The collector reports its own cost back to the runtime through the callback
+return value (seconds of overhead), which the simulator charges to the
+virtual clock; that is how the Figure 2 runtime-overhead experiment is
+produced from a single instrumented run plus an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.events.records import DataOpEvent, TargetEvent, TargetKind
+from repro.events.trace import Trace
+from repro.hashing import DEFAULT_HASHER
+from repro.hashing.base import Hasher, get_hasher
+from repro.hashing.collision import CollisionAuditor
+from repro.core.overhead import OverheadModel
+from repro.ompt.callbacks import (
+    CallbackType,
+    Endpoint,
+    TargetDataOpRecord,
+    TargetRecord,
+    TargetSubmitRecord,
+)
+from repro.ompt.interface import OmptInterface
+
+
+@dataclass
+class _PendingTarget:
+    """Bookkeeping for a target region between its BEGIN and END records."""
+
+    kind: TargetKind
+    device_num: int
+    codeptr_ra: Optional[int]
+    begin_time: float
+    name: Optional[str] = None
+    kernel_interval: Optional[tuple[float, float]] = None
+
+
+class TraceCollector:
+    """OMPT tool that records target and data-op events into a trace.
+
+    Parameters
+    ----------
+    hasher:
+        Content hash used for transferred payloads (name or instance);
+        defaults to the package default (the vectorised 64-bit hash).
+    overhead_model:
+        Time-cost model charged back to the monitored program; pass ``None``
+        to model an overhead-free (idealised) tool.
+    audit_collisions:
+        When true, keep payload copies and verify that no two distinct
+        payloads share a hash (Appendix B.1's optional mode — high memory
+        cost, only for validation runs).
+    """
+
+    def __init__(
+        self,
+        *,
+        hasher: str | Hasher = DEFAULT_HASHER,
+        overhead_model: Optional[OverheadModel] = OverheadModel(),
+        audit_collisions: bool = False,
+    ) -> None:
+        self.hasher: Hasher = get_hasher(hasher) if isinstance(hasher, str) else hasher
+        self.overhead_model = overhead_model
+        self.auditor: Optional[CollisionAuditor] = (
+            CollisionAuditor(self.hasher) if audit_collisions else None
+        )
+        self.trace = Trace(num_devices=0)
+        self._interface: Optional[OmptInterface] = None
+        self._pending_targets: dict[int, _PendingTarget] = {}
+        self._next_seq = 0
+        self._initialized_devices: set[int] = set()
+        self.finalized = False
+        #: wall-clock style accounting of the hashing work the collector did
+        self.hashed_bytes = 0
+        self.hashed_payloads = 0
+
+    # ------------------------------------------------------------------ #
+    # OmptTool protocol
+    # ------------------------------------------------------------------ #
+    def initialize(self, interface: OmptInterface) -> None:
+        self._interface = interface
+        interface.set_callback(CallbackType.DEVICE_INITIALIZE, self._on_device_initialize)
+        interface.set_callback(CallbackType.DEVICE_FINALIZE, self._on_device_finalize)
+        interface.set_callback(CallbackType.TARGET_EMI, self._on_target)
+        interface.set_callback(CallbackType.TARGET_SUBMIT_EMI, self._on_target_submit)
+        interface.set_callback(CallbackType.TARGET_DATA_OP_EMI, self._on_target_data_op)
+
+    def finalize(self) -> None:
+        self.finalized = True
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _record_cost(self) -> float:
+        if self.overhead_model is None:
+            return 0.0
+        return self.overhead_model.record_time()
+
+    def _hash_cost(self, nbytes: int) -> float:
+        if self.overhead_model is None:
+            return 0.0
+        return self.overhead_model.hash_time(nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Callbacks
+    # ------------------------------------------------------------------ #
+    def _on_device_initialize(self, device_num: int) -> float:
+        self._initialized_devices.add(int(device_num))
+        self.trace.num_devices = max(self.trace.num_devices, len(self._initialized_devices))
+        return 0.0
+
+    def _on_device_finalize(self, device_num: int) -> float:
+        return 0.0
+
+    def _on_target(self, record: TargetRecord) -> float:
+        if record.endpoint is Endpoint.BEGIN:
+            self._pending_targets[record.target_id] = _PendingTarget(
+                kind=record.kind,
+                device_num=record.device_num,
+                codeptr_ra=record.codeptr_ra,
+                begin_time=record.time,
+                name=record.name,
+            )
+            return self._record_cost()
+
+        pending = self._pending_targets.pop(record.target_id, None)
+        if pending is None:
+            # An END without a BEGIN should not happen; tolerate it quietly
+            # the way a defensive native tool would.
+            return self._record_cost()
+
+        if pending.kind is TargetKind.TARGET:
+            # The event the detectors care about is the kernel execution
+            # interval (from the submit callback); fall back to the region
+            # interval if the runtime never submitted a kernel.
+            start, end = pending.kernel_interval or (pending.begin_time, record.time)
+        else:
+            start, end = pending.begin_time, record.time
+
+        event = TargetEvent(
+            seq=self._seq(),
+            kind=pending.kind,
+            device_num=pending.device_num,
+            start_time=start,
+            end_time=end,
+            codeptr=pending.codeptr_ra,
+            target_id=record.target_id,
+            name=pending.name,
+        )
+        self.trace.append_target_event(event)
+        return self._record_cost()
+
+    def _on_target_submit(self, record: TargetSubmitRecord) -> float:
+        if record.endpoint is Endpoint.END:
+            pending = self._pending_targets.get(record.target_id)
+            if pending is not None and record.start_time is not None:
+                pending.kernel_interval = (record.start_time, record.end_time or record.time)
+        return self._record_cost()
+
+    def _on_target_data_op(self, record: TargetDataOpRecord) -> float:
+        if record.endpoint is Endpoint.BEGIN:
+            return self._record_cost()
+
+        content_hash: Optional[int] = None
+        overhead = self._record_cost()
+        if record.optype.is_transfer:
+            payload = record.payload
+            if payload is None:
+                raise ValueError("transfer data-op record arrived without a payload")
+            if self.auditor is not None:
+                content_hash = self.auditor.observe(payload)
+            else:
+                content_hash = self.hasher.hash(payload)
+            self.hashed_bytes += record.bytes
+            self.hashed_payloads += 1
+            overhead += self._hash_cost(record.bytes)
+
+        start = record.start_time if record.start_time is not None else record.time
+        end = record.end_time if record.end_time is not None else record.time
+        event = DataOpEvent(
+            seq=self._seq(),
+            kind=record.optype,
+            src_device_num=record.src_device_num,
+            dest_device_num=record.dest_device_num,
+            src_addr=record.src_addr,
+            dest_addr=record.dest_addr,
+            nbytes=record.bytes,
+            start_time=start,
+            end_time=end,
+            content_hash=content_hash,
+            codeptr=record.codeptr_ra,
+            target_id=record.target_id,
+            variable=record.variable,
+        )
+        self.trace.append_data_op_event(event)
+        return overhead
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def finish_trace(self, *, total_runtime: Optional[float] = None, program_name: Optional[str] = None) -> Trace:
+        """Finalize and return the recorded trace."""
+        if total_runtime is not None:
+            self.trace.total_runtime = total_runtime
+        if program_name is not None:
+            self.trace.program_name = program_name
+        if self.trace.num_devices == 0:
+            self.trace.num_devices = 1
+        return self.trace

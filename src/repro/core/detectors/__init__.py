@@ -1,0 +1,42 @@
+"""Detection algorithms (Section 5 of the paper).
+
+Each submodule implements one algorithm over the post-mortem event trace:
+
+* :mod:`repro.core.detectors.duplicates` — Algorithm 1, duplicate data transfers.
+* :mod:`repro.core.detectors.roundtrips` — Algorithm 2, round-trip data transfers.
+* :mod:`repro.core.detectors.repeated_allocs` — Algorithm 3, repeated device memory allocations.
+* :mod:`repro.core.detectors.unused_allocs` — Algorithm 4, unused device memory allocations.
+* :mod:`repro.core.detectors.unused_transfers` — Algorithm 5, unused data transfers.
+
+The detectors deliberately consume only information available through the
+OMPT EMI callbacks (timestamps, device numbers, addresses, sizes, content
+hashes); none of them require memory-access instrumentation.
+"""
+
+from repro.core.detectors.findings import (
+    DuplicateTransferGroup,
+    RepeatedAllocationGroup,
+    RoundTripGroup,
+    RoundTripPair,
+    UnusedAllocation,
+    UnusedTransfer,
+)
+from repro.core.detectors.duplicates import find_duplicate_transfers
+from repro.core.detectors.roundtrips import find_round_trips
+from repro.core.detectors.repeated_allocs import find_repeated_allocations
+from repro.core.detectors.unused_allocs import find_unused_allocations
+from repro.core.detectors.unused_transfers import find_unused_transfers
+
+__all__ = [
+    "DuplicateTransferGroup",
+    "RepeatedAllocationGroup",
+    "RoundTripGroup",
+    "RoundTripPair",
+    "UnusedAllocation",
+    "UnusedTransfer",
+    "find_duplicate_transfers",
+    "find_round_trips",
+    "find_repeated_allocations",
+    "find_unused_allocations",
+    "find_unused_transfers",
+]

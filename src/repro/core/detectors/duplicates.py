@@ -1,0 +1,79 @@
+"""Algorithm 1: identify duplicate data transfers.
+
+A duplicate data transfer occurs when a device (or the host) receives data
+it had previously received (Definition 4.1).  Detection is content based:
+transfers are grouped by ``(content hash, destination device)`` and any group
+with two or more members is a duplicate group.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.detectors.findings import DuplicateTransferGroup
+from repro.events.records import DataOpEvent
+
+
+def find_duplicate_transfers(
+    data_op_events: Sequence[DataOpEvent],
+    *,
+    min_bytes: int = 0,
+) -> list[DuplicateTransferGroup]:
+    """Find duplicate data transfers (Algorithm 1).
+
+    Parameters
+    ----------
+    data_op_events:
+        Data-operation events in chronological order (non-transfer events
+        are ignored).
+    min_bytes:
+        Ignore transfers smaller than this many bytes.  The paper's tool
+        reports everything; the threshold exists so callers can filter the
+        scalar-sized noise when exploring large traces interactively.
+
+    Returns
+    -------
+    One :class:`DuplicateTransferGroup` per ``(hash, destination device)``
+    pair that received the same payload at least twice, ordered by the first
+    receipt.
+    """
+    if min_bytes < 0:
+        raise ValueError("min_bytes cannot be negative")
+
+    received: dict[tuple[int, int], list[DataOpEvent]] = defaultdict(list)
+    first_seen_order: list[tuple[int, int]] = []
+
+    for event in data_op_events:
+        if not event.is_transfer or event.nbytes < min_bytes:
+            continue
+        if event.content_hash is None:
+            raise ValueError(f"transfer event seq={event.seq} is missing its content hash")
+        key = (event.content_hash, event.dest_device_num)
+        if key not in received:
+            first_seen_order.append(key)
+        received[key].append(event)
+
+    groups: list[DuplicateTransferGroup] = []
+    for key in first_seen_order:
+        events = received[key]
+        if len(events) < 2:
+            continue
+        content_hash, dest_device_num = key
+        groups.append(
+            DuplicateTransferGroup(
+                content_hash=content_hash,
+                dest_device_num=dest_device_num,
+                events=tuple(events),
+            )
+        )
+    return groups
+
+
+def count_redundant_transfers(groups: Sequence[DuplicateTransferGroup]) -> int:
+    """Total number of redundant transfer events across all duplicate groups.
+
+    This is the "DD" count reported in Table 1: every receipt beyond the
+    first in each group.
+    """
+    return sum(g.num_redundant for g in groups)

@@ -1,0 +1,209 @@
+"""Finding types produced by the detection algorithms.
+
+Every finding exposes ``removable_events()``: the concrete trace events whose
+cost disappears if the programmer fixes the issue (e.g. by extending a
+mapping's lifetime with a ``target data`` region).  The
+optimization-potential estimator unions those events across all findings so
+that an event implicated by several patterns — a duplicate transfer that is
+also one leg of a round trip, say — is only counted once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.events.records import AllocationPair, DataOpEvent
+
+
+def _total_duration(events: Iterable[DataOpEvent]) -> float:
+    return sum(e.duration for e in events)
+
+
+def _total_bytes(events: Iterable[DataOpEvent]) -> int:
+    return sum(e.nbytes for e in events)
+
+
+@dataclass(frozen=True)
+class DuplicateTransferGroup:
+    """All transfers of one payload (hash) received by one device.
+
+    The first receipt is legitimate; every subsequent receipt is redundant.
+    """
+
+    content_hash: int
+    dest_device_num: int
+    events: tuple[DataOpEvent, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.events) < 2:
+            raise ValueError("a duplicate group needs at least two transfer events")
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_redundant(self) -> int:
+        return len(self.events) - 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.events[0].nbytes
+
+    def removable_events(self) -> Iterator[DataOpEvent]:
+        """Every receipt after the first."""
+        return iter(self.events[1:])
+
+    @property
+    def wasted_time(self) -> float:
+        return _total_duration(self.events[1:])
+
+    @property
+    def wasted_bytes(self) -> int:
+        return _total_bytes(self.events[1:])
+
+
+@dataclass(frozen=True)
+class RoundTripPair:
+    """One completed round trip: ``tx_event`` leaves device A, ``rx_event`` returns."""
+
+    tx_event: DataOpEvent
+    rx_event: DataOpEvent
+
+    @property
+    def content_hash(self) -> int:
+        return self.tx_event.content_hash  # type: ignore[return-value]
+
+    def removable_events(self) -> Iterator[DataOpEvent]:
+        """Both legs: keeping the data resident removes the out and back copies."""
+        yield self.tx_event
+        yield self.rx_event
+
+    @property
+    def wasted_time(self) -> float:
+        return self.tx_event.duration + self.rx_event.duration
+
+    @property
+    def wasted_bytes(self) -> int:
+        return self.tx_event.nbytes + self.rx_event.nbytes
+
+
+@dataclass(frozen=True)
+class RoundTripGroup:
+    """Round trips grouped by payload hash and the two devices involved."""
+
+    content_hash: int
+    src_device_num: int
+    dest_device_num: int
+    trips: tuple[RoundTripPair, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trips:
+            raise ValueError("a round-trip group needs at least one trip")
+
+    @property
+    def num_trips(self) -> int:
+        return len(self.trips)
+
+    def removable_events(self) -> Iterator[DataOpEvent]:
+        for trip in self.trips:
+            yield from trip.removable_events()
+
+    @property
+    def wasted_time(self) -> float:
+        return sum(t.wasted_time for t in self.trips)
+
+    @property
+    def wasted_bytes(self) -> int:
+        return sum(t.wasted_bytes for t in self.trips)
+
+
+@dataclass(frozen=True)
+class RepeatedAllocationGroup:
+    """Repeated allocation/deletion of the same variable on the same device."""
+
+    host_addr: int
+    device_num: int
+    nbytes: int
+    allocations: tuple[AllocationPair, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.allocations) < 2:
+            raise ValueError("a repeated-allocation group needs at least two allocations")
+
+    @property
+    def num_allocations(self) -> int:
+        return len(self.allocations)
+
+    @property
+    def num_redundant(self) -> int:
+        return len(self.allocations) - 1
+
+    def removable_events(self) -> Iterator[DataOpEvent]:
+        """Allocations after the first and deletions before the last.
+
+        Hoisting the mapping keeps one allocation (the first) live until one
+        final deletion (the last); everything in between is overhead.
+        """
+        for pair in self.allocations[1:]:
+            yield pair.alloc_event
+        for pair in self.allocations[:-1]:
+            if pair.delete_event is not None:
+                yield pair.delete_event
+
+    @property
+    def wasted_time(self) -> float:
+        return _total_duration(self.removable_events())
+
+
+@dataclass(frozen=True)
+class UnusedAllocation:
+    """An allocation whose lifetime never overlapped a kernel on its device."""
+
+    pair: AllocationPair
+
+    @property
+    def device_num(self) -> int:
+        return self.pair.device_num
+
+    @property
+    def nbytes(self) -> int:
+        return self.pair.nbytes
+
+    def removable_events(self) -> Iterator[DataOpEvent]:
+        yield self.pair.alloc_event
+        if self.pair.delete_event is not None:
+            yield self.pair.delete_event
+
+    @property
+    def wasted_time(self) -> float:
+        return _total_duration(self.removable_events())
+
+
+@dataclass(frozen=True)
+class UnusedTransfer:
+    """A transfer whose payload could not have been read by any kernel."""
+
+    event: DataOpEvent
+    #: why the transfer is unused: "overwritten" or "after_last_kernel"
+    reason: str = "overwritten"
+
+    def __post_init__(self) -> None:
+        if self.reason not in ("overwritten", "after_last_kernel"):
+            raise ValueError(f"unknown unused-transfer reason {self.reason!r}")
+
+    @property
+    def device_num(self) -> int:
+        return self.event.dest_device_num
+
+    @property
+    def nbytes(self) -> int:
+        return self.event.nbytes
+
+    def removable_events(self) -> Iterator[DataOpEvent]:
+        yield self.event
+
+    @property
+    def wasted_time(self) -> float:
+        return self.event.duration

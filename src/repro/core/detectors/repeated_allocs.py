@@ -1,0 +1,75 @@
+"""Algorithm 3: identify repeated device memory allocations.
+
+A repeated device memory allocation occurs when memory on a target device is
+allocated, and subsequently deleted, more than once to accommodate the
+mapping of the same variable (Definition 4.3).  Allocation/deletion events
+are paired, then grouped by ``(host address, target device, allocation
+size)``; the allocation size is part of the key to avoid conflating distinct
+variables that happen to reuse the same host address over the program's
+lifetime (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.detectors.findings import RepeatedAllocationGroup
+from repro.events.records import AllocationPair, DataOpEvent, get_alloc_delete_pairs
+
+
+def find_repeated_allocations(
+    data_op_events: Sequence[DataOpEvent],
+    *,
+    require_deletion: bool = True,
+) -> list[RepeatedAllocationGroup]:
+    """Find repeated device memory allocations (Algorithm 3).
+
+    Parameters
+    ----------
+    data_op_events:
+        Data-operation events in chronological order.
+    require_deletion:
+        Per Definition 4.3 an allocation only counts towards a repeat if it
+        was also deleted (allocated *and subsequently deleted* more than
+        once).  Setting this to ``False`` also counts a trailing allocation
+        that is still live at program exit, which is occasionally useful when
+        analysing truncated traces.
+
+    Returns
+    -------
+    One :class:`RepeatedAllocationGroup` per ``(host address, device, size)``
+    key with at least two qualifying allocations, ordered by first allocation.
+    """
+    pairs = get_alloc_delete_pairs(data_op_events)
+
+    grouped: dict[tuple[int, int, int], list[AllocationPair]] = defaultdict(list)
+    order: list[tuple[int, int, int]] = []
+    for pair in pairs:
+        if require_deletion and pair.delete_event is None:
+            continue
+        key = (pair.host_addr, pair.device_num, pair.nbytes)
+        if key not in grouped:
+            order.append(key)
+        grouped[key].append(pair)
+
+    groups: list[RepeatedAllocationGroup] = []
+    for key in order:
+        allocations = grouped[key]
+        if len(allocations) < 2:
+            continue
+        host_addr, device_num, nbytes = key
+        groups.append(
+            RepeatedAllocationGroup(
+                host_addr=host_addr,
+                device_num=device_num,
+                nbytes=nbytes,
+                allocations=tuple(allocations),
+            )
+        )
+    return groups
+
+
+def count_redundant_allocations(groups: Sequence[RepeatedAllocationGroup]) -> int:
+    """Total redundant allocations (the "RA" count of Table 1)."""
+    return sum(g.num_redundant for g in groups)

@@ -1,0 +1,99 @@
+"""Algorithm 2: identify round-trip data transfers.
+
+A round-trip data transfer occurs when device A sends data to device B and
+later receives the same unmodified data back from device B (Definition 4.2).
+Matching is content based: the return leg carries the same hash as the
+outbound leg.
+
+The implementation follows the paper's Algorithm 2: a map of received
+transfers keyed by ``(hash, receiving device)`` holding queues in
+chronological order; for every transfer event we check whether its *source*
+device later receives the same hash, and we dequeue the outbound event from
+the received map so that it cannot also be counted as the completion of some
+other trip.  One guard is added on top of the published pseudocode: a
+candidate return leg must *start after the outbound leg ended* — without it,
+a pathological trace in which the same payload reaches a device twice before
+ever travelling back could match a return leg that precedes its outbound
+leg.  The guard can only remove false positives, never add matches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Sequence
+
+from repro.core.detectors.findings import RoundTripGroup, RoundTripPair
+from repro.events.records import DataOpEvent
+
+
+def find_round_trips(
+    data_op_events: Sequence[DataOpEvent],
+    *,
+    require_chronological: bool = True,
+) -> list[RoundTripGroup]:
+    """Find round-trip data transfers (Algorithm 2).
+
+    Returns one :class:`RoundTripGroup` per ``(hash, initial device,
+    intermediate device)`` triple, in the order the first trip of each group
+    completed.
+    """
+    transfers = [e for e in data_op_events if e.is_transfer]
+    for event in transfers:
+        if event.content_hash is None:
+            raise ValueError(f"transfer event seq={event.seq} is missing its content hash")
+
+    # Map of received transfers: (hash, receiving device) -> queue of events.
+    received: dict[tuple[int, int], deque[DataOpEvent]] = defaultdict(deque)
+    for event in transfers:
+        received[(event.content_hash, event.dest_device_num)].append(event)
+
+    round_trips: dict[tuple[int, int, int], list[RoundTripPair]] = {}
+    group_order: list[tuple[int, int, int]] = []
+
+    for tx_event in transfers:
+        rx_key = (tx_event.content_hash, tx_event.src_device_num)
+        queue = received.get(rx_key)
+        if not queue:
+            # Not a round trip: the data never travels back to the sender.
+            continue
+
+        rx_event = queue[0]
+        if require_chronological and rx_event.start_time < tx_event.end_time:
+            # The oldest candidate return leg predates this outbound leg;
+            # it cannot be the completion of this trip.
+            continue
+
+        trip_key = (
+            tx_event.content_hash,
+            tx_event.src_device_num,
+            tx_event.dest_device_num,
+        )
+        if trip_key not in round_trips:
+            round_trips[trip_key] = []
+            group_order.append(trip_key)
+        round_trips[trip_key].append(RoundTripPair(tx_event=tx_event, rx_event=rx_event))
+
+        # Remove the outbound event from the received map so it is not later
+        # counted as the completion of another transfer's round trip.
+        tx_key = (tx_event.content_hash, tx_event.dest_device_num)
+        tx_queue = received.get(tx_key)
+        if tx_queue:
+            tx_queue.popleft()
+
+    groups: list[RoundTripGroup] = []
+    for key in group_order:
+        content_hash, src_device_num, dest_device_num = key
+        groups.append(
+            RoundTripGroup(
+                content_hash=content_hash,
+                src_device_num=src_device_num,
+                dest_device_num=dest_device_num,
+                trips=tuple(round_trips[key]),
+            )
+        )
+    return groups
+
+
+def count_round_trips(groups: Sequence[RoundTripGroup]) -> int:
+    """Total number of completed round trips (the "RT" count of Table 1)."""
+    return sum(g.num_trips for g in groups)

@@ -1,0 +1,88 @@
+"""Algorithm 4: identify unused device memory allocations.
+
+A data mapping is unused when the device never reads the copied data nor
+uses the allocated region during the mapping's lifetime (Definition 4.4).
+Without memory-access instrumentation only a subset is provable: an
+allocation whose lifetime does not intersect the execution of *any* kernel
+on its device cannot possibly have been used.  Algorithm 4 finds exactly
+those, per device, with a linear merge of the chronologically sorted kernel
+and allocation lists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.detectors.findings import UnusedAllocation
+from repro.events.records import (
+    AllocationPair,
+    DataOpEvent,
+    TargetEvent,
+    get_alloc_delete_pairs,
+)
+
+
+def find_unused_allocations(
+    target_events: Sequence[TargetEvent],
+    data_op_events: Sequence[DataOpEvent],
+    num_devices: int,
+    *,
+    trace_end: Optional[float] = None,
+) -> list[UnusedAllocation]:
+    """Find unused device memory allocations (Algorithm 4).
+
+    Parameters
+    ----------
+    target_events:
+        Target events in chronological order; only kernel-executing events
+        participate (enter/exit data and update regions do not use mappings).
+    data_op_events:
+        Data-operation events in chronological order.
+    num_devices:
+        Number of target devices in the trace.
+    trace_end:
+        Lifetime end used for allocations never deleted; defaults to the
+        latest event end time.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be at least 1")
+
+    alloc_pairs = get_alloc_delete_pairs(data_op_events)
+    if trace_end is None:
+        trace_end = 0.0
+        for ev in data_op_events:
+            trace_end = max(trace_end, ev.end_time)
+        for ev in target_events:
+            trace_end = max(trace_end, ev.end_time)
+
+    # Sort events by device (chronological order is preserved inside buckets).
+    device_kernels: list[list[TargetEvent]] = [[] for _ in range(num_devices)]
+    for ev in target_events:
+        if ev.executes_kernel and 0 <= ev.device_num < num_devices:
+            device_kernels[ev.device_num].append(ev)
+
+    device_allocs: list[list[AllocationPair]] = [[] for _ in range(num_devices)]
+    for pair in alloc_pairs:
+        if 0 <= pair.device_num < num_devices:
+            device_allocs[pair.device_num].append(pair)
+
+    unused: list[UnusedAllocation] = []
+    for dev_idx in range(num_devices):
+        kernels = device_kernels[dev_idx]
+        allocs = device_allocs[dev_idx]
+        tgt_idx = 0
+        for pair in allocs:
+            life_start, life_end = pair.lifetime(trace_end)
+            # Skip kernels that finished before this allocation began.  The
+            # allocation list is chronological by allocation start, so the
+            # cursor never needs to move backwards.
+            while tgt_idx < len(kernels) and kernels[tgt_idx].end_time < life_start:
+                tgt_idx += 1
+            if tgt_idx == len(kernels) or kernels[tgt_idx].start_time > life_end:
+                unused.append(UnusedAllocation(pair=pair))
+    return unused
+
+
+def count_unused_allocations(findings: Sequence[UnusedAllocation]) -> int:
+    """The "UA" count of Table 1."""
+    return len(findings)

@@ -1,0 +1,76 @@
+"""Algorithm 5: identify unused data transfers.
+
+A transfer to a device is provably unused when either (a) it occurs after
+the last kernel execution on that device, or (b) its payload is overwritten
+by a later transfer from the same host address before any kernel on that
+device could have read it.  The algorithm keeps, per device, a *candidates*
+map from host source address to the most recent transfer that wrote there;
+the map is cleared whenever a kernel execution is passed (the kernel may
+have consumed the candidates) or when a transfer overlaps a running kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.detectors.findings import UnusedTransfer
+from repro.events.records import DataOpEvent, TargetEvent
+
+
+def find_unused_transfers(
+    target_events: Sequence[TargetEvent],
+    data_op_events: Sequence[DataOpEvent],
+    num_devices: int,
+) -> list[UnusedTransfer]:
+    """Find unused data transfers (Algorithm 5).
+
+    Only transfers *to target devices* are considered: the pattern describes
+    data staged on a device that no kernel ever had a chance to read.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be at least 1")
+
+    device_kernels: list[list[TargetEvent]] = [[] for _ in range(num_devices)]
+    for ev in target_events:
+        if ev.executes_kernel and 0 <= ev.device_num < num_devices:
+            device_kernels[ev.device_num].append(ev)
+
+    device_transfers: list[list[DataOpEvent]] = [[] for _ in range(num_devices)]
+    for ev in data_op_events:
+        if ev.is_transfer and 0 <= ev.dest_device_num < num_devices:
+            device_transfers[ev.dest_device_num].append(ev)
+
+    unused: list[UnusedTransfer] = []
+    for dev_idx in range(num_devices):
+        kernels = device_kernels[dev_idx]
+        transfers = device_transfers[dev_idx]
+        tgt_idx = 0
+        candidates: dict[int, DataOpEvent] = {}
+
+        for tx in transfers:
+            # Advance past kernels that ended before this transfer started;
+            # each passed kernel may have consumed the staged candidates.
+            while tgt_idx < len(kernels) and kernels[tgt_idx].end_time < tx.start_time:
+                tgt_idx += 1
+                candidates.clear()
+
+            if tgt_idx == len(kernels):
+                # No kernel will ever run on this device again.
+                unused.append(UnusedTransfer(event=tx, reason="after_last_kernel"))
+            elif kernels[tgt_idx].start_time > tx.start_time:
+                # The transfer does not overlap a running kernel: it is a
+                # candidate for being overwritten before use.
+                previous = candidates.get(tx.src_addr)
+                if previous is not None:
+                    unused.append(UnusedTransfer(event=previous, reason="overwritten"))
+                candidates[tx.src_addr] = tx
+            else:
+                # The transfer overlaps an active kernel; anything staged so
+                # far may have been read concurrently, so drop all candidates.
+                candidates.clear()
+    return unused
+
+
+def count_unused_transfers(findings: Sequence[UnusedTransfer]) -> int:
+    """The "UT" count of Table 1."""
+    return len(findings)

@@ -1,0 +1,163 @@
+"""The high-level OMPDataPerf entry point.
+
+Usage mirrors the real tool's ``ompdataperf ./program args`` workflow, except
+that "programs" here are Python callables written against the offload
+runtime simulator::
+
+    tool = OMPDataPerf()
+    result = tool.profile(my_program, program_name="bfs")
+    print(result.analysis.render())
+
+``profile`` runs the program with the trace collector attached (and its
+overhead charged to the virtual clock); ``run_uninstrumented`` runs the same
+program without any tool, which is how the overhead experiment obtains its
+baseline.  ``analyze`` post-processes a previously recorded trace, the
+offline half of the tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.analysis import AnalysisReport, analyze_trace
+from repro.core.collector import TraceCollector
+from repro.core.overhead import OverheadModel
+from repro.dwarf.debuginfo import DebugInfoRegistry
+from repro.events.trace import Trace
+from repro.events.validation import validate_trace
+from repro.hashing import DEFAULT_HASHER
+from repro.hashing.base import Hasher
+from repro.omp.costmodel import CostModel
+from repro.omp.runtime import OffloadRuntime
+from repro.ompt.interface import OmptInterface
+
+#: A "program": a callable that drives an :class:`OffloadRuntime`.
+Program = Callable[[OffloadRuntime], None]
+
+
+@dataclass
+class ProfileResult:
+    """Everything produced by one instrumented run."""
+
+    trace: Trace
+    analysis: AnalysisReport
+    #: virtual runtime of the instrumented run (includes tool overhead)
+    instrumented_runtime: float
+    #: portion of the instrumented runtime attributed to the tool
+    tool_overhead: float
+    collector: TraceCollector
+    debug_info: DebugInfoRegistry
+
+    @property
+    def native_runtime_estimate(self) -> float:
+        """Instrumented runtime with the tool's own overhead subtracted."""
+        return max(self.instrumented_runtime - self.tool_overhead, 0.0)
+
+    @property
+    def space_overhead_bytes(self) -> int:
+        return self.trace.space_overhead_bytes()
+
+    def render_report(self) -> str:
+        return self.analysis.render()
+
+
+class OMPDataPerf:
+    """Portable, low-overhead detector of inefficient data-mapping patterns."""
+
+    def __init__(
+        self,
+        *,
+        hasher: str | Hasher = DEFAULT_HASHER,
+        overhead_model: Optional[OverheadModel] = OverheadModel(),
+        audit_collisions: bool = False,
+        validate: bool = True,
+    ) -> None:
+        self.hasher = hasher
+        self.overhead_model = overhead_model
+        self.audit_collisions = audit_collisions
+        self.validate = validate
+
+    # ------------------------------------------------------------------ #
+    def attach(self, runtime: OffloadRuntime) -> TraceCollector:
+        """Attach a fresh trace collector to an existing runtime."""
+        collector = TraceCollector(
+            hasher=self.hasher,
+            overhead_model=self.overhead_model,
+            audit_collisions=self.audit_collisions,
+        )
+        runtime.ompt.connect_tool(collector)
+        return collector
+
+    def profile(
+        self,
+        program: Program,
+        *,
+        num_devices: int = 1,
+        cost_model: Optional[CostModel] = None,
+        device_memory_capacity: int = 40 * (1 << 30),
+        program_name: Optional[str] = None,
+    ) -> ProfileResult:
+        """Run ``program`` with the collector attached and analyze the trace."""
+        ompt = OmptInterface()
+        collector = TraceCollector(
+            hasher=self.hasher,
+            overhead_model=self.overhead_model,
+            audit_collisions=self.audit_collisions,
+        )
+        ompt.connect_tool(collector)
+        runtime = OffloadRuntime(
+            num_devices=num_devices,
+            cost_model=cost_model,
+            ompt=ompt,
+            device_memory_capacity=device_memory_capacity,
+            program_name=program_name,
+        )
+        program(runtime)
+        total_runtime = runtime.finish()
+        trace = collector.finish_trace(total_runtime=total_runtime, program_name=program_name)
+        if self.validate:
+            validate_trace(trace)
+        analysis = analyze_trace(trace, debug_info=runtime.debug_info)
+        return ProfileResult(
+            trace=trace,
+            analysis=analysis,
+            instrumented_runtime=total_runtime,
+            tool_overhead=runtime.clock.tool_overhead,
+            collector=collector,
+            debug_info=runtime.debug_info,
+        )
+
+    def analyze(
+        self,
+        trace: Trace,
+        *,
+        debug_info: Optional[DebugInfoRegistry] = None,
+    ) -> AnalysisReport:
+        """Offline analysis of a previously recorded (or loaded) trace."""
+        if self.validate:
+            validate_trace(trace)
+        return analyze_trace(trace, debug_info=debug_info)
+
+
+def run_uninstrumented(
+    program: Program,
+    *,
+    num_devices: int = 1,
+    cost_model: Optional[CostModel] = None,
+    device_memory_capacity: int = 40 * (1 << 30),
+    program_name: Optional[str] = None,
+) -> float:
+    """Run a program with no tool attached and return its virtual runtime.
+
+    This is the "native execution" baseline against which the instrumented
+    run is compared when reproducing the runtime-overhead results (Figure 2).
+    """
+    runtime = OffloadRuntime(
+        num_devices=num_devices,
+        cost_model=cost_model,
+        device_memory_capacity=device_memory_capacity,
+        program_name=program_name,
+    )
+    program(runtime)
+    return runtime.finish()

@@ -1,0 +1,173 @@
+"""Human-readable report rendering.
+
+The output format follows the excerpt in the paper's artifact appendix
+(Section A.6): one section per issue category with per-finding rows showing
+the share of program time attributable to the finding, the volume involved,
+the repeat count and the source attribution, followed by an overall
+optimization-potential summary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dwarf.attribution import format_location
+from repro.util.tables import Table, format_bytes, format_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.analysis import AnalysisReport
+
+
+def _percent_of_runtime(seconds: float, runtime: float) -> str:
+    if runtime <= 0.0:
+        return "0.00%"
+    return f"{100.0 * seconds / runtime:.2f}%"
+
+
+def render_duplicate_section(report: "AnalysisReport") -> str:
+    table = Table(
+        ["time (%)", "wasted time", "count", "bytes", "dest device", "source location"],
+        title="OpenMP Duplicate Target Data Transfer Analysis",
+    )
+    runtime = report.trace.runtime
+    for group in sorted(report.duplicate_groups, key=lambda g: g.wasted_time, reverse=True):
+        representative = group.events[1]
+        table.add_row(
+            [
+                _percent_of_runtime(group.wasted_time, runtime),
+                format_seconds(group.wasted_time),
+                group.num_redundant,
+                format_bytes(group.nbytes),
+                group.dest_device_num,
+                format_location(representative.codeptr, report.debug_info),
+            ]
+        )
+    if not report.duplicate_groups:
+        return table.render() + "\nNo duplicate data transfers detected."
+    return table.render()
+
+
+def render_round_trip_section(report: "AnalysisReport") -> str:
+    table = Table(
+        ["time (%)", "wasted time", "trips", "bytes", "route", "source location"],
+        title="OpenMP Round-Trip Target Data Transfer Analysis",
+    )
+    runtime = report.trace.runtime
+    for group in sorted(report.round_trip_groups, key=lambda g: g.wasted_time, reverse=True):
+        representative = group.trips[0].rx_event
+        route = f"dev{group.src_device_num} <-> dev{group.dest_device_num}"
+        table.add_row(
+            [
+                _percent_of_runtime(group.wasted_time, runtime),
+                format_seconds(group.wasted_time),
+                group.num_trips,
+                format_bytes(group.trips[0].tx_event.nbytes),
+                route,
+                format_location(representative.codeptr, report.debug_info),
+            ]
+        )
+    if not report.round_trip_groups:
+        return table.render() + "\nNo round-trip data transfers detected."
+    return table.render()
+
+
+def render_repeated_alloc_section(report: "AnalysisReport") -> str:
+    table = Table(
+        ["time (%)", "wasted time", "count", "bytes", "device", "source location"],
+        title="OpenMP Repeated Device Memory Allocation Analysis",
+    )
+    runtime = report.trace.runtime
+    for group in sorted(report.repeated_alloc_groups, key=lambda g: g.wasted_time, reverse=True):
+        representative = group.allocations[1].alloc_event
+        table.add_row(
+            [
+                _percent_of_runtime(group.wasted_time, runtime),
+                format_seconds(group.wasted_time),
+                group.num_redundant,
+                format_bytes(group.nbytes),
+                group.device_num,
+                format_location(representative.codeptr, report.debug_info),
+            ]
+        )
+    if not report.repeated_alloc_groups:
+        return table.render() + "\nNo repeated device memory allocations detected."
+    return table.render()
+
+
+def render_unused_alloc_section(report: "AnalysisReport") -> str:
+    table = Table(
+        ["time (%)", "wasted time", "bytes", "device", "source location"],
+        title="OpenMP Unused Device Memory Allocation Analysis",
+    )
+    runtime = report.trace.runtime
+    for finding in sorted(report.unused_allocations, key=lambda f: f.wasted_time, reverse=True):
+        table.add_row(
+            [
+                _percent_of_runtime(finding.wasted_time, runtime),
+                format_seconds(finding.wasted_time),
+                format_bytes(finding.nbytes),
+                finding.device_num,
+                format_location(finding.pair.alloc_event.codeptr, report.debug_info),
+            ]
+        )
+    if not report.unused_allocations:
+        return table.render() + "\nNo unused device memory allocations detected."
+    return table.render()
+
+
+def render_unused_transfer_section(report: "AnalysisReport") -> str:
+    table = Table(
+        ["time (%)", "wasted time", "bytes", "device", "reason", "source location"],
+        title="OpenMP Unused Data Transfer Analysis",
+    )
+    runtime = report.trace.runtime
+    for finding in sorted(report.unused_transfers, key=lambda f: f.wasted_time, reverse=True):
+        table.add_row(
+            [
+                _percent_of_runtime(finding.wasted_time, runtime),
+                format_seconds(finding.wasted_time),
+                format_bytes(finding.nbytes),
+                finding.device_num,
+                finding.reason,
+                format_location(finding.event.codeptr, report.debug_info),
+            ]
+        )
+    if not report.unused_transfers:
+        return table.render() + "\nNo unused data transfers detected."
+    return table.render()
+
+
+def render_potential_section(report: "AnalysisReport") -> str:
+    potential = report.potential
+    lines = [
+        "=== Optimization Potential ===",
+        f"measured runtime          : {format_seconds(potential.measured_runtime)}",
+        f"predicted time savings    : {format_seconds(potential.predicted_time_saved)} "
+        f"({100.0 * potential.predicted_saved_fraction:.1f}% of runtime)",
+        f"predicted runtime         : {format_seconds(potential.predicted_runtime)}",
+        f"predicted speedup         : {potential.predicted_speedup:.2f}x",
+        f"removable data operations : {potential.predicted_ops_saved}",
+        f"removable transfer volume : {format_bytes(potential.predicted_bytes_saved)}",
+    ]
+    return "\n".join(lines)
+
+
+def render_summary_line(report: "AnalysisReport") -> str:
+    counts = report.counts.as_dict()
+    rendered = ", ".join(f"{name}={value}" for name, value in counts.items())
+    program = report.trace.program_name or "<program>"
+    return f"{program}: {rendered}"
+
+
+def render_report(report: "AnalysisReport") -> str:
+    """Render the full multi-section analysis report."""
+    sections = [
+        render_summary_line(report),
+        render_duplicate_section(report),
+        render_round_trip_section(report),
+        render_repeated_alloc_section(report),
+        render_unused_alloc_section(report),
+        render_unused_transfer_section(report),
+        render_potential_section(report),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,22 @@
+"""Synthetic debug-information substrate (the ``libdw`` stand-in).
+
+The real tool resolves the ``codeptr_ra`` return addresses delivered by OMPT
+into file/line/function triples by reading DWARF ``.debug_info`` with libdw.
+Here the runtime simulator registers each construct's Python call site in a
+:class:`~repro.dwarf.debuginfo.DebugInfoRegistry` and hands the resulting
+synthetic code pointer to the OMPT layer; OMPDataPerf later resolves those
+pointers back to source locations.  Stripped binaries (compiled without
+``-g``) are modelled by querying with attribution disabled, which degrades
+findings to raw code pointers exactly as the real tool degrades.
+"""
+
+from repro.dwarf.debuginfo import DebugInfoRegistry, SourceLocation
+from repro.dwarf.attribution import attribute_events, format_location, group_by_location
+
+__all__ = [
+    "DebugInfoRegistry",
+    "SourceLocation",
+    "attribute_events",
+    "format_location",
+    "group_by_location",
+]

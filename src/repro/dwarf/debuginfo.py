@@ -1,0 +1,94 @@
+"""Code-pointer registry mapping synthetic return addresses to source lines."""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Optional
+
+#: Synthetic text-segment base; codeptr values look like plausible return
+#: addresses, which keeps report formatting honest (hex, 12+ digits).
+_TEXT_BASE = 0x0000_5555_5555_0000
+#: Spacing between registered call sites.
+_TEXT_STRIDE = 0x40
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A resolved source location."""
+
+    file: str
+    line: int
+    function: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line} ({self.function})"
+
+
+class DebugInfoRegistry:
+    """Bidirectional map between code pointers and source locations.
+
+    One registry instance corresponds to one "binary": the runtime simulator
+    owns one and registers every construct call site it executes.  Lookup can
+    be disabled (``stripped=True``) to model a binary compiled without
+    ``-g``, in which case :meth:`lookup` returns ``None`` for every pointer
+    and reports fall back to raw addresses.
+    """
+
+    def __init__(self, *, stripped: bool = False) -> None:
+        self.stripped = stripped
+        self._by_location: dict[SourceLocation, int] = {}
+        self._by_codeptr: dict[int, SourceLocation] = {}
+        self._next = _TEXT_BASE
+
+    def __len__(self) -> int:
+        return len(self._by_codeptr)
+
+    def register(self, file: str, line: int, function: str) -> int:
+        """Register a source location, returning its (stable) code pointer."""
+        if line < 0:
+            raise ValueError("line numbers cannot be negative")
+        loc = SourceLocation(file=file, line=int(line), function=function)
+        existing = self._by_location.get(loc)
+        if existing is not None:
+            return existing
+        codeptr = self._next
+        self._next += _TEXT_STRIDE
+        self._by_location[loc] = codeptr
+        self._by_codeptr[codeptr] = loc
+        return codeptr
+
+    def register_caller(self, *, skip_modules: tuple[str, ...] = ("repro.omp", "repro.ompt")) -> int:
+        """Register the nearest stack frame outside the runtime simulator.
+
+        This is how application call sites (the ``#pragma omp target`` lines
+        of the simulated benchmarks) become code pointers without the
+        applications having to pass explicit labels.
+        """
+        frame = inspect.currentframe()
+        try:
+            candidate = frame.f_back if frame is not None else None
+            while candidate is not None:
+                module = candidate.f_globals.get("__name__", "")
+                if not any(module == m or module.startswith(m + ".") for m in skip_modules):
+                    if module != __name__:
+                        return self.register(
+                            file=candidate.f_code.co_filename,
+                            line=candidate.f_lineno,
+                            function=candidate.f_code.co_name,
+                        )
+                candidate = candidate.f_back
+        finally:
+            del frame
+        # Could not find an application frame; register a sentinel location.
+        return self.register(file="<unknown>", line=0, function="<unknown>")
+
+    def lookup(self, codeptr: Optional[int]) -> Optional[SourceLocation]:
+        """Resolve a code pointer, or ``None`` if unknown / stripped."""
+        if codeptr is None or self.stripped:
+            return None
+        return self._by_codeptr.get(codeptr)
+
+    def locations(self) -> list[SourceLocation]:
+        """All registered locations (deterministic order by code pointer)."""
+        return [self._by_codeptr[ptr] for ptr in sorted(self._by_codeptr)]

@@ -1,0 +1,37 @@
+"""Event model shared by the runtime simulator, the OMPT layer and the tool.
+
+The detection algorithms in the paper (Section 5) operate on a post-mortem
+log of OpenMP target events.  Every log entry carries the start and end time
+of the event, the hash of the data transferred (if applicable), and the
+information provided by the corresponding OMPT callback: source and
+destination device numbers, code pointers, number of bytes transferred and
+the type of operation.  This package defines those records and the
+:class:`~repro.events.trace.Trace` container that holds them.
+"""
+
+from repro.events.records import (
+    DATA_OP_EVENT_BYTES,
+    TARGET_EVENT_BYTES,
+    AllocationPair,
+    DataOpEvent,
+    DataOpKind,
+    TargetEvent,
+    TargetKind,
+    get_alloc_delete_pairs,
+)
+from repro.events.trace import Trace
+from repro.events.validation import TraceValidationError, validate_trace
+
+__all__ = [
+    "DATA_OP_EVENT_BYTES",
+    "TARGET_EVENT_BYTES",
+    "AllocationPair",
+    "DataOpEvent",
+    "DataOpKind",
+    "TargetEvent",
+    "TargetKind",
+    "get_alloc_delete_pairs",
+    "Trace",
+    "TraceValidationError",
+    "validate_trace",
+]

@@ -1,0 +1,112 @@
+"""Trace well-formedness checks.
+
+The detection algorithms require the event log to be chronologically ordered
+and internally consistent (Section 5 "Require: ... in chronological order").
+``validate_trace`` enforces those preconditions so the detectors can assume
+them; it is also exercised heavily by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.events.records import DataOpEvent, DataOpKind, TargetEvent
+from repro.events.trace import Trace
+
+
+class TraceValidationError(ValueError):
+    """Raised when a trace violates the detector preconditions."""
+
+
+def _check_chronological(events: Iterable, what: str, errors: list[str]) -> None:
+    prev_start = float("-inf")
+    for event in events:
+        if event.start_time < prev_start:
+            errors.append(
+                f"{what} events are not in chronological order at seq={event.seq}"
+            )
+            return
+        prev_start = event.start_time
+
+
+def validate_trace(trace: Trace, *, strict: bool = True) -> list[str]:
+    """Validate a trace, returning a list of problems.
+
+    With ``strict=True`` (the default) a non-empty problem list raises
+    :class:`TraceValidationError`; with ``strict=False`` the problems are
+    returned to the caller (useful in tests and for the CLI's ``--quiet``
+    mode, which reports but tolerates malformed traces).
+    """
+    errors: list[str] = []
+
+    if trace.num_devices < 1:
+        errors.append("trace must describe at least one target device")
+
+    _check_chronological(trace.target_events, "target", errors)
+    _check_chronological(trace.data_op_events, "data-op", errors)
+
+    host = trace.host_device_num
+    valid_devices = set(range(trace.num_devices)) | {host}
+
+    seen_seq: set[int] = set()
+    for event in trace.target_events:
+        if event.seq in seen_seq:
+            errors.append(f"duplicate target event sequence number {event.seq}")
+        seen_seq.add(event.seq)
+        if event.device_num not in valid_devices:
+            errors.append(
+                f"target event seq={event.seq} references unknown device {event.device_num}"
+            )
+
+    seen_seq = set()
+    open_allocs: set[tuple[int, int]] = set()
+    for event in trace.data_op_events:
+        if event.seq in seen_seq:
+            errors.append(f"duplicate data-op event sequence number {event.seq}")
+        seen_seq.add(event.seq)
+        if event.src_device_num not in valid_devices:
+            errors.append(
+                f"data-op seq={event.seq} references unknown source device "
+                f"{event.src_device_num}"
+            )
+        if event.dest_device_num not in valid_devices:
+            errors.append(
+                f"data-op seq={event.seq} references unknown destination device "
+                f"{event.dest_device_num}"
+            )
+        if event.is_transfer:
+            if event.content_hash is None:
+                errors.append(f"transfer seq={event.seq} is missing its content hash")
+            if event.src_device_num == event.dest_device_num:
+                errors.append(
+                    f"transfer seq={event.seq} has identical source and destination device"
+                )
+            if event.kind is DataOpKind.TRANSFER_TO_DEVICE and event.dest_device_num == host:
+                errors.append(
+                    f"transfer-to-device seq={event.seq} targets the host device"
+                )
+            if event.kind is DataOpKind.TRANSFER_FROM_DEVICE and event.src_device_num == host:
+                errors.append(
+                    f"transfer-from-device seq={event.seq} originates from the host device"
+                )
+        if event.is_alloc:
+            key = (event.dest_device_num, event.dest_addr)
+            if key in open_allocs:
+                errors.append(
+                    f"alloc seq={event.seq} reuses a live device address "
+                    f"{event.dest_addr:#x} on device {event.dest_device_num}"
+                )
+            open_allocs.add(key)
+        if event.is_delete:
+            key = (event.dest_device_num, event.dest_addr)
+            open_allocs.discard(key)
+
+    if trace.total_runtime is not None and trace.total_runtime + 1e-12 < trace.end_time:
+        errors.append(
+            "total_runtime is earlier than the last recorded event "
+            f"({trace.total_runtime} < {trace.end_time})"
+        )
+
+    if errors and strict:
+        raise TraceValidationError("; ".join(errors))
+    return errors

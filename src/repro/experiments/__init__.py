@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning plain data (lists of dicts /
+dataclasses) plus ``render(result)`` producing the human-readable table.
+``repro.experiments.runner`` ties them together and is what the
+``examples/run_paper_experiments.py`` script and the benchmark suite call.
+
+| Module                  | Reproduces                                        |
+|-------------------------|---------------------------------------------------|
+| ``fig2_overhead``       | Figure 2 — runtime overhead (slowdown)            |
+| ``fig3_space``          | Figure 3 — peak space overhead in bytes           |
+| ``table1_issues``       | Table 1 — issues detected per application         |
+| ``fig4_speedup``        | Figure 4 — predicted vs actual speedup            |
+| ``table2_comparison``   | Table 2 — OMPDataPerf vs Arbalest-Vec             |
+| ``table3_runtime``      | Table 3 — runtime before/after fixing issues      |
+| ``table4_hashrate``     | Table 4 — hash rate per hash function             |
+| ``fig5_hash_throughput``| Figure 5 — hash throughput vs data size           |
+| ``table5_inputs``       | Table 5 — benchmark inputs                        |
+| ``table6_ompt_support`` | Table 6 — OMPT feature support per compiler       |
+"""
+
+__all__ = [
+    "common",
+    "fig2_overhead",
+    "fig3_space",
+    "table1_issues",
+    "fig4_speedup",
+    "table2_comparison",
+    "table3_runtime",
+    "table4_hashrate",
+    "fig5_hash_throughput",
+    "table5_inputs",
+    "table6_ompt_support",
+    "runner",
+]

@@ -1,0 +1,102 @@
+"""Shared machinery for the experiment modules.
+
+The expensive operation in every experiment is executing a simulated
+application; most experiments need the same (application, size, variant)
+execution in both instrumented and uninstrumented form.  ``RunCache``
+memoises those executions for the lifetime of the process so that, e.g.,
+the Figure 2 and Figure 3 harnesses share one set of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize
+from repro.apps.registry import get_app
+from repro.core.profiler import OMPDataPerf, ProfileResult, run_uninstrumented
+
+
+@dataclass(frozen=True)
+class RunKey:
+    app: str
+    size: ProblemSize
+    variant: AppVariant
+
+
+@dataclass
+class AppRun:
+    """One memoised execution of an application variant."""
+
+    key: RunKey
+    #: profiling result of the instrumented run (collector attached)
+    profile: ProfileResult
+    #: virtual runtime of the uninstrumented (native) run
+    native_runtime: float
+
+    @property
+    def instrumented_runtime(self) -> float:
+        return self.profile.instrumented_runtime
+
+    @property
+    def slowdown(self) -> float:
+        """Instrumented / native runtime (the Figure 2 metric)."""
+        if self.native_runtime <= 0.0:
+            return 1.0
+        return self.instrumented_runtime / self.native_runtime
+
+
+class RunCache:
+    """Memoises application executions across experiment modules."""
+
+    def __init__(self, tool: Optional[OMPDataPerf] = None) -> None:
+        self.tool = tool or OMPDataPerf()
+        self._runs: dict[RunKey, AppRun] = {}
+        self._native_only: dict[RunKey, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def run(self, app_name: str, size: ProblemSize, variant: AppVariant) -> AppRun:
+        """Instrumented + uninstrumented execution of one application variant."""
+        key = RunKey(app_name, size, variant)
+        cached = self._runs.get(key)
+        if cached is not None:
+            return cached
+        app = get_app(app_name)
+        program_name = app.program_name(size, variant)
+        profile = self.tool.profile(
+            app.build_program(size, variant), program_name=program_name
+        )
+        native = self.native_runtime(app_name, size, variant)
+        run = AppRun(key=key, profile=profile, native_runtime=native)
+        self._runs[key] = run
+        return run
+
+    def native_runtime(self, app_name: str, size: ProblemSize, variant: AppVariant) -> float:
+        """Uninstrumented execution only (no collector, no overhead)."""
+        key = RunKey(app_name, size, variant)
+        cached = self._native_only.get(key)
+        if cached is not None:
+            return cached
+        app = get_app(app_name)
+        runtime = run_uninstrumented(
+            app.build_program(size, variant),
+            program_name=app.program_name(size, variant),
+        )
+        self._native_only[key] = runtime
+        return runtime
+
+    def supports(self, app_name: str, variant: AppVariant) -> bool:
+        return get_app(app_name).supports_variant(variant)
+
+    def clear(self) -> None:
+        self._runs.clear()
+        self._native_only.clear()
+
+
+#: Process-wide cache shared by all experiments (and the benchmark suite).
+GLOBAL_CACHE = RunCache()
+
+
+def default_sizes() -> list[ProblemSize]:
+    """The three input classes of the evaluation, smallest first."""
+    return [ProblemSize.SMALL, ProblemSize.MEDIUM, ProblemSize.LARGE]

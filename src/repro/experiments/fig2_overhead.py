@@ -1,0 +1,92 @@
+"""Figure 2: runtime overhead (slowdown) of analysing each benchmark.
+
+For every application and problem size the program is executed twice — once
+natively and once with the OMPDataPerf collector attached — and the ratio of
+virtual runtimes is the slowdown.  The paper reports a geometric-mean
+slowdown of 1.05x with a 1.33x worst case (xsbench, large), and observes
+that programs dominated by host/device communication incur more overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.apps.registry import EVALUATION_APP_NAMES
+from repro.experiments.common import GLOBAL_CACHE, RunCache, default_sizes
+from repro.util.stats import geometric_mean
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    app: str
+    size: ProblemSize
+    native_runtime: float
+    instrumented_runtime: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.native_runtime <= 0.0:
+            return 1.0
+        return self.instrumented_runtime / self.native_runtime
+
+
+@dataclass
+class OverheadResult:
+    rows: list[OverheadRow]
+
+    @property
+    def geometric_mean_slowdown(self) -> float:
+        return geometric_mean([row.slowdown for row in self.rows])
+
+    @property
+    def worst_slowdown(self) -> float:
+        return max(row.slowdown for row in self.rows)
+
+
+def run(
+    *,
+    apps: tuple[str, ...] = EVALUATION_APP_NAMES,
+    sizes: list[ProblemSize] | None = None,
+    cache: RunCache | None = None,
+) -> OverheadResult:
+    """Measure the runtime overhead of the collector for every app and size."""
+    cache = cache or GLOBAL_CACHE
+    sizes = sizes or default_sizes()
+    rows: list[OverheadRow] = []
+    for app_name in apps:
+        for size in sizes:
+            app_run = cache.run(app_name, size, AppVariant.BASELINE)
+            rows.append(
+                OverheadRow(
+                    app=app_name,
+                    size=size,
+                    native_runtime=app_run.native_runtime,
+                    instrumented_runtime=app_run.instrumented_runtime,
+                )
+            )
+    return OverheadResult(rows=rows)
+
+
+def render(result: OverheadResult) -> str:
+    table = Table(
+        ["program", "size", "native (s)", "instrumented (s)", "slowdown"],
+        title="Figure 2: Runtime overhead when analyzing with OMPDataPerf",
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                row.app,
+                row.size.value,
+                f"{row.native_runtime:.6f}",
+                f"{row.instrumented_runtime:.6f}",
+                f"{row.slowdown:.3f}x",
+            ]
+        )
+    footer = (
+        f"\ngeometric-mean slowdown: {result.geometric_mean_slowdown:.3f}x"
+        f"   worst case: {result.worst_slowdown:.3f}x"
+        "\n(paper: 1.05x geometric mean, 1.33x worst case)"
+    )
+    return table.render() + footer

@@ -1,0 +1,102 @@
+"""Figure 5: hash throughput vs data size, against transfer throughput.
+
+Sweeps synthetic buffers across power-of-two sizes, measuring each selected
+hasher's throughput, and plots (as a table of series) the modelled
+host-to-device transfer throughput for the same sizes.  The paper's
+qualitative findings that should reproduce: throughput rises with buffer
+size until a cache-related plateau, small payloads are hashed far faster
+than they can be transferred, and the fastest hashes beat the interconnect
+at every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.base import Hasher, get_hasher
+from repro.hashing.ratebench import sweep_sizes
+from repro.omp.costmodel import CostModel, TransferDirection, default_cost_model
+from repro.util.tables import Table, format_bytes
+
+#: Hashers plotted by default: the collector default, the zlib checksums and
+#: the fastest pure-Python word-at-a-time hash (one series per family).
+DEFAULT_HASHERS = ("vector64", "crc32", "adler32", "xxh64")
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    series: str
+    nbytes: int
+    bytes_per_second: float
+
+    @property
+    def gib_per_second(self) -> float:
+        return self.bytes_per_second / float(1 << 30)
+
+
+@dataclass
+class ThroughputResult:
+    sizes: list[int]
+    points: list[ThroughputPoint]
+
+    def series(self, name: str) -> list[ThroughputPoint]:
+        return [p for p in self.points if p.series == name]
+
+    def series_names(self) -> list[str]:
+        names: list[str] = []
+        for p in self.points:
+            if p.series not in names:
+                names.append(p.series)
+        return names
+
+
+def default_sizes(max_power: int = 22) -> list[int]:
+    """Buffer sizes 2^1 .. 2^max_power (the paper sweeps up to 2^28)."""
+    return [1 << p for p in range(1, max_power + 1)]
+
+
+def run(
+    *,
+    hasher_names: tuple[str, ...] = DEFAULT_HASHERS,
+    sizes: list[int] | None = None,
+    cost_model: CostModel | None = None,
+) -> ThroughputResult:
+    sizes = sizes or default_sizes()
+    cost_model = cost_model or default_cost_model()
+    points: list[ThroughputPoint] = []
+    for name in hasher_names:
+        hasher: Hasher = get_hasher(name)
+        for sample in sweep_sizes(hasher, sizes):
+            points.append(
+                ThroughputPoint(
+                    series=name,
+                    nbytes=sample.nbytes,
+                    bytes_per_second=sample.bytes_per_second,
+                )
+            )
+    for size in sizes:
+        points.append(
+            ThroughputPoint(
+                series="data transfer (modelled)",
+                nbytes=size,
+                bytes_per_second=cost_model.transfer_bandwidth(
+                    size, TransferDirection.HOST_TO_DEVICE
+                ),
+            )
+        )
+    return ThroughputResult(sizes=sizes, points=points)
+
+
+def render(result: ThroughputResult) -> str:
+    names = result.series_names()
+    table = Table(
+        ["data size"] + [f"{n} (GiB/s)" for n in names],
+        title="Figure 5: throughput vs data size",
+    )
+    for size in result.sizes:
+        row = [format_bytes(size)]
+        for name in names:
+            match = [p for p in result.series(name) if p.nbytes == size]
+            row.append(f"{match[0].gib_per_second:.3f}" if match else "-")
+        table.add_row(row)
+    return table.render()

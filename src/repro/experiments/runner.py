@@ -1,0 +1,139 @@
+"""Run every experiment (or a named subset) and collect the rendered output.
+
+Used by ``examples/run_paper_experiments.py`` and the CLI's ``--experiments``
+mode.  Experiments that sweep every application at every size are expensive;
+``quick=True`` restricts them to the small problem size so the whole suite
+finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.apps.base import ProblemSize
+from repro.experiments import (
+    fig2_overhead,
+    fig3_space,
+    fig4_speedup,
+    fig5_hash_throughput,
+    table1_issues,
+    table2_comparison,
+    table3_runtime,
+    table4_hashrate,
+    table5_inputs,
+    table6_ompt_support,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible table or figure."""
+
+    key: str
+    title: str
+    run_full: Callable[[], object]
+    run_quick: Callable[[], object]
+    render: Callable[[object], str]
+
+
+def _specs() -> list[ExperimentSpec]:
+    small = [ProblemSize.SMALL]
+    return [
+        ExperimentSpec(
+            "fig2", "Figure 2: runtime overhead",
+            lambda: fig2_overhead.run(),
+            lambda: fig2_overhead.run(sizes=small),
+            fig2_overhead.render,
+        ),
+        ExperimentSpec(
+            "fig3", "Figure 3: space overhead",
+            lambda: fig3_space.run(),
+            lambda: fig3_space.run(sizes=small),
+            fig3_space.render,
+        ),
+        ExperimentSpec(
+            "table1", "Table 1: issues detected",
+            lambda: table1_issues.run(),
+            lambda: table1_issues.run(size=ProblemSize.SMALL),
+            table1_issues.render,
+        ),
+        ExperimentSpec(
+            "fig4", "Figure 4: predicted vs actual speedup",
+            lambda: fig4_speedup.run(),
+            lambda: fig4_speedup.run(sizes=small),
+            fig4_speedup.render,
+        ),
+        ExperimentSpec(
+            "table2", "Table 2: comparison with Arbalest-Vec",
+            lambda: table2_comparison.run(),
+            lambda: table2_comparison.run(size=ProblemSize.SMALL),
+            table2_comparison.render,
+        ),
+        ExperimentSpec(
+            "table3", "Table 3: runtime before/after fixes",
+            lambda: table3_runtime.run(),
+            lambda: table3_runtime.run(size=ProblemSize.SMALL),
+            table3_runtime.render,
+        ),
+        ExperimentSpec(
+            "table4", "Table 4: hash rates",
+            lambda: table4_hashrate.run(),
+            lambda: table4_hashrate.run(apps=("bfs", "hotspot"), max_bytes=1 << 20),
+            table4_hashrate.render,
+        ),
+        ExperimentSpec(
+            "fig5", "Figure 5: hash throughput vs data size",
+            lambda: fig5_hash_throughput.run(),
+            lambda: fig5_hash_throughput.run(
+                hasher_names=("vector64", "crc32"),
+                sizes=fig5_hash_throughput.default_sizes(max_power=16),
+            ),
+            fig5_hash_throughput.render,
+        ),
+        ExperimentSpec(
+            "table5", "Table 5: benchmark inputs",
+            lambda: table5_inputs.run(),
+            lambda: table5_inputs.run(),
+            table5_inputs.render,
+        ),
+        ExperimentSpec(
+            "table6", "Table 6: OMPT support matrix",
+            lambda: table6_ompt_support.run(),
+            lambda: table6_ompt_support.run(),
+            table6_ompt_support.render,
+        ),
+    ]
+
+
+def available_experiments() -> list[str]:
+    return [spec.key for spec in _specs()]
+
+
+def run_experiments(
+    keys: Optional[list[str]] = None,
+    *,
+    quick: bool = False,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, str]:
+    """Run the selected experiments and return ``{key: rendered output}``."""
+    selected = {spec.key: spec for spec in _specs()}
+    if keys:
+        unknown = [k for k in keys if k not in selected]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments: {', '.join(unknown)}; "
+                f"available: {', '.join(selected)}"
+            )
+        specs = [selected[k] for k in keys]
+    else:
+        specs = list(selected.values())
+
+    outputs: dict[str, str] = {}
+    for spec in specs:
+        result = spec.run_quick() if quick else spec.run_full()
+        text = f"{'=' * 72}\n{spec.title}\n{'=' * 72}\n{spec.render(result)}"
+        outputs[spec.key] = text
+        if echo is not None:
+            echo(text)
+    return outputs

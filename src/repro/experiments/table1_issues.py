@@ -1,0 +1,149 @@
+"""Table 1: issues detected by OMPDataPerf in each application.
+
+Three groups of rows, exactly as in the paper: the shipped (baseline)
+applications, the applications with injected synthetic issues, and the
+applications after the key issues were fixed.  Counts are produced by
+running every variant at the chosen problem size (Medium by default) with
+the collector attached and analysing the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.apps.registry import EVALUATION_APP_NAMES
+from repro.core.analysis import IssueCounts
+from repro.experiments.common import GLOBAL_CACHE, RunCache
+from repro.util.tables import Table
+
+#: The paper's Table 1 baseline rows (DD, RT, RA, UA, UT), for the
+#: side-by-side comparison in EXPERIMENTS.md and the reproduction tests.
+PAPER_BASELINE_COUNTS: dict[str, tuple[int, int, int, int, int]] = {
+    "babelstream": (499, 0, 499, 0, 0),
+    "bfs": (18, 10, 9, 0, 0),
+    "hotspot": (2, 0, 0, 0, 0),
+    "lud": (0, 0, 0, 0, 0),
+    "minife": (402, 4, 398, 0, 0),
+    "minifmm": (3, 0, 0, 0, 0),
+    "nw": (0, 0, 0, 0, 0),
+    "rsbench": (0, 1, 0, 0, 0),
+    "tealeaf": (4720, 11, 4706, 0, 0),
+    "xsbench": (0, 1, 0, 0, 0),
+}
+
+#: The paper's Table 1 rows for the fixed applications.
+PAPER_FIXED_COUNTS: dict[str, tuple[int, int, int, int, int]] = {
+    "bfs": (1, 0, 0, 0, 0),
+    "minife": (3, 0, 0, 0, 0),
+    "rsbench": (0, 0, 0, 0, 0),
+    "xsbench": (0, 0, 0, 0, 0),
+}
+
+#: The paper's Table 1 rows for the synthetic-issue applications.
+PAPER_SYNTHETIC_COUNTS: dict[str, tuple[int, int, int, int, int]] = {
+    "babelstream": (499, 0, 499, 0, 0),
+    "hotspot": (12, 4, 10, 0, 0),
+    "lud": (1737, 1243, 747, 250, 252),
+    "minifmm": (75, 64, 57, 57, 76),
+    "nw": (8, 0, 4, 1, 3),
+    "tealeaf": (17408, 25614, 4706, 0, 1),
+}
+
+
+@dataclass(frozen=True)
+class IssueRow:
+    app: str
+    variant: AppVariant
+    counts: IssueCounts
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        c = self.counts
+        return (
+            c.duplicate_transfers,
+            c.round_trips,
+            c.repeated_allocations,
+            c.unused_allocations,
+            c.unused_transfers,
+        )
+
+
+@dataclass
+class IssueTableResult:
+    size: ProblemSize
+    baseline: list[IssueRow]
+    synthetic: list[IssueRow]
+    fixed: list[IssueRow]
+
+    def find(self, app: str, variant: AppVariant) -> IssueRow | None:
+        group = {
+            AppVariant.BASELINE: self.baseline,
+            AppVariant.SYNTHETIC: self.synthetic,
+            AppVariant.FIXED: self.fixed,
+        }[variant]
+        for row in group:
+            if row.app == app:
+                return row
+        return None
+
+
+def run(
+    *,
+    apps: tuple[str, ...] = EVALUATION_APP_NAMES,
+    size: ProblemSize = ProblemSize.MEDIUM,
+    include_synthetic: bool = True,
+    include_fixed: bool = True,
+    cache: RunCache | None = None,
+) -> IssueTableResult:
+    cache = cache or GLOBAL_CACHE
+    baseline: list[IssueRow] = []
+    synthetic: list[IssueRow] = []
+    fixed: list[IssueRow] = []
+    for app_name in apps:
+        base_run = cache.run(app_name, size, AppVariant.BASELINE)
+        baseline.append(
+            IssueRow(app=app_name, variant=AppVariant.BASELINE,
+                     counts=base_run.profile.analysis.counts)
+        )
+        if include_synthetic and cache.supports(app_name, AppVariant.SYNTHETIC):
+            syn_run = cache.run(app_name, size, AppVariant.SYNTHETIC)
+            synthetic.append(
+                IssueRow(app=app_name, variant=AppVariant.SYNTHETIC,
+                         counts=syn_run.profile.analysis.counts)
+            )
+        if include_fixed and cache.supports(app_name, AppVariant.FIXED):
+            fix_run = cache.run(app_name, size, AppVariant.FIXED)
+            fixed.append(
+                IssueRow(app=app_name, variant=AppVariant.FIXED,
+                         counts=fix_run.profile.analysis.counts)
+            )
+    return IssueTableResult(size=size, baseline=baseline, synthetic=synthetic, fixed=fixed)
+
+
+def _add_rows(table: Table, rows: list[IssueRow], paper: dict) -> None:
+    for row in rows:
+        dd, rt, ra, ua, ut = row.as_tuple()
+        expected = paper.get(row.app)
+        paper_cell = "/".join(str(v) for v in expected) if expected else "-"
+        table.add_row([row.app, dd, rt, ra, ua, ut, paper_cell])
+
+
+def render(result: IssueTableResult) -> str:
+    table = Table(
+        ["program", "DD", "RT", "RA", "UA", "UT", "paper (DD/RT/RA/UA/UT)"],
+        title=f"Table 1: Issues detected by OMPDataPerf ({result.size.value} inputs)",
+    )
+    _add_rows(table, result.baseline, PAPER_BASELINE_COUNTS)
+    sections = [table.render()]
+
+    if result.synthetic:
+        syn = Table(["program", "DD", "RT", "RA", "UA", "UT", "paper (DD/RT/RA/UA/UT)"],
+                    title="Applications with injected synthetic issues")
+        _add_rows(syn, result.synthetic, PAPER_SYNTHETIC_COUNTS)
+        sections.append(syn.render())
+    if result.fixed:
+        fix = Table(["program", "DD", "RT", "RA", "UA", "UT", "paper (DD/RT/RA/UA/UT)"],
+                    title="Applications with key issues fixed")
+        _add_rows(fix, result.fixed, PAPER_FIXED_COUNTS)
+        sections.append(fix.render())
+    return "\n\n".join(sections)

@@ -1,0 +1,98 @@
+"""Table 2: issue classes reported by OMPDataPerf and Arbalest-Vec.
+
+Each HeCBench program is executed twice, once with the OMPDataPerf collector
+attached (issue classes come from the five detectors) and once with the
+Arbalest-Vec-style correctness checker attached (issue classes come from its
+shadow state machine).  The paper's point is that the two tools see
+different things: OMPDataPerf reports performance patterns that Arbalest
+cannot, while Arbalest's UUM reports on these programs are conservative
+false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.apps.registry import HECBENCH_APP_NAMES, get_app
+from repro.baselines.arbalest import ArbalestVecChecker
+from repro.core.profiler import OMPDataPerf
+from repro.omp.runtime import OffloadRuntime
+from repro.util.tables import Table
+
+#: The paper's Table 2, for side-by-side rendering and the tests.
+PAPER_TABLE2: dict[str, tuple[str, str]] = {
+    "resize-omp": ("DD, RA", "N/A"),
+    "mandelbrot-omp": ("DD, RA, UA", "UUM"),
+    "accuracy-omp": ("DD, UA, UT", "N/A"),
+    "lif-omp": ("N/A", "UUM"),
+    "bspline-vgh-omp": ("DD, UA, UT", "UUM"),
+}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    app: str
+    ompdataperf_classes: str
+    arbalest_classes: str
+
+
+@dataclass
+class ComparisonResult:
+    size: ProblemSize
+    rows: list[ComparisonRow]
+
+    def find(self, app: str) -> ComparisonRow | None:
+        for row in self.rows:
+            if row.app == app:
+                return row
+        return None
+
+
+def _run_arbalest(app_name: str, size: ProblemSize, *, conservative: bool = True) -> ArbalestVecChecker:
+    """Execute an application baseline with the Arbalest-style checker attached."""
+    app = get_app(app_name)
+    runtime = OffloadRuntime(program_name=app.program_name(size, AppVariant.BASELINE))
+    checker = ArbalestVecChecker(conservative=conservative).attach(runtime)
+    app.build_program(size, AppVariant.BASELINE)(runtime)
+    runtime.finish()
+    return checker
+
+
+def run(
+    *,
+    apps: tuple[str, ...] = HECBENCH_APP_NAMES,
+    size: ProblemSize = ProblemSize.MEDIUM,
+    conservative_arbalest: bool = True,
+) -> ComparisonResult:
+    tool = OMPDataPerf()
+    rows: list[ComparisonRow] = []
+    for app_name in apps:
+        app = get_app(app_name)
+        profile = tool.profile(
+            app.build_program(size, AppVariant.BASELINE),
+            program_name=app.program_name(size, AppVariant.BASELINE),
+        )
+        classes = profile.analysis.counts.issue_classes()
+        omp_cell = ", ".join(classes) if classes else "N/A"
+        checker = _run_arbalest(app_name, size, conservative=conservative_arbalest)
+        rows.append(
+            ComparisonRow(
+                app=app_name,
+                ompdataperf_classes=omp_cell,
+                arbalest_classes=checker.report_cell(),
+            )
+        )
+    return ComparisonResult(size=size, rows=rows)
+
+
+def render(result: ComparisonResult) -> str:
+    table = Table(
+        ["program", "OMPDataPerf", "Arbalest-Vec", "paper (OMPDataPerf | Arbalest-Vec)"],
+        title=f"Table 2: Issues detected by OMPDataPerf and Arbalest-Vec ({result.size.value} inputs)",
+    )
+    for row in result.rows:
+        paper = PAPER_TABLE2.get(row.app)
+        paper_cell = f"{paper[0]} | {paper[1]}" if paper else "-"
+        table.add_row([row.app, row.ompdataperf_classes, row.arbalest_classes, paper_cell])
+    return table.render()

@@ -1,0 +1,101 @@
+"""Table 3: runtime before and after fixing the issues each tool reported.
+
+``Before`` is the shipped program's (uninstrumented) runtime.  The
+``OMPDataPerf`` column is the runtime after applying the fixes its report
+suggests (the ``fixed`` variant); ``N/A`` means the tool reported nothing to
+fix.  The ``Arbalest-Vec`` column is ``FP`` when the checker's reports were
+false positives (nothing to fix, so no runtime is reported) and ``N/A`` when
+it reported nothing — exactly the structure of the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.apps.registry import HECBENCH_APP_NAMES, get_app
+from repro.experiments.common import GLOBAL_CACHE, RunCache
+from repro.experiments.table2_comparison import _run_arbalest
+from repro.util.tables import Table
+
+#: The paper's Table 3 (seconds; FP = false positive, N/A = nothing reported).
+PAPER_TABLE3: dict[str, tuple[float, Optional[float], str]] = {
+    "resize-omp": (11.604, 11.065, "N/A"),
+    "mandelbrot-omp": (3.974, 3.950, "FP"),
+    "accuracy-omp": (11.644, 11.640, "N/A"),
+    "lif-omp": (10.802, None, "FP"),
+    "bspline-vgh-omp": (6.736, 5.899, "FP"),
+}
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    app: str
+    before: float
+    after_ompdataperf: Optional[float]  # None when there was nothing to fix
+    arbalest_cell: str                   # "FP" or "N/A"
+
+    @property
+    def ompdataperf_speedup(self) -> Optional[float]:
+        if self.after_ompdataperf is None or self.after_ompdataperf <= 0:
+            return None
+        return self.before / self.after_ompdataperf
+
+
+@dataclass
+class RuntimeResult:
+    size: ProblemSize
+    rows: list[RuntimeRow]
+
+    def find(self, app: str) -> RuntimeRow | None:
+        for row in self.rows:
+            if row.app == app:
+                return row
+        return None
+
+
+def run(
+    *,
+    apps: tuple[str, ...] = HECBENCH_APP_NAMES,
+    size: ProblemSize = ProblemSize.MEDIUM,
+    cache: RunCache | None = None,
+) -> RuntimeResult:
+    cache = cache or GLOBAL_CACHE
+    rows: list[RuntimeRow] = []
+    for app_name in apps:
+        app = get_app(app_name)
+        before = cache.native_runtime(app_name, size, AppVariant.BASELINE)
+        after: Optional[float] = None
+        if app.supports_variant(AppVariant.FIXED):
+            after = cache.native_runtime(app_name, size, AppVariant.FIXED)
+        checker = _run_arbalest(app_name, size)
+        # Every Arbalest report on these programs is a false positive (the
+        # flagged variables are write-only), so a report maps to "FP".
+        arbalest_cell = "FP" if checker.issues else "N/A"
+        rows.append(
+            RuntimeRow(
+                app=app_name,
+                before=before,
+                after_ompdataperf=after,
+                arbalest_cell=arbalest_cell,
+            )
+        )
+    return RuntimeResult(size=size, rows=rows)
+
+
+def render(result: RuntimeResult) -> str:
+    table = Table(
+        ["program", "before (s)", "OMPDP (s)", "AV", "paper before/OMPDP/AV"],
+        title=f"Table 3: Runtime before and after fixing the identified issues ({result.size.value} inputs)",
+    )
+    for row in result.rows:
+        paper = PAPER_TABLE3.get(row.app)
+        paper_cell = "-"
+        if paper:
+            before, after, av = paper
+            after_text = f"{after:.3f}" if after is not None else "N/A"
+            paper_cell = f"{before:.3f} / {after_text} / {av}"
+        after_cell = f"{row.after_ompdataperf:.6f}" if row.after_ompdataperf is not None else "N/A"
+        table.add_row([row.app, f"{row.before:.6f}", after_cell, row.arbalest_cell, paper_cell])
+    return table.render()

@@ -1,0 +1,63 @@
+"""Table 5: programs, domains and inputs used in the evaluation.
+
+Static metadata drawn from the application registry; useful as a sanity
+check that every benchmark exposes the three problem sizes with the intended
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import ProblemSize
+from repro.apps.registry import EVALUATION_APP_NAMES, get_app
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class InputRow:
+    app: str
+    domain: str
+    suite: str
+    small: str
+    medium: str
+    large: str
+
+
+@dataclass
+class InputsResult:
+    rows: list[InputRow]
+
+    def find(self, app: str) -> InputRow | None:
+        for row in self.rows:
+            if row.app == app:
+                return row
+        return None
+
+
+def run(*, apps: tuple[str, ...] = EVALUATION_APP_NAMES) -> InputsResult:
+    rows = []
+    for name in apps:
+        app = get_app(name)
+        info = app.info()
+        rows.append(
+            InputRow(
+                app=name,
+                domain=info.domain,
+                suite=info.suite,
+                small=info.inputs[ProblemSize.SMALL],
+                medium=info.inputs[ProblemSize.MEDIUM],
+                large=info.inputs[ProblemSize.LARGE],
+            )
+        )
+    return InputsResult(rows=rows)
+
+
+def render(result: InputsResult) -> str:
+    table = Table(
+        ["application", "domain", "suite", "small", "medium", "large"],
+        title="Table 5: Programs and inputs used for evaluating OMPDataPerf",
+    )
+    for row in result.rows:
+        table.add_row([row.app, row.domain, row.suite, row.small, row.medium, row.large])
+    return table.render()

@@ -1,0 +1,131 @@
+"""Table 6: compiler and runtime support of OMPT target features.
+
+Appendix D surveys how well the OMPT target-related features are supported
+across nine compiler stacks.  That information is a static survey (no code
+runs on our side), so this module encodes the published matrix and provides
+the queries OMPDataPerf cares about: which runtimes support the two EMI
+callbacks the tool requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import Table
+
+#: Feature keys, in the order of the paper's table.
+FEATURES: tuple[str, ...] = (
+    "tool_initialization",
+    "target_callback",
+    "target_data_op_callback",
+    "target_submit_callback",
+    "target_map_callback",
+    "tracing_interface",
+    "target_emi_callback",
+    "target_data_op_emi_callback",
+    "target_submit_emi_callback",
+    "target_map_emi_callback",
+)
+
+#: Features OMPDataPerf requires (marked ‡ in the paper's table).
+REQUIRED_FEATURES: tuple[str, ...] = (
+    "target_emi_callback",
+    "target_data_op_emi_callback",
+)
+
+
+@dataclass(frozen=True)
+class CompilerSupport:
+    """OMPT support of one compiler stack; values are the first supporting
+    version, or ``None`` when the feature is unsupported."""
+
+    name: str
+    runtime: str
+    support: dict[str, str | None]
+
+    def supports(self, feature: str) -> bool:
+        if feature not in FEATURES:
+            raise KeyError(f"unknown OMPT feature {feature!r}")
+        return self.support.get(feature) is not None
+
+    def supports_ompdataperf(self) -> bool:
+        """Whether OMPDataPerf can run against this compiler's runtime."""
+        return all(self.supports(f) for f in REQUIRED_FEATURES)
+
+
+def _support(**kwargs: str | None) -> dict[str, str | None]:
+    table: dict[str, str | None] = {feature: None for feature in FEATURES}
+    table.update(kwargs)
+    return table
+
+
+#: The published support matrix (Appendix D, Table 6).
+COMPILERS: tuple[CompilerSupport, ...] = (
+    CompilerSupport("AMD AOCC", "libomp", _support(
+        tool_initialization="2.0", target_callback="5.0", target_data_op_callback="5.0",
+        target_submit_callback="5.0", target_emi_callback="5.0",
+        target_data_op_emi_callback="5.0", target_submit_emi_callback="5.0")),
+    CompilerSupport("AMD AOMP", "libomp", _support(
+        tool_initialization="0.8-0", target_callback="17.0-3", target_data_op_callback="17.0-3",
+        target_submit_callback="17.0-3", tracing_interface="14.0-1",
+        target_emi_callback="17.0-3", target_data_op_emi_callback="17.0-3",
+        target_submit_emi_callback="17.0-3")),
+    CompilerSupport("AMD ROCm", "libomp", _support(
+        tool_initialization="3.5.0", target_callback="5.7.0", target_data_op_callback="5.7.0",
+        target_submit_callback="5.7.0", tracing_interface="5.1.0",
+        target_emi_callback="5.7.0", target_data_op_emi_callback="5.7.0",
+        target_submit_emi_callback="5.7.0")),
+    CompilerSupport("Arm ACfL", "libomp", _support(tool_initialization="20.0")),
+    CompilerSupport("GNU GCC", "libgomp", _support()),
+    CompilerSupport("HPE CCE", "libcraymp", _support(
+        tool_initialization="11.0.0", target_callback="16.0.0", target_data_op_callback="16.0.0",
+        target_submit_callback="16.0.0", target_emi_callback="16.0.0",
+        target_data_op_emi_callback="16.0.0", target_submit_emi_callback="16.0.0")),
+    CompilerSupport("Intel ICX/IFX", "libomp", _support(
+        tool_initialization="2021.1", target_callback="2023.2", target_data_op_callback="2023.2",
+        target_submit_callback="2023.2", target_emi_callback="2023.2",
+        target_data_op_emi_callback="2023.2", target_submit_emi_callback="2023.2")),
+    CompilerSupport("LLVM Clang/Flang", "libomp", _support(
+        tool_initialization="8.0.0", target_callback="17.0.1", target_data_op_callback="17.0.1",
+        target_submit_callback="17.0.1", target_emi_callback="17.0.1",
+        target_data_op_emi_callback="17.0.1", target_submit_emi_callback="17.0.1")),
+    CompilerSupport("NVIDIA NVHPC", "libnvomp", _support(
+        tool_initialization="22.7", target_callback="22.7", target_data_op_callback="22.7",
+        target_submit_callback="22.7", target_map_callback="22.7",
+        target_emi_callback="22.7", target_data_op_emi_callback="22.7",
+        target_submit_emi_callback="22.7", target_map_emi_callback="22.7")),
+)
+
+
+@dataclass
+class SupportResult:
+    compilers: tuple[CompilerSupport, ...] = COMPILERS
+
+    def compatible_compilers(self) -> list[str]:
+        return [c.name for c in self.compilers if c.supports_ompdataperf()]
+
+    def incompatible_compilers(self) -> list[str]:
+        return [c.name for c in self.compilers if not c.supports_ompdataperf()]
+
+
+def run() -> SupportResult:
+    return SupportResult()
+
+
+def render(result: SupportResult) -> str:
+    table = Table(
+        ["feature"] + [c.name for c in result.compilers],
+        title="Table 6: Compiler and runtime support of OMPT target features (first supporting version)",
+    )
+    for feature in FEATURES:
+        row = [feature]
+        for compiler in result.compilers:
+            row.append(compiler.support.get(feature) or "-")
+        table.add_row(row)
+    footer = (
+        "\ncompilers able to run OMPDataPerf: "
+        + ", ".join(result.compatible_compilers())
+        + "\ncompilers unable to run OMPDataPerf: "
+        + ", ".join(result.incompatible_compilers())
+    )
+    return table.render() + footer

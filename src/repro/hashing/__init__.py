@@ -1,0 +1,47 @@
+"""Content-hashing substrate (paper Appendix B).
+
+OMPDataPerf identifies duplicate and round-trip transfers by hashing the
+transferred payloads.  The paper evaluates 19 native non-cryptographic hash
+functions; this package provides a from-scratch family of non-cryptographic
+hashes with a common interface, a registry, a hash-rate measurement harness
+(Table 4 / Figure 5) and a collision-audit mode (Appendix B.1).
+"""
+
+from repro.hashing.base import Hasher, HashFamily, available_hashers, get_hasher, register_hasher
+from repro.hashing.fnv import FNV1a32, FNV1a64
+from repro.hashing.murmur import Murmur3_32
+from repro.hashing.xx import XXH32, XXH64
+from repro.hashing.city import CityMix64
+from repro.hashing.t1ha import T1HAStyle64
+from repro.hashing.vector import VectorHash64, CRC32Hash, Adler32Hash
+from repro.hashing.collision import CollisionAuditor, CollisionRecord
+from repro.hashing.ratebench import HashRateSample, measure_hash_rate, sweep_sizes
+
+#: Name of the hash OMPDataPerf uses by default.  The paper picks
+#: ``t1ha0_avx2`` because it is the fastest native hash on its machine; in
+#: this pure-Python reproduction the numpy-vectorised hash plays that role.
+DEFAULT_HASHER = "vector64"
+
+__all__ = [
+    "Hasher",
+    "HashFamily",
+    "available_hashers",
+    "get_hasher",
+    "register_hasher",
+    "FNV1a32",
+    "FNV1a64",
+    "Murmur3_32",
+    "XXH32",
+    "XXH64",
+    "CityMix64",
+    "T1HAStyle64",
+    "VectorHash64",
+    "CRC32Hash",
+    "Adler32Hash",
+    "CollisionAuditor",
+    "CollisionRecord",
+    "HashRateSample",
+    "measure_hash_rate",
+    "sweep_sizes",
+    "DEFAULT_HASHER",
+]

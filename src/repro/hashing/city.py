@@ -1,0 +1,73 @@
+"""A CityHash-style 64-bit mixing hash.
+
+This follows the structure of Google's CityHash64 (16-byte chunks combined
+with the ShiftMix / HashLen16 primitives) without reproducing the full
+length-specialised dispatch.  In the evaluation it stands in for the
+CityHash/FarmHash family column of Table 4.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.hashing.base import HashFamily, Hasher, rotl
+
+_MASK64 = (1 << 64) - 1
+_K0 = 0xC3A5C85C97CB3127
+_K1 = 0xB492B66FBE98F273
+_K2 = 0x9AE16A3B2F90404F
+_KMUL = 0x9DDFEA08EB382D69
+
+
+def _shift_mix(v: int) -> int:
+    return (v ^ (v >> 47)) & _MASK64
+
+
+def _hash_len_16(u: int, v: int) -> int:
+    a = ((u ^ v) * _KMUL) & _MASK64
+    a ^= a >> 47
+    b = ((v ^ a) * _KMUL) & _MASK64
+    b ^= b >> 47
+    return (b * _KMUL) & _MASK64
+
+
+class CityMix64(Hasher):
+    """CityHash-style 64-bit hash."""
+
+    name = "citymix64"
+    bits = 64
+    family = HashFamily.CITY
+
+    def hash_bytes(self, data: bytes, seed: int = 0) -> int:
+        length = len(data)
+        seed &= _MASK64
+
+        if length == 0:
+            return _hash_len_16(_K2 ^ seed, _K0)
+
+        if length < 8:
+            padded = data + b"\x00" * (8 - length)
+            (a,) = struct.unpack("<Q", padded)
+            return _hash_len_16((a + length) & _MASK64, _K2 ^ seed)
+
+        h = (seed ^ _K2) & _MASK64
+        idx = 0
+        # Consume 16-byte chunks.
+        while idx + 16 <= length:
+            a, b = struct.unpack_from("<QQ", data, idx)
+            a = (a * _K1) & _MASK64
+            a = rotl(a, 29)
+            b = (b * _K2) & _MASK64
+            b = rotl(b, 43)
+            h = _hash_len_16((h + a) & _MASK64, b)
+            h = (h + _K0) & _MASK64
+            idx += 16
+
+        # Tail: re-read the final 8 bytes (overlapping is fine and matches
+        # CityHash's approach of hashing the last word unconditionally).
+        if idx < length:
+            (tail,) = struct.unpack_from("<Q", data, max(0, length - 8))
+            h = _hash_len_16(h, (tail * _K1) & _MASK64)
+
+        h = (_shift_mix((h + length) & _MASK64) * _K1) & _MASK64
+        return _shift_mix(h)

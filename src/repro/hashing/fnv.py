@@ -1,0 +1,49 @@
+"""FNV-1a hashes (32- and 64-bit).
+
+FNV-1a is the classic byte-at-a-time multiplicative hash.  It is the slowest
+family in the evaluation (it processes one byte per step), which makes it a
+useful lower bound in the Table 4 / Figure 5 reproduction, mirroring the role
+the 32-bit CityHash/XXH32 variants play in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.base import HashFamily, Hasher
+
+_FNV32_OFFSET = 0x811C9DC5
+_FNV32_PRIME = 0x01000193
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+
+_MASK32 = (1 << 32) - 1
+_MASK64 = (1 << 64) - 1
+
+
+class FNV1a32(Hasher):
+    """32-bit FNV-1a."""
+
+    name = "fnv1a32"
+    bits = 32
+    family = HashFamily.FNV
+
+    def hash_bytes(self, data: bytes, seed: int = 0) -> int:
+        h = (_FNV32_OFFSET ^ (seed & _MASK32)) & _MASK32
+        for b in data:
+            h ^= b
+            h = (h * _FNV32_PRIME) & _MASK32
+        return h
+
+
+class FNV1a64(Hasher):
+    """64-bit FNV-1a."""
+
+    name = "fnv1a64"
+    bits = 64
+    family = HashFamily.FNV
+
+    def hash_bytes(self, data: bytes, seed: int = 0) -> int:
+        h = (_FNV64_OFFSET ^ (seed & _MASK64)) & _MASK64
+        for b in data:
+            h ^= b
+            h = (h * _FNV64_PRIME) & _MASK64
+        return h

@@ -1,0 +1,55 @@
+"""MurmurHash3 (x86, 32-bit) implemented from the reference algorithm."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.hashing.base import HashFamily, Hasher, rotl
+
+_MASK32 = (1 << 32) - 1
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+
+
+class Murmur3_32(Hasher):
+    """MurmurHash3 x86_32."""
+
+    name = "murmur3_32"
+    bits = 32
+    family = HashFamily.MURMUR
+
+    def hash_bytes(self, data: bytes, seed: int = 0) -> int:
+        h = seed & _MASK32
+        length = len(data)
+        nblocks = length // 4
+
+        for (k,) in struct.iter_unpack("<I", data[: nblocks * 4]):
+            k = (k * _C1) & _MASK32
+            k = rotl(k, 15, 32)
+            k = (k * _C2) & _MASK32
+            h ^= k
+            h = rotl(h, 13, 32)
+            h = (h * 5 + 0xE6546B64) & _MASK32
+
+        # tail
+        tail = data[nblocks * 4 :]
+        k = 0
+        if len(tail) >= 3:
+            k ^= tail[2] << 16
+        if len(tail) >= 2:
+            k ^= tail[1] << 8
+        if len(tail) >= 1:
+            k ^= tail[0]
+            k = (k * _C1) & _MASK32
+            k = rotl(k, 15, 32)
+            k = (k * _C2) & _MASK32
+            h ^= k
+
+        # finalisation mix
+        h ^= length
+        h ^= h >> 16
+        h = (h * 0x85EBCA6B) & _MASK32
+        h ^= h >> 13
+        h = (h * 0xC2B2AE35) & _MASK32
+        h ^= h >> 16
+        return h

@@ -1,0 +1,115 @@
+"""Hash-rate measurement (Table 4 and Figure 5 of the paper).
+
+Table 4 reports, for each benchmark's medium problem size, the effective
+hashing throughput of every candidate hash over the transfer payloads the
+collector actually sees.  Figure 5 sweeps synthetic buffer sizes from 2 B to
+256 MiB and compares hash throughput against host/device transfer throughput.
+Both harnesses live here; the experiment modules only format the results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.base import Hasher
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class HashRateSample:
+    """One throughput measurement."""
+
+    hasher: str
+    nbytes: int
+    seconds: float
+    repeats: int
+
+    @property
+    def bytes_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf")
+        return (self.nbytes * self.repeats) / self.seconds
+
+    @property
+    def gib_per_second(self) -> float:
+        return self.bytes_per_second / float(1 << 30)
+
+
+def _time_callable(fn: Callable[[], None], *, repeats: int, timer=time.perf_counter) -> float:
+    start = timer()
+    for _ in range(repeats):
+        fn()
+    return max(timer() - start, 1e-12)
+
+
+def measure_hash_rate(
+    hasher: Hasher,
+    payloads: Sequence[np.ndarray | bytes],
+    *,
+    repeats: int = 1,
+    timer=time.perf_counter,
+) -> HashRateSample:
+    """Measure the effective hash rate over a set of payloads.
+
+    The payload set is hashed ``repeats`` times back-to-back and the total
+    byte volume divided by wall-clock time, matching the paper's "effective
+    hash rate of the data transferred" metric.
+    """
+    if not payloads:
+        raise ValueError("need at least one payload")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    total_bytes = 0
+    for p in payloads:
+        total_bytes += p.nbytes if isinstance(p, np.ndarray) else len(p)
+
+    def run() -> None:
+        for p in payloads:
+            hasher.hash(p)
+
+    # One warm-up pass so first-touch / allocation effects don't pollute the
+    # measurement (the guides' "no optimization without measuring" rule).
+    run()
+    seconds = _time_callable(run, repeats=repeats, timer=timer)
+    return HashRateSample(hasher=hasher.name, nbytes=total_bytes, seconds=seconds, repeats=repeats)
+
+
+def sweep_sizes(
+    hasher: Hasher,
+    sizes: Iterable[int],
+    *,
+    repeats_for: Callable[[int], int] | None = None,
+    seed: int = 0,
+    timer=time.perf_counter,
+) -> list[HashRateSample]:
+    """Measure hash throughput across a sweep of buffer sizes (Figure 5).
+
+    ``repeats_for`` maps a buffer size to a repeat count; the default aims
+    for a few megabytes of hashed data per size so that small buffers are
+    timed over many iterations while huge buffers are hashed once or twice.
+    """
+    if repeats_for is None:
+        def repeats_for(size: int) -> int:
+            target = 8 << 20  # ~8 MiB of hashed data per sample
+            return max(1, min(4096, target // max(size, 1)))
+
+    rng = make_rng("hash-size-sweep", hasher.name, seed)
+    samples: list[HashRateSample] = []
+    for size in sizes:
+        if size <= 0:
+            raise ValueError("buffer sizes must be positive")
+        payload = rng.integers(0, 256, size=size, dtype=np.uint8)
+        sample = measure_hash_rate(
+            hasher, [payload], repeats=repeats_for(size), timer=timer
+        )
+        samples.append(sample)
+    return samples
+
+
+def default_figure5_sizes() -> list[int]:
+    """The buffer sizes used by Figure 5: powers of two from 2^1 to 2^28."""
+    return [1 << p for p in range(1, 29)]

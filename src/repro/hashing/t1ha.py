@@ -1,0 +1,75 @@
+"""A t1ha-style 64-bit hash ("Fast Positive Hash" family).
+
+t1ha0_avx2 is the default hash selected by the paper (Appendix B.1).  This
+implementation reproduces the t1ha structure — 32-byte stripes folded through
+a 128-bit multiply-and-fold mixer — in portable Python integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.hashing.base import HashFamily, Hasher, rotl
+
+_MASK64 = (1 << 64) - 1
+
+# t1ha prime constants.
+_P0 = 0xEC99BF0D8372CAAB
+_P1 = 0x82434FE90EDCEF39
+_P2 = 0xD4F06DB99D67BE4B
+_P3 = 0xBD9CACC22C6E9571
+_P4 = 0x9C06FAF4D023E3AB
+_P5 = 0xC060724A8424F345
+_P6 = 0xCB5AF53AE3AAAC31
+
+
+def _mux64(v: int, prime: int) -> int:
+    """128-bit multiply, fold the halves together (t1ha's core mixer)."""
+    product = v * prime
+    lo = product & _MASK64
+    hi = (product >> 64) & _MASK64
+    return lo ^ hi
+
+
+class T1HAStyle64(Hasher):
+    """t1ha-style 64-bit hash."""
+
+    name = "t1ha64"
+    bits = 64
+    family = HashFamily.T1HA
+
+    def hash_bytes(self, data: bytes, seed: int = 0) -> int:
+        length = len(data)
+        a = (seed ^ length) & _MASK64
+        b = (_P0 + length) & _MASK64
+
+        idx = 0
+        # 32-byte stripes, two lanes.
+        while idx + 32 <= length:
+            w0, w1, w2, w3 = struct.unpack_from("<QQQQ", data, idx)
+            d = (w0 + rotl(w2 + length, 17)) & _MASK64
+            c = (w1 + rotl(w3, 31)) & _MASK64
+            a ^= _mux64((c + rotl(d, 41)) & _MASK64, _P1)
+            b ^= _mux64((d + rotl(c, 23)) & _MASK64, _P2)
+            idx += 32
+
+        remaining = length - idx
+        if remaining >= 16:
+            w0, w1 = struct.unpack_from("<QQ", data, idx)
+            a ^= _mux64(w0, _P3)
+            b ^= _mux64(w1, _P4)
+            idx += 16
+            remaining -= 16
+        if remaining >= 8:
+            (w0,) = struct.unpack_from("<Q", data, idx)
+            a ^= _mux64(w0, _P5)
+            idx += 8
+            remaining -= 8
+        if remaining > 0:
+            tail = int.from_bytes(data[idx:length], "little")
+            b ^= _mux64((tail + remaining) & _MASK64, _P6)
+
+        # Final squash.
+        h = _mux64((a + rotl(b, 41)) & _MASK64, _P4)
+        h = _mux64((h ^ b) & _MASK64, _P0)
+        return h & _MASK64

@@ -1,0 +1,51 @@
+"""OpenMP offload runtime simulator.
+
+This package is the substrate substitution for LLVM's ``libomp`` /
+``libomptarget`` offload runtime and the attached GPU (see DESIGN.md §2).
+It provides:
+
+* a host plus an arbitrary number of target devices, each with its own
+  memory pool and allocator (:mod:`repro.omp.device`);
+* a device data environment with reference-counted present-table semantics
+  and the OpenMP map types (:mod:`repro.omp.mapping`);
+* the offloading constructs — ``target``, ``target data``,
+  ``target enter/exit data``, ``target update`` — with implicit-mapping
+  rules (:mod:`repro.omp.runtime`);
+* a calibrated cost model and virtual clock so that every operation has a
+  realistic duration (:mod:`repro.omp.costmodel`, :mod:`repro.omp.clock`).
+
+Programs written against this API behave like OpenMP offload programs as far
+as an OMPT tool can observe: the sequence, sizing, timing and content of
+data-mapping operations is what the real runtime would produce.
+"""
+
+from repro.omp.clock import VirtualClock
+from repro.omp.costmodel import CostModel, TransferDirection
+from repro.omp.device import Device, DeviceMemoryPool
+from repro.omp.errors import (
+    MappingError,
+    OffloadError,
+    OutOfDeviceMemoryError,
+    UnmappedAccessError,
+)
+from repro.omp.mapping import DeviceDataEnvironment, MapClause, MapType, PresentTableEntry
+from repro.omp.runtime import KernelAccess, OffloadRuntime, TargetRegionHandle
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "TransferDirection",
+    "Device",
+    "DeviceMemoryPool",
+    "MappingError",
+    "OffloadError",
+    "OutOfDeviceMemoryError",
+    "UnmappedAccessError",
+    "DeviceDataEnvironment",
+    "MapClause",
+    "MapType",
+    "PresentTableEntry",
+    "KernelAccess",
+    "OffloadRuntime",
+    "TargetRegionHandle",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the offload runtime simulator."""
+
+from __future__ import annotations
+
+
+class OffloadError(RuntimeError):
+    """Base class for all offload-runtime failures."""
+
+
+class OutOfDeviceMemoryError(OffloadError):
+    """Raised when an allocation exceeds the device memory capacity."""
+
+    def __init__(self, requested: int, available: int, device_num: int) -> None:
+        super().__init__(
+            f"device {device_num}: cannot allocate {requested} bytes "
+            f"({available} bytes available)"
+        )
+        self.requested = requested
+        self.available = available
+        self.device_num = device_num
+
+
+class MappingError(OffloadError):
+    """Raised for ill-formed map clauses or present-table misuse."""
+
+
+class UnmappedAccessError(OffloadError):
+    """Raised when a kernel touches a host array that is not mapped.
+
+    A real offload runtime would either crash or silently read garbage; the
+    simulator turns the situation into a hard error so that application bugs
+    cannot masquerade as interesting traces.
+    """
+
+    def __init__(self, device_num: int, host_addr: int, name: str | None = None) -> None:
+        label = name or f"array at {host_addr:#x}"
+        super().__init__(f"kernel on device {device_num} accessed unmapped {label}")
+        self.device_num = device_num
+        self.host_addr = host_addr

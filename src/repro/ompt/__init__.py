@@ -1,0 +1,30 @@
+"""OMPT (OpenMP Tools Interface) layer of the simulator.
+
+OMPDataPerf observes programs exclusively through the OMPT EMI callbacks
+``ompt_callback_target_emi``, ``ompt_callback_target_data_op_emi`` and
+``ompt_callback_target_submit_emi``.  This package reproduces that boundary:
+the runtime simulator emits callback records through
+:class:`~repro.ompt.interface.OmptInterface`, and tools (the OMPDataPerf
+collector, the Arbalest-style baseline) register callbacks against it.  Tools
+never reach into the runtime's internals — everything they know arrives
+through these records, exactly as with the real interface.
+"""
+
+from repro.ompt.callbacks import (
+    CallbackType,
+    Endpoint,
+    TargetDataOpRecord,
+    TargetRecord,
+    TargetSubmitRecord,
+)
+from repro.ompt.interface import OmptInterface, OmptTool
+
+__all__ = [
+    "CallbackType",
+    "Endpoint",
+    "TargetDataOpRecord",
+    "TargetRecord",
+    "TargetSubmitRecord",
+    "OmptInterface",
+    "OmptTool",
+]

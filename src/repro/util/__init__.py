@@ -1,0 +1,25 @@
+"""Shared utilities: statistics helpers, ASCII tables, deterministic RNG."""
+
+from repro.util.stats import (
+    geometric_mean,
+    mean_squared_error,
+    mean_relative_error,
+    harmonic_mean,
+    percentile,
+    summarize,
+)
+from repro.util.tables import Table, format_bytes, format_seconds
+from repro.util.rng import make_rng
+
+__all__ = [
+    "geometric_mean",
+    "mean_squared_error",
+    "mean_relative_error",
+    "harmonic_mean",
+    "percentile",
+    "summarize",
+    "Table",
+    "format_bytes",
+    "format_seconds",
+    "make_rng",
+]

@@ -1,0 +1,119 @@
+"""Small statistics helpers used throughout the evaluation harness.
+
+The paper reports geometric-mean slowdowns (Figure 2), mean relative error
+and mean squared error of the speedup prediction (Figure 4), and per-app
+averages (Table 4).  These helpers centralise those calculations so the
+experiment modules and the tests agree on the exact definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def _as_list(values: Iterable[float]) -> list[float]:
+    out = [float(v) for v in values]
+    if not out:
+        raise ValueError("expected at least one value")
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Used for the mean runtime-overhead slowdown (Figure 2) and the mean
+    space-overhead accumulation rate (Section 7.4).
+    """
+    vals = _as_list(values)
+    for v in vals:
+        if v <= 0.0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values (used for rate averaging)."""
+    vals = _as_list(values)
+    for v in vals:
+        if v <= 0.0:
+            raise ValueError(f"harmonic mean requires positive values, got {v}")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def mean_squared_error(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """MSE between predicted and actual values (Figure 4 accuracy metric)."""
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must have the same length")
+    if not predicted:
+        raise ValueError("expected at least one value")
+    return sum((p - a) ** 2 for p, a in zip(predicted, actual)) / len(predicted)
+
+
+def mean_relative_error(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Average relative error |pred - act| / act (Figure 4 accuracy metric)."""
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must have the same length")
+    if not predicted:
+        raise ValueError("expected at least one value")
+    total = 0.0
+    for p, a in zip(predicted, actual):
+        if a == 0.0:
+            raise ValueError("actual value of zero has undefined relative error")
+        total += abs(p - a) / abs(a)
+    return total / len(predicted)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    vals = sorted(_as_list(values))
+    if len(vals) == 1:
+        return vals[0]
+    rank = (q / 100.0) * (len(vals) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return vals[lo]
+    frac = rank - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    stddev: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "median": self.median,
+            "stddev": self.stddev,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Return a :class:`Summary` of the sample."""
+    vals = _as_list(values)
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return Summary(
+        count=n,
+        minimum=min(vals),
+        maximum=max(vals),
+        mean=mean,
+        median=percentile(vals, 50.0),
+        stddev=math.sqrt(var),
+    )

@@ -1,0 +1,193 @@
+"""Tests for the simulated benchmark applications (Table 1 / Table 2 shapes).
+
+The exact-count assertions use the small problem size where the counts are
+size-independent (they are determined by the mapping structure, not by the
+array sizes); the Medium-size Table 1 reproduction is exercised end-to-end by
+the benchmark harness and summarised in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.apps.registry import (
+    EVALUATION_APP_NAMES,
+    HECBENCH_APP_NAMES,
+    all_apps,
+    evaluation_apps,
+    get_app,
+    hecbench_apps,
+)
+from repro.core.profiler import OMPDataPerf, run_uninstrumented
+
+_TOOL = OMPDataPerf()
+
+
+def _counts(app_name: str, variant: AppVariant, size: ProblemSize = ProblemSize.SMALL):
+    app = get_app(app_name)
+    result = _TOOL.profile(app.build_program(size, variant),
+                           program_name=app.program_name(size, variant))
+    return result.analysis.counts
+
+
+class TestRegistry:
+    def test_all_fifteen_apps_registered(self):
+        assert len(all_apps()) == 15
+        assert set(EVALUATION_APP_NAMES) <= set(all_apps())
+        assert set(HECBENCH_APP_NAMES) <= set(all_apps())
+
+    def test_groups(self):
+        assert list(evaluation_apps()) == list(EVALUATION_APP_NAMES)
+        assert list(hecbench_apps()) == list(HECBENCH_APP_NAMES)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            get_app("does-not-exist")
+
+    def test_every_app_reports_inputs_for_all_sizes(self):
+        for app in all_apps().values():
+            info = app.info()
+            assert set(info.inputs) == set(ProblemSize)
+            assert all(info.inputs.values())
+
+    def test_unsupported_variant_raises(self):
+        with pytest.raises(ValueError):
+            get_app("lud").build_program(ProblemSize.SMALL, AppVariant.FIXED)
+        with pytest.raises(ValueError):
+            get_app("bfs").build_program(ProblemSize.SMALL, AppVariant.SYNTHETIC)
+
+
+class TestTable1BaselineShapes:
+    """Issue-class structure of the shipped applications (Table 1, baseline rows)."""
+
+    def test_bfs_exact_counts(self):
+        c = _counts("bfs", AppVariant.BASELINE)
+        assert c.as_dict() == {"DD": 18, "RT": 10, "RA": 9, "UA": 0, "UT": 0}
+
+    def test_bfs_fixed_counts(self):
+        c = _counts("bfs", AppVariant.FIXED)
+        assert c.as_dict() == {"DD": 1, "RT": 0, "RA": 0, "UA": 0, "UT": 0}
+
+    def test_hotspot_counts(self):
+        assert _counts("hotspot", AppVariant.BASELINE).as_dict() == {
+            "DD": 2, "RT": 0, "RA": 0, "UA": 0, "UT": 0}
+
+    def test_lud_and_nw_are_clean(self):
+        for name in ("lud", "nw"):
+            assert _counts(name, AppVariant.BASELINE).total == 0
+
+    def test_minife_exact_counts(self):
+        c = _counts("minife", AppVariant.BASELINE)
+        assert c.as_dict() == {"DD": 402, "RT": 4, "RA": 398, "UA": 0, "UT": 0}
+
+    def test_minife_fixed_counts(self):
+        c = _counts("minife", AppVariant.FIXED)
+        assert c.as_dict() == {"DD": 3, "RT": 0, "RA": 0, "UA": 0, "UT": 0}
+
+    def test_minifmm_counts(self):
+        assert _counts("minifmm", AppVariant.BASELINE).as_dict() == {
+            "DD": 3, "RT": 0, "RA": 0, "UA": 0, "UT": 0}
+
+    def test_rsbench_xsbench_single_round_trip(self):
+        for name in ("rsbench", "xsbench"):
+            assert _counts(name, AppVariant.BASELINE).as_dict() == {
+                "DD": 0, "RT": 1, "RA": 0, "UA": 0, "UT": 0}
+            assert _counts(name, AppVariant.FIXED).total == 0
+
+    def test_babelstream_counts_scale_with_iterations(self):
+        c = _counts("babelstream", AppVariant.BASELINE)
+        iterations = get_app("babelstream").parameters(ProblemSize.SMALL)["iterations"]
+        assert c.duplicate_transfers == iterations - 1
+        assert c.repeated_allocations == iterations - 1
+
+    def test_tealeaf_structure(self):
+        c = _counts("tealeaf", AppVariant.BASELINE)
+        params = get_app("tealeaf").parameters(ProblemSize.SMALL)
+        inner = params["total_inner_iterations"]
+        assert c.repeated_allocations == 2 * (inner - 1)
+        assert c.round_trips == params["outer_steps"] - 1
+        assert c.duplicate_transfers > c.repeated_allocations  # zeros aliasing adds a few
+
+
+class TestSyntheticVariants:
+    def test_hotspot_synthetic_counts(self):
+        c = _counts("hotspot", AppVariant.SYNTHETIC)
+        assert c.as_dict() == {"DD": 12, "RT": 4, "RA": 10, "UA": 0, "UT": 0}
+
+    def test_minifmm_synthetic_counts(self):
+        c = _counts("minifmm", AppVariant.SYNTHETIC)
+        assert c.as_dict() == {"DD": 75, "RT": 64, "RA": 57, "UA": 57, "UT": 76}
+
+    def test_nw_synthetic_counts(self):
+        c = _counts("nw", AppVariant.SYNTHETIC)
+        assert c.as_dict() == {"DD": 8, "RT": 0, "RA": 4, "UA": 1, "UT": 3}
+
+    def test_lud_synthetic_has_every_issue_class(self):
+        c = _counts("lud", AppVariant.SYNTHETIC)
+        assert all(v > 0 for v in c.as_dict().values())
+
+    def test_tealeaf_synthetic_dominates_baseline(self):
+        base = _counts("tealeaf", AppVariant.BASELINE)
+        syn = _counts("tealeaf", AppVariant.SYNTHETIC)
+        assert syn.duplicate_transfers > base.duplicate_transfers
+        assert syn.round_trips > 100 * base.round_trips
+
+
+class TestFixesImproveRuntime:
+    @pytest.mark.parametrize("name", ["bfs", "minife", "rsbench", "xsbench"])
+    def test_fixed_variant_is_faster(self, name):
+        app = get_app(name)
+        base = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.BASELINE))
+        fixed = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.FIXED))
+        assert fixed < base
+
+    def test_bfs_small_speedup_is_about_2x(self):
+        app = get_app("bfs")
+        base = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.BASELINE))
+        fixed = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.FIXED))
+        assert base / fixed == pytest.approx(2.1, rel=0.25)
+
+    def test_prediction_tracks_actual_for_bfs(self):
+        app = get_app("bfs")
+        profile = _TOOL.profile(app.build_program(ProblemSize.SMALL, AppVariant.BASELINE))
+        predicted = profile.analysis.potential.predicted_speedup
+        base = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.BASELINE))
+        fixed = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.FIXED))
+        actual = base / fixed
+        assert abs(predicted - actual) / actual < 0.4
+
+
+class TestHecBenchShapes:
+    def test_issue_classes_match_table2(self):
+        expected = {
+            "resize-omp": {"DD", "RA"},
+            "mandelbrot-omp": {"DD", "RA", "UA"},
+            "accuracy-omp": {"DD", "UA", "UT"},
+            "lif-omp": set(),
+            "bspline-vgh-omp": {"DD", "UA", "UT"},
+        }
+        for name, classes in expected.items():
+            counts = _counts(name, AppVariant.BASELINE)
+            assert set(counts.issue_classes()) == classes, name
+
+    def test_bspline_fix_reduces_h2d_call_count_by_99_percent(self):
+        app = get_app("bspline-vgh-omp")
+        before = _TOOL.profile(app.build_program(ProblemSize.MEDIUM, AppVariant.BASELINE))
+        after = _TOOL.profile(app.build_program(ProblemSize.MEDIUM, AppVariant.FIXED))
+        n_before = len(before.trace.transfers_to_devices())
+        n_after = len(after.trace.transfers_to_devices())
+        assert n_after <= n_before * 0.02
+
+    def test_hecbench_fixes_are_faster_or_equal(self):
+        for name in ("resize-omp", "mandelbrot-omp", "accuracy-omp", "bspline-vgh-omp"):
+            app = get_app(name)
+            base = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.BASELINE))
+            fixed = run_uninstrumented(app.build_program(ProblemSize.SMALL, AppVariant.FIXED))
+            assert fixed <= base
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["bfs", "hotspot", "rsbench"])
+    def test_repeated_runs_identical(self, name):
+        first = _counts(name, AppVariant.BASELINE)
+        second = _counts(name, AppVariant.BASELINE)
+        assert first == second

@@ -1,0 +1,165 @@
+"""Tests for the OMPT trace collector, overhead model, report and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze_trace
+from repro.core.collector import TraceCollector
+from repro.core.overhead import OverheadModel, overhead_accumulation_rate, space_overhead_bytes
+from repro.core.profiler import OMPDataPerf, run_uninstrumented
+from repro.events.records import DataOpKind, TargetKind
+from repro.omp.mapping import to, tofrom
+from repro.omp.runtime import OffloadRuntime
+from repro.ompt.interface import OmptInterface
+
+
+def listing1_program(rt: OffloadRuntime) -> None:
+    """The paper's Listing 1: array `a` mapped to two consecutive regions."""
+    a = np.arange(256, dtype=np.float64)
+    total = np.zeros(1)
+    prod = np.ones(1)
+    rt.target(maps=[to(a), tofrom(total)], reads=[a], writes=[total],
+              kernel=lambda dev: dev[total].__setitem__(0, dev[a].sum()))
+    rt.target(maps=[to(a), tofrom(prod)], reads=[a], writes=[prod],
+              kernel=lambda dev: dev[prod].__setitem__(0, dev[a][:4].prod()))
+
+
+class TestOverheadModel:
+    def test_hash_rate_regimes(self):
+        model = OverheadModel()
+        assert model.hash_rate(1024) == model.hash_rate_cached
+        assert model.hash_rate(model.llc_bytes + 1) == model.hash_rate_streaming
+
+    def test_hash_time_monotone_in_size(self):
+        model = OverheadModel()
+        assert model.hash_time(1 << 20) < model.hash_time(1 << 26)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadModel(hash_rate_cached=0.0)
+        with pytest.raises(ValueError):
+            OverheadModel(per_event_seconds=-1.0)
+        with pytest.raises(ValueError):
+            OverheadModel().hash_time(-1)
+
+    def test_space_overhead_formula(self):
+        assert space_overhead_bytes(10, 5) == 10 * 72 + 5 * 24
+        with pytest.raises(ValueError):
+            space_overhead_bytes(-1, 0)
+
+
+class TestCollector:
+    def _run(self, collector: TraceCollector):
+        ompt = OmptInterface()
+        ompt.connect_tool(collector)
+        rt = OffloadRuntime(ompt=ompt)
+        listing1_program(rt)
+        total = rt.finish()
+        return collector.finish_trace(total_runtime=total, program_name="listing1"), rt
+
+    def test_records_all_event_classes(self):
+        collector = TraceCollector()
+        trace, _ = self._run(collector)
+        kinds = {e.kind for e in trace.data_op_events}
+        assert DataOpKind.ALLOC in kinds
+        assert DataOpKind.TRANSFER_TO_DEVICE in kinds
+        assert DataOpKind.DELETE in kinds
+        assert all(t.kind is TargetKind.TARGET for t in trace.target_events)
+        assert len(trace.target_events) == 2
+
+    def test_transfers_are_hashed(self):
+        collector = TraceCollector()
+        trace, _ = self._run(collector)
+        for event in trace.transfers():
+            assert event.content_hash is not None
+
+    def test_identical_payloads_share_hash(self):
+        collector = TraceCollector()
+        trace, _ = self._run(collector)
+        to_device = [e for e in trace.transfers_to_devices() if e.nbytes == 256 * 8]
+        assert len(to_device) == 2
+        assert to_device[0].content_hash == to_device[1].content_hash
+
+    def test_overhead_charged_to_clock(self):
+        collector = TraceCollector(overhead_model=OverheadModel())
+        _, rt = self._run(collector)
+        assert rt.clock.tool_overhead > 0.0
+
+    def test_zero_overhead_mode(self):
+        collector = TraceCollector(overhead_model=None)
+        _, rt = self._run(collector)
+        assert rt.clock.tool_overhead == 0.0
+
+    def test_collision_audit_mode(self):
+        collector = TraceCollector(audit_collisions=True)
+        self._run(collector)
+        assert collector.auditor is not None
+        assert collector.auditor.observed == collector.hashed_payloads
+        assert collector.auditor.is_collision_free()
+
+    def test_finalize_flag(self):
+        collector = TraceCollector()
+        self._run(collector)
+        assert collector.finalized
+
+    def test_accumulation_rate(self):
+        collector = TraceCollector()
+        trace, _ = self._run(collector)
+        assert overhead_accumulation_rate(trace) > 0.0
+
+
+class TestProfiler:
+    def test_profile_detects_listing1_issues(self):
+        result = OMPDataPerf().profile(listing1_program, program_name="listing1")
+        counts = result.analysis.counts
+        assert counts.duplicate_transfers >= 1
+        assert counts.repeated_allocations >= 1
+        assert result.instrumented_runtime > 0.0
+        assert result.tool_overhead > 0.0
+        assert result.space_overhead_bytes == result.trace.space_overhead_bytes()
+
+    def test_instrumented_runtime_exceeds_native(self):
+        result = OMPDataPerf().profile(listing1_program)
+        native = run_uninstrumented(listing1_program)
+        assert result.instrumented_runtime > native
+        assert result.native_runtime_estimate == pytest.approx(native, rel=0.05)
+
+    def test_offline_analysis_of_saved_trace(self, tmp_path):
+        result = OMPDataPerf().profile(listing1_program, program_name="listing1")
+        path = tmp_path / "trace.json"
+        result.trace.save(path)
+        from repro.events.trace import Trace
+
+        loaded = Trace.load(path)
+        offline = OMPDataPerf().analyze(loaded)
+        assert offline.counts == result.analysis.counts
+
+    def test_report_rendering_contains_sections(self):
+        result = OMPDataPerf().profile(listing1_program, program_name="listing1")
+        text = result.render_report()
+        assert "Duplicate Target Data Transfer Analysis" in text
+        assert "Round-Trip Target Data Transfer Analysis" in text
+        assert "Repeated Device Memory Allocation Analysis" in text
+        assert "Optimization Potential" in text
+        assert "predicted speedup" in text
+
+    def test_source_attribution_in_report(self):
+        result = OMPDataPerf().profile(listing1_program, program_name="listing1")
+        # The duplicate finding should be attributed to this test file.
+        assert "test_collector_and_profiler.py" in result.render_report()
+
+    def test_analysis_without_debug_info_uses_raw_pointers(self):
+        result = OMPDataPerf().profile(listing1_program, program_name="listing1")
+        report = analyze_trace(result.trace, debug_info=None)
+        assert "0x0000" in report.render() or "0x" in report.render()
+
+    def test_multi_device_profiling(self):
+        def program(rt: OffloadRuntime) -> None:
+            a = np.arange(64, dtype=np.float64)
+            for device in range(2):
+                rt.target(maps=[to(a)], reads=[a], kernel=None, device_num=device)
+
+        result = OMPDataPerf().profile(program, num_devices=2)
+        assert result.trace.num_devices == 2
+        devices_seen = {e.dest_device_num for e in result.trace.transfers_to_devices()}
+        assert devices_seen == {0, 1}

@@ -1,0 +1,306 @@
+"""Unit tests for the five detection algorithms (Section 5).
+
+The scenarios mirror the paper's own examples: Listing 1 (duplicate
+transfers), Listing 2 (round trips + repeated allocations), and the unused
+mapping definitions of Section 4.4.
+"""
+
+import pytest
+
+from repro.core.detectors.duplicates import count_redundant_transfers, find_duplicate_transfers
+from repro.core.detectors.repeated_allocs import (
+    count_redundant_allocations,
+    find_repeated_allocations,
+)
+from repro.core.detectors.roundtrips import count_round_trips, find_round_trips
+from repro.core.detectors.unused_allocs import find_unused_allocations
+from repro.core.detectors.unused_transfers import find_unused_transfers
+
+from tests.conftest import TraceBuilder
+
+
+class TestDuplicateTransfers:
+    def test_no_duplicates_in_distinct_payloads(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=1)
+        b.h2d(0x2, 0xB, content_hash=2)
+        assert find_duplicate_transfers(b.build().data_op_events) == []
+
+    def test_listing1_duplicate_detected(self):
+        # Listing 1: array `a` transferred before each of two target regions.
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=7)
+        b.kernel()
+        b.h2d(0x1, 0xB, content_hash=7)
+        b.kernel()
+        groups = find_duplicate_transfers(b.build().data_op_events)
+        assert len(groups) == 1
+        assert groups[0].num_redundant == 1
+        assert count_redundant_transfers(groups) == 1
+
+    def test_same_hash_different_destinations_not_grouped(self):
+        b = TraceBuilder(num_devices=2)
+        b.h2d(0x1, 0xA, content_hash=7, device=0)
+        b.h2d(0x1, 0xB, content_hash=7, device=1)
+        assert find_duplicate_transfers(b.build().data_op_events) == []
+
+    def test_host_as_receiver_counts(self):
+        b = TraceBuilder()
+        b.d2h(0x1, 0xA, content_hash=9)
+        b.d2h(0x1, 0xA, content_hash=9)
+        groups = find_duplicate_transfers(b.build().data_op_events)
+        assert len(groups) == 1
+        assert groups[0].dest_device_num == b.host
+
+    def test_min_bytes_filter(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=7, nbytes=8)
+        b.h2d(0x1, 0xB, content_hash=7, nbytes=8)
+        events = b.build().data_op_events
+        assert find_duplicate_transfers(events, min_bytes=16) == []
+        assert len(find_duplicate_transfers(events, min_bytes=0)) == 1
+
+    def test_missing_hash_rejected(self):
+        b = TraceBuilder()
+        event = b.h2d(0x1, 0xA, content_hash=7)
+        object.__setattr__(event, "content_hash", None)
+        with pytest.raises(ValueError):
+            find_duplicate_transfers(b.build().data_op_events)
+
+    def test_wasted_time_excludes_first_receipt(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=7, duration=1e-3)
+        b.h2d(0x1, 0xB, content_hash=7, duration=2e-3)
+        groups = find_duplicate_transfers(b.build().data_op_events)
+        assert groups[0].wasted_time == pytest.approx(2e-3)
+
+
+class TestRoundTrips:
+    def test_listing2_round_trips(self):
+        # Listing 2: a kernel in a loop with an implicit tofrom mapping; the
+        # host re-sends the unmodified intermediate result each iteration.
+        b = TraceBuilder()
+        hashes = [10, 11, 12, 13]
+        for i in range(3):
+            b.h2d(0x1, 0xA, content_hash=hashes[i])
+            b.kernel()
+            b.d2h(0x1, 0xA, content_hash=hashes[i + 1])
+        groups = find_round_trips(b.build().data_op_events)
+        # Each device-to-host result is sent back unchanged the next iteration.
+        assert count_round_trips(groups) == 2
+
+    def test_unmodified_tofrom_is_one_trip(self):
+        # rsbench/xsbench: an input struct mapped tofrom, never modified.
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=5)
+        b.kernel()
+        b.d2h(0x1, 0xA, content_hash=5)
+        groups = find_round_trips(b.build().data_op_events)
+        assert count_round_trips(groups) == 1
+        trip = groups[0].trips[0]
+        assert trip.tx_event.kind.value == "transfer_to_device"
+        assert trip.rx_event.kind.value == "transfer_from_device"
+
+    def test_modified_data_is_not_a_round_trip(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=5)
+        b.kernel()
+        b.d2h(0x1, 0xA, content_hash=6)
+        assert find_round_trips(b.build().data_op_events) == []
+
+    def test_every_outbound_send_matches_a_single_return(self):
+        # Algorithm 2 deliberately lets one return receipt complete the trip
+        # of every earlier outbound send of the same payload: this is what
+        # makes the bfs termination flag report 10 round trips in Table 1
+        # even though the flag only travels back once with that value.
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=5)
+        b.h2d(0x2, 0xB, content_hash=5)  # second send of the same payload
+        b.kernel()
+        b.d2h(0x1, 0xA, content_hash=5)  # only one return
+        groups = find_round_trips(b.build().data_op_events)
+        assert count_round_trips(groups) == 2
+
+    def test_outbound_receipt_not_reused_as_completion(self):
+        # The dequeue step of Algorithm 2: after a send completes a trip, its
+        # own receipt at the destination cannot also serve as the completion
+        # of a later transfer travelling the other way.
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=5)   # host -> device
+        b.kernel()
+        b.d2h(0x1, 0xA, content_hash=5)   # device -> host (trip 1 completes)
+        b.h2d(0x1, 0xA, content_hash=5)   # host -> device again (trip 2 completes)
+        groups = find_round_trips(b.build().data_op_events)
+        assert count_round_trips(groups) == 2
+
+    def test_grouping_by_devices(self):
+        b = TraceBuilder(num_devices=2)
+        for device in (0, 1):
+            b.h2d(0x1, 0xA + device, content_hash=5 + device, device=device)
+            b.kernel(device=device)
+            b.d2h(0x1, 0xA + device, content_hash=5 + device, device=device)
+        groups = find_round_trips(b.build().data_op_events)
+        assert len(groups) == 2
+        assert {g.dest_device_num for g in groups} == {0, 1}
+
+
+class TestRepeatedAllocations:
+    def test_single_allocation_not_reported(self):
+        b = TraceBuilder()
+        b.alloc(0x1, 0xA)
+        b.kernel()
+        b.delete(0x1, 0xA)
+        assert find_repeated_allocations(b.build().data_op_events) == []
+
+    def test_per_kernel_reallocation_detected(self):
+        b = TraceBuilder()
+        for _ in range(3):
+            b.alloc(0x1, 0xA, nbytes=256)
+            b.kernel()
+            b.delete(0x1, 0xA, nbytes=256)
+        groups = find_repeated_allocations(b.build().data_op_events)
+        assert len(groups) == 1
+        assert groups[0].num_allocations == 3
+        assert count_redundant_allocations(groups) == 2
+
+    def test_size_is_part_of_the_key(self):
+        # Section 5.3: the allocation size disambiguates address reuse.
+        b = TraceBuilder()
+        b.alloc(0x1, 0xA, nbytes=256)
+        b.kernel()
+        b.delete(0x1, 0xA, nbytes=256)
+        b.alloc(0x1, 0xA, nbytes=512)
+        b.kernel()
+        b.delete(0x1, 0xA, nbytes=512)
+        assert find_repeated_allocations(b.build().data_op_events) == []
+
+    def test_live_allocation_excluded_by_default(self):
+        b = TraceBuilder()
+        b.alloc(0x1, 0xA)
+        b.kernel()
+        b.delete(0x1, 0xA)
+        b.alloc(0x1, 0xA)  # still live at program end
+        events = b.build().data_op_events
+        assert find_repeated_allocations(events) == []
+        relaxed = find_repeated_allocations(events, require_deletion=False)
+        assert len(relaxed) == 1
+
+    def test_removable_events_keep_first_alloc_and_last_delete(self):
+        b = TraceBuilder()
+        allocs, deletes = [], []
+        for _ in range(3):
+            allocs.append(b.alloc(0x1, 0xA))
+            b.kernel()
+            deletes.append(b.delete(0x1, 0xA))
+        groups = find_repeated_allocations(b.build().data_op_events)
+        removable = {e.seq for e in groups[0].removable_events()}
+        assert allocs[0].seq not in removable
+        assert deletes[-1].seq not in removable
+        assert {allocs[1].seq, allocs[2].seq, deletes[0].seq, deletes[1].seq} <= removable
+
+
+class TestUnusedAllocations:
+    def test_allocation_overlapping_kernel_is_used(self):
+        b = TraceBuilder()
+        b.alloc(0x1, 0xA)
+        b.kernel()
+        b.delete(0x1, 0xA)
+        trace = b.build()
+        assert find_unused_allocations(trace.target_events, trace.data_op_events, 1) == []
+
+    def test_allocation_between_kernels_is_unused(self):
+        b = TraceBuilder()
+        b.kernel()
+        b.idle(1e-6)
+        b.alloc(0x1, 0xA)
+        b.delete(0x1, 0xA)
+        b.idle(1e-6)
+        b.kernel()
+        trace = b.build()
+        unused = find_unused_allocations(trace.target_events, trace.data_op_events, 1)
+        assert len(unused) == 1
+
+    def test_allocation_after_last_kernel_is_unused(self):
+        b = TraceBuilder()
+        b.kernel()
+        b.idle(1e-6)
+        b.alloc(0x1, 0xA)
+        b.delete(0x1, 0xA)
+        trace = b.build()
+        assert len(find_unused_allocations(trace.target_events, trace.data_op_events, 1)) == 1
+
+    def test_never_deleted_allocation_uses_trace_end(self):
+        b = TraceBuilder()
+        b.alloc(0x1, 0xA)
+        b.kernel()
+        trace = b.build()
+        assert find_unused_allocations(trace.target_events, trace.data_op_events, 1) == []
+
+    def test_per_device_separation(self):
+        b = TraceBuilder(num_devices=2)
+        b.kernel(device=0)
+        b.idle(1e-6)
+        # The allocation on device 1 never overlaps a kernel on device 1.
+        b.alloc(0x1, 0xA, device=1)
+        b.delete(0x1, 0xA, device=1)
+        b.idle(1e-6)
+        b.kernel(device=0)
+        trace = b.build()
+        unused = find_unused_allocations(trace.target_events, trace.data_op_events, 2)
+        assert len(unused) == 1
+        assert unused[0].device_num == 1
+
+
+class TestUnusedTransfers:
+    def test_transfer_consumed_by_kernel_is_used(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=1)
+        b.kernel()
+        trace = b.build()
+        assert find_unused_transfers(trace.target_events, trace.data_op_events, 1) == []
+
+    def test_overwritten_transfer_is_unused(self):
+        b = TraceBuilder()
+        first = b.h2d(0x1, 0xA, content_hash=1)
+        b.h2d(0x1, 0xA, content_hash=2)  # overwrites before any kernel
+        b.kernel()
+        trace = b.build()
+        unused = find_unused_transfers(trace.target_events, trace.data_op_events, 1)
+        assert [u.event.seq for u in unused] == [first.seq]
+        assert unused[0].reason == "overwritten"
+
+    def test_transfer_after_last_kernel_is_unused(self):
+        b = TraceBuilder()
+        b.kernel()
+        b.idle(1e-6)
+        b.h2d(0x1, 0xA, content_hash=1)
+        trace = b.build()
+        unused = find_unused_transfers(trace.target_events, trace.data_op_events, 1)
+        assert len(unused) == 1
+        assert unused[0].reason == "after_last_kernel"
+
+    def test_kernel_between_transfers_clears_candidates(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=1)
+        b.kernel()
+        b.h2d(0x1, 0xA, content_hash=2)
+        b.kernel()
+        trace = b.build()
+        assert find_unused_transfers(trace.target_events, trace.data_op_events, 1) == []
+
+    def test_transfers_to_host_ignored(self):
+        b = TraceBuilder()
+        b.kernel()
+        b.idle(1e-6)
+        b.d2h(0x1, 0xA, content_hash=1)
+        b.d2h(0x1, 0xA, content_hash=2)
+        trace = b.build()
+        assert find_unused_transfers(trace.target_events, trace.data_op_events, 1) == []
+
+    def test_different_host_addresses_do_not_overwrite(self):
+        b = TraceBuilder()
+        b.h2d(0x1, 0xA, content_hash=1)
+        b.h2d(0x2, 0xB, content_hash=2)
+        b.kernel()
+        trace = b.build()
+        assert find_unused_transfers(trace.target_events, trace.data_op_events, 1) == []

@@ -1,0 +1,137 @@
+"""Property-based tests for the detectors over randomly generated traces.
+
+A random but *well-formed* mapping history is generated (alloc → transfers →
+kernels → delete, per variable, per device), and structural invariants of the
+detector outputs are checked against brute-force oracles where feasible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import analyze_trace
+from repro.core.detectors.duplicates import count_redundant_transfers, find_duplicate_transfers
+from repro.core.detectors.repeated_allocs import find_repeated_allocations
+from repro.core.detectors.roundtrips import count_round_trips, find_round_trips
+from repro.core.detectors.unused_allocs import find_unused_allocations
+from repro.core.detectors.unused_transfers import find_unused_transfers
+
+from tests.conftest import TraceBuilder
+
+# One step of a variable's history: which operation happens next.
+_STEP = st.sampled_from(["h2d", "d2h", "kernel", "remap", "idle"])
+
+
+@st.composite
+def mapping_traces(draw):
+    """Generate a well-formed single-device trace of mapping activity."""
+    num_vars = draw(st.integers(min_value=1, max_value=4))
+    steps = draw(st.lists(st.tuples(st.integers(0, num_vars - 1), _STEP),
+                          min_size=1, max_size=40))
+    hash_pool = draw(st.lists(st.integers(1, 6), min_size=1, max_size=6))
+
+    b = TraceBuilder()
+    mapped: dict[int, int] = {}  # var -> device addr
+    next_addr = 0xA000
+    for var, step in steps:
+        host_addr = 0x100 + var * 0x10
+        if step == "kernel":
+            b.kernel()
+            continue
+        if step == "idle":
+            b.idle(1e-5)
+            continue
+        if var not in mapped:
+            mapped[var] = next_addr
+            next_addr += 0x100
+            b.alloc(host_addr, mapped[var])
+        content = hash_pool[(var + len(b.trace.data_op_events)) % len(hash_pool)]
+        if step == "h2d":
+            b.h2d(host_addr, mapped[var], content_hash=content)
+        elif step == "d2h":
+            b.d2h(host_addr, mapped[var], content_hash=content)
+        elif step == "remap":
+            b.delete(host_addr, mapped[var])
+            b.alloc(host_addr, mapped[var])
+    for var, addr in mapped.items():
+        b.delete(0x100 + var * 0x10, addr)
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces())
+def test_duplicate_counts_match_bruteforce_oracle(trace):
+    groups = find_duplicate_transfers(trace.data_op_events)
+    # Oracle: for every (hash, destination) pair with n receipts, n-1 are redundant.
+    receipts = Counter(
+        (e.content_hash, e.dest_device_num) for e in trace.data_op_events if e.is_transfer
+    )
+    expected = sum(n - 1 for n in receipts.values() if n >= 2)
+    assert count_redundant_transfers(groups) == expected
+    for group in groups:
+        assert group.num_transfers >= 2
+        hashes = {e.content_hash for e in group.events}
+        destinations = {e.dest_device_num for e in group.events}
+        assert hashes == {group.content_hash}
+        assert destinations == {group.dest_device_num}
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces())
+def test_round_trip_invariants(trace):
+    groups = find_round_trips(trace.data_op_events)
+    transfers = [e for e in trace.data_op_events if e.is_transfer]
+    assert count_round_trips(groups) <= len(transfers)
+    for group in groups:
+        for trip in group.trips:
+            # The two legs carry the same payload and the return leg arrives
+            # at the original sender after the outbound leg completed.
+            assert trip.tx_event.content_hash == trip.rx_event.content_hash
+            assert trip.rx_event.dest_device_num == trip.tx_event.src_device_num
+            assert trip.rx_event.start_time >= trip.tx_event.end_time
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces())
+def test_repeated_allocation_invariants(trace):
+    groups = find_repeated_allocations(trace.data_op_events)
+    for group in groups:
+        assert group.num_allocations >= 2
+        for pair in group.allocations:
+            assert pair.host_addr == group.host_addr
+            assert pair.nbytes == group.nbytes
+            assert pair.delete_event is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces())
+def test_unused_findings_reference_trace_events(trace):
+    unused_allocs = find_unused_allocations(trace.target_events, trace.data_op_events, 1)
+    unused_txs = find_unused_transfers(trace.target_events, trace.data_op_events, 1)
+    all_seqs = {e.seq for e in trace.data_op_events}
+    kernel_spans = [(k.start_time, k.end_time) for k in trace.kernel_events()]
+
+    for finding in unused_allocs:
+        start, end = finding.pair.lifetime(trace.end_time)
+        # Oracle: the allocation's lifetime really does avoid every kernel.
+        assert all(ke < start or ks > end for ks, ke in kernel_spans)
+
+    for finding in unused_txs:
+        assert finding.event.seq in all_seqs
+        assert finding.event.dest_device_num == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(mapping_traces())
+def test_analysis_is_deterministic_and_bounded(trace):
+    first = analyze_trace(trace)
+    second = analyze_trace(trace)
+    assert first.counts == second.counts
+    potential = first.potential
+    # Removing operations can never save more time than the program spent.
+    assert 0.0 <= potential.predicted_time_saved <= trace.runtime + 1e-12
+    assert potential.predicted_speedup >= 1.0
+    assert potential.predicted_ops_saved == len(potential.removable_event_seqs)
+    assert potential.removable_event_seqs <= {e.seq for e in trace.data_op_events}

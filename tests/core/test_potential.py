@@ -1,0 +1,83 @@
+"""Tests for the optimization-potential estimator."""
+
+import pytest
+
+from repro.core.analysis import analyze_trace
+from repro.core.potential import estimate_potential
+from repro.core.detectors.duplicates import find_duplicate_transfers
+from repro.core.detectors.roundtrips import find_round_trips
+
+from tests.conftest import TraceBuilder
+
+
+def test_no_findings_means_no_savings():
+    b = TraceBuilder()
+    b.h2d(0x1, 0xA, content_hash=1)
+    b.kernel()
+    trace = b.build()
+    potential = estimate_potential(trace)
+    assert potential.predicted_time_saved == 0.0
+    assert potential.predicted_speedup == pytest.approx(1.0)
+    assert potential.predicted_runtime == pytest.approx(trace.runtime)
+
+
+def test_duplicate_savings_equal_redundant_transfer_time():
+    b = TraceBuilder()
+    b.h2d(0x1, 0xA, content_hash=1, duration=1e-3)
+    b.kernel(duration=5e-3)
+    b.h2d(0x1, 0xB, content_hash=1, duration=2e-3)
+    b.kernel(duration=5e-3)
+    trace = b.build()
+    groups = find_duplicate_transfers(trace.data_op_events)
+    potential = estimate_potential(trace, duplicate_groups=groups)
+    assert potential.predicted_time_saved == pytest.approx(2e-3)
+    assert potential.predicted_bytes_saved == 1024
+    assert potential.predicted_ops_saved == 1
+    expected_speedup = trace.runtime / (trace.runtime - 2e-3)
+    assert potential.predicted_speedup == pytest.approx(expected_speedup)
+
+
+def test_events_shared_between_findings_counted_once():
+    # A transfer that is both a duplicate and a round-trip leg must only be
+    # credited once in the savings estimate.
+    b = TraceBuilder()
+    b.h2d(0x1, 0xA, content_hash=1, duration=1e-3)
+    b.kernel()
+    b.d2h(0x1, 0xA, content_hash=1, duration=1e-3)
+    b.h2d(0x1, 0xA, content_hash=1, duration=1e-3)
+    b.kernel()
+    trace = b.build()
+    duplicates = find_duplicate_transfers(trace.data_op_events)
+    roundtrips = find_round_trips(trace.data_op_events)
+    assert duplicates and roundtrips
+    combined = estimate_potential(
+        trace, duplicate_groups=duplicates, round_trip_groups=roundtrips
+    )
+    only_roundtrips = estimate_potential(trace, round_trip_groups=roundtrips)
+    assert combined.predicted_ops_saved <= 3
+    assert combined.predicted_time_saved >= only_roundtrips.predicted_time_saved
+    assert combined.predicted_time_saved <= trace.total_transfer_time() + 1e-12
+
+
+def test_speedup_is_infinite_when_everything_is_removable():
+    b = TraceBuilder()
+    b.h2d(0x1, 0xA, content_hash=1, duration=1.0)
+    b.h2d(0x1, 0xA, content_hash=1, duration=1.0)
+    trace = b.build()
+    trace.total_runtime = 2.0
+    groups = find_duplicate_transfers(trace.data_op_events)
+    # Force both events removable by also treating the trace as round trips.
+    potential = estimate_potential(trace, duplicate_groups=groups)
+    assert potential.predicted_speedup > 1.0
+
+
+def test_as_dict_contains_all_metrics():
+    b = TraceBuilder()
+    b.h2d(0x1, 0xA, content_hash=1)
+    b.h2d(0x1, 0xA, content_hash=1)
+    b.kernel()
+    report = analyze_trace(b.build())
+    d = report.potential.as_dict()
+    for key in ("measured_runtime", "predicted_time_saved", "predicted_speedup",
+                "predicted_runtime", "predicted_ops_saved"):
+        assert key in d

@@ -1,0 +1,142 @@
+"""Tests for the event record types and alloc/delete pairing."""
+
+import pytest
+
+from repro.events.records import (
+    AllocationPair,
+    DataOpEvent,
+    DataOpKind,
+    TargetEvent,
+    TargetKind,
+    get_alloc_delete_pairs,
+    sort_events_by_device,
+)
+
+
+def _transfer(seq=0, **kwargs):
+    defaults = dict(
+        seq=seq, kind=DataOpKind.TRANSFER_TO_DEVICE, src_device_num=1, dest_device_num=0,
+        src_addr=0x1000, dest_addr=0x2000, nbytes=64, start_time=0.0, end_time=1.0,
+        content_hash=42,
+    )
+    defaults.update(kwargs)
+    return DataOpEvent(**defaults)
+
+
+class TestDataOpEvent:
+    def test_duration(self):
+        assert _transfer(start_time=1.0, end_time=3.5).duration == pytest.approx(2.5)
+
+    def test_transfer_requires_hash(self):
+        with pytest.raises(ValueError):
+            _transfer(content_hash=None)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            _transfer(nbytes=-1)
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            _transfer(start_time=2.0, end_time=1.0)
+
+    def test_kind_predicates(self):
+        assert _transfer().is_transfer
+        alloc = _transfer(kind=DataOpKind.ALLOC, content_hash=None)
+        assert alloc.is_alloc and not alloc.is_transfer
+        delete = _transfer(kind=DataOpKind.DELETE, content_hash=None)
+        assert delete.is_delete
+
+    def test_dict_round_trip(self):
+        event = _transfer(seq=7, variable="a")
+        assert DataOpEvent.from_dict(event.to_dict()) == event
+
+
+class TestTargetEvent:
+    def test_kernel_predicate(self):
+        kernel = TargetEvent(seq=0, kind=TargetKind.TARGET, device_num=0,
+                             start_time=0.0, end_time=1.0)
+        update = TargetEvent(seq=1, kind=TargetKind.UPDATE, device_num=0,
+                             start_time=1.0, end_time=2.0)
+        assert kernel.executes_kernel
+        assert not update.executes_kernel
+
+    def test_dict_round_trip(self):
+        event = TargetEvent(seq=3, kind=TargetKind.ENTER_DATA, device_num=1,
+                            start_time=0.5, end_time=0.6, name="region")
+        assert TargetEvent.from_dict(event.to_dict()) == event
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TargetEvent(seq=0, kind=TargetKind.TARGET, device_num=0,
+                        start_time=1.0, end_time=0.0)
+
+
+class TestAllocationPair:
+    def _alloc(self, seq=0, addr=0x2000):
+        return DataOpEvent(seq=seq, kind=DataOpKind.ALLOC, src_device_num=1,
+                           dest_device_num=0, src_addr=0x1000, dest_addr=addr,
+                           nbytes=256, start_time=float(seq), end_time=float(seq) + 0.5)
+
+    def _delete(self, seq=1, addr=0x2000):
+        return DataOpEvent(seq=seq, kind=DataOpKind.DELETE, src_device_num=1,
+                           dest_device_num=0, src_addr=0x1000, dest_addr=addr,
+                           nbytes=256, start_time=float(seq), end_time=float(seq) + 0.25)
+
+    def test_requires_matching_kinds(self):
+        with pytest.raises(ValueError):
+            AllocationPair(alloc_event=self._delete())
+        with pytest.raises(ValueError):
+            AllocationPair(alloc_event=self._alloc(), delete_event=self._alloc(seq=1))
+
+    def test_lifetime_with_and_without_delete(self):
+        pair = AllocationPair(self._alloc(0), self._delete(5))
+        assert pair.lifetime(trace_end=100.0) == (0.0, 5.25)
+        open_pair = AllocationPair(self._alloc(0))
+        assert open_pair.lifetime(trace_end=100.0) == (0.0, 100.0)
+
+    def test_duration_sums_both_operations(self):
+        pair = AllocationPair(self._alloc(0), self._delete(5))
+        assert pair.duration == pytest.approx(0.75)
+
+
+class TestGetAllocDeletePairs:
+    def test_pairs_in_order(self):
+        builder = []
+        a1 = DataOpEvent(seq=0, kind=DataOpKind.ALLOC, src_device_num=1, dest_device_num=0,
+                         src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=0, end_time=1)
+        d1 = DataOpEvent(seq=1, kind=DataOpKind.DELETE, src_device_num=1, dest_device_num=0,
+                         src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=2, end_time=3)
+        a2 = DataOpEvent(seq=2, kind=DataOpKind.ALLOC, src_device_num=1, dest_device_num=0,
+                         src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=4, end_time=5)
+        pairs = get_alloc_delete_pairs([a1, d1, a2])
+        assert len(pairs) == 2
+        assert pairs[0].alloc_event == a1 and pairs[0].delete_event == d1
+        assert pairs[1].alloc_event == a2 and pairs[1].delete_event is None
+
+    def test_unmatched_delete_ignored(self):
+        d = DataOpEvent(seq=0, kind=DataOpKind.DELETE, src_device_num=1, dest_device_num=0,
+                        src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=0, end_time=1)
+        assert get_alloc_delete_pairs([d]) == []
+
+    def test_same_address_different_devices_kept_separate(self):
+        a0 = DataOpEvent(seq=0, kind=DataOpKind.ALLOC, src_device_num=2, dest_device_num=0,
+                         src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=0, end_time=1)
+        a1 = DataOpEvent(seq=1, kind=DataOpKind.ALLOC, src_device_num=2, dest_device_num=1,
+                         src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=1, end_time=2)
+        d0 = DataOpEvent(seq=2, kind=DataOpKind.DELETE, src_device_num=2, dest_device_num=1,
+                         src_addr=0x10, dest_addr=0xA0, nbytes=8, start_time=3, end_time=4)
+        pairs = get_alloc_delete_pairs([a0, a1, d0])
+        by_dev = {p.device_num: p for p in pairs}
+        assert by_dev[0].delete_event is None
+        assert by_dev[1].delete_event == d0
+
+
+def test_sort_events_by_device_buckets_and_drops_host():
+    host = 2
+    kernel0 = TargetEvent(seq=0, kind=TargetKind.TARGET, device_num=0, start_time=0, end_time=1)
+    kernel1 = TargetEvent(seq=1, kind=TargetKind.TARGET, device_num=1, start_time=1, end_time=2)
+    to_host = _transfer(seq=2, kind=DataOpKind.TRANSFER_FROM_DEVICE,
+                        src_device_num=0, dest_device_num=host)
+    buckets = sort_events_by_device([kernel0, kernel1, to_host], num_devices=2)
+    assert buckets[0] == [kernel0]
+    assert buckets[1] == [kernel1]

@@ -1,0 +1,85 @@
+"""Tests for trace validation."""
+
+import pytest
+
+from repro.events.records import DataOpEvent, DataOpKind
+from repro.events.trace import Trace
+from repro.events.validation import TraceValidationError, validate_trace
+
+from tests.conftest import TraceBuilder
+
+
+def _valid_trace() -> Trace:
+    b = TraceBuilder()
+    b.alloc(0x1, 0xA)
+    b.h2d(0x1, 0xA, content_hash=5)
+    b.kernel()
+    b.delete(0x1, 0xA)
+    return b.build()
+
+
+def test_valid_trace_passes():
+    assert validate_trace(_valid_trace()) == []
+
+
+def test_out_of_order_events_detected():
+    trace = _valid_trace()
+    trace.data_op_events.reverse()
+    problems = validate_trace(trace, strict=False)
+    assert any("chronological" in p for p in problems)
+
+
+def test_strict_mode_raises():
+    trace = _valid_trace()
+    trace.data_op_events.reverse()
+    with pytest.raises(TraceValidationError):
+        validate_trace(trace)
+
+
+def test_unknown_device_detected():
+    trace = _valid_trace()
+    bad = DataOpEvent(
+        seq=99, kind=DataOpKind.ALLOC, src_device_num=1, dest_device_num=7,
+        src_addr=0x1, dest_addr=0xB, nbytes=8,
+        start_time=trace.end_time, end_time=trace.end_time + 1,
+    )
+    trace.data_op_events.append(bad)
+    trace.total_runtime = None
+    problems = validate_trace(trace, strict=False)
+    assert any("unknown destination device" in p for p in problems)
+
+
+def test_duplicate_sequence_numbers_detected():
+    trace = _valid_trace()
+    trace.data_op_events.append(trace.data_op_events[-1])
+    problems = validate_trace(trace, strict=False)
+    assert any("duplicate data-op event sequence" in p for p in problems)
+
+
+def test_live_address_reuse_detected():
+    b = TraceBuilder()
+    b.alloc(0x1, 0xA)
+    b.alloc(0x2, 0xA)  # same device address while the first is still live
+    problems = validate_trace(b.build(), strict=False)
+    assert any("reuses a live device address" in p for p in problems)
+
+
+def test_transfer_between_same_device_detected():
+    b = TraceBuilder()
+    event = b.h2d(0x1, 0xA, content_hash=1)
+    object.__setattr__(event, "src_device_num", event.dest_device_num)
+    problems = validate_trace(b.build(), strict=False)
+    assert any("identical source and destination" in p for p in problems)
+
+
+def test_total_runtime_before_last_event_detected():
+    trace = _valid_trace()
+    trace.total_runtime = trace.end_time / 2.0
+    problems = validate_trace(trace, strict=False)
+    assert any("total_runtime" in p for p in problems)
+
+
+def test_zero_devices_detected():
+    trace = Trace(num_devices=0)
+    problems = validate_trace(trace, strict=False)
+    assert any("at least one target device" in p for p in problems)

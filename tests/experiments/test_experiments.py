@@ -1,0 +1,157 @@
+"""Integration tests for the experiment harness (quick configurations)."""
+
+import pytest
+
+from repro.apps.base import AppVariant, ProblemSize
+from repro.experiments import (
+    fig2_overhead,
+    fig3_space,
+    fig4_speedup,
+    fig5_hash_throughput,
+    table1_issues,
+    table2_comparison,
+    table3_runtime,
+    table4_hashrate,
+    table5_inputs,
+    table6_ompt_support,
+)
+from repro.experiments.common import RunCache
+from repro.experiments.runner import available_experiments, run_experiments
+
+_SMALL = [ProblemSize.SMALL]
+_FAST_APPS = ("bfs", "hotspot", "rsbench", "xsbench")
+_CACHE = RunCache()
+
+
+class TestFig2AndFig3:
+    def test_overhead_rows_and_aggregates(self):
+        result = fig2_overhead.run(apps=_FAST_APPS, sizes=_SMALL, cache=_CACHE)
+        assert len(result.rows) == len(_FAST_APPS)
+        for row in result.rows:
+            assert row.slowdown >= 1.0
+        assert result.geometric_mean_slowdown >= 1.0
+        assert result.worst_slowdown < 2.0
+        assert "geometric-mean slowdown" in fig2_overhead.render(result)
+
+    def test_space_overhead_rows(self):
+        result = fig3_space.run(apps=_FAST_APPS, sizes=_SMALL, cache=_CACHE)
+        for row in result.rows:
+            assert row.overhead_bytes == 72 * row.num_data_op_events + 24 * row.num_target_events
+            assert row.accumulation_rate > 0
+        assert "Peak space overhead" in fig3_space.render(result)
+
+
+class TestTable1:
+    def test_small_size_counts_match_structure(self):
+        result = table1_issues.run(apps=_FAST_APPS, size=ProblemSize.SMALL, cache=_CACHE)
+        bfs = result.find("bfs", AppVariant.BASELINE)
+        assert bfs is not None and bfs.as_tuple() == (18, 10, 9, 0, 0)
+        fixed = result.find("bfs", AppVariant.FIXED)
+        assert fixed is not None and fixed.as_tuple() == (1, 0, 0, 0, 0)
+        hotspot_syn = result.find("hotspot", AppVariant.SYNTHETIC)
+        assert hotspot_syn is not None and hotspot_syn.as_tuple() == (12, 4, 10, 0, 0)
+        assert "Table 1" in table1_issues.render(result)
+
+    def test_paper_reference_tables_cover_all_apps(self):
+        assert set(table1_issues.PAPER_BASELINE_COUNTS) == set(
+            ("babelstream", "bfs", "hotspot", "lud", "minife", "minifmm",
+             "nw", "rsbench", "tealeaf", "xsbench")
+        )
+
+
+class TestFig4:
+    def test_points_and_error_metrics(self):
+        result = fig4_speedup.run(apps=("bfs", "rsbench", "xsbench"), sizes=_SMALL, cache=_CACHE)
+        assert len(result.points) == 3
+        for point in result.points:
+            assert point.predicted_speedup >= 1.0
+            assert point.actual_speedup > 0.0
+        assert result.mean_relative_error() < 0.5
+        assert "Predicted vs actual" in fig4_speedup.render(result)
+
+
+class TestArbalestComparison:
+    def test_table2_matches_paper_cells(self):
+        result = table2_comparison.run(size=ProblemSize.SMALL)
+        for app, (omp_expected, arbalest_expected) in table2_comparison.PAPER_TABLE2.items():
+            row = result.find(app)
+            assert row is not None, app
+            assert row.ompdataperf_classes == omp_expected
+            assert row.arbalest_classes == arbalest_expected
+        assert "Arbalest-Vec" in table2_comparison.render(result)
+
+    def test_table3_shape(self):
+        result = table3_runtime.run(size=ProblemSize.SMALL, cache=_CACHE)
+        for app, (_, paper_after, paper_av) in table3_runtime.PAPER_TABLE3.items():
+            row = result.find(app)
+            assert row is not None, app
+            assert row.arbalest_cell == paper_av
+            if paper_after is None:
+                assert row.after_ompdataperf is None
+            else:
+                assert row.after_ompdataperf is not None
+                assert row.after_ompdataperf <= row.before
+        # bspline shows the largest relative improvement, as in the paper.
+        speedups = {
+            row.app: (row.ompdataperf_speedup or 1.0) for row in result.rows
+        }
+        assert max(speedups, key=speedups.get) == "bspline-vgh-omp"
+        assert "Table 3" in table3_runtime.render(result)
+
+
+class TestHashExperiments:
+    def test_table4_ordering(self):
+        result = table4_hashrate.run(apps=("bfs",), size=ProblemSize.SMALL,
+                                     max_payloads=32, max_bytes=1 << 20)
+        assert result.cells
+        # The vectorised / library hashes must beat the byte-at-a-time hashes.
+        assert result.average_rate("vector64") > result.average_rate("fnv1a64")
+        assert result.average_rate("crc32") > result.average_rate("murmur3_32")
+        assert "Hash rate" in table4_hashrate.render(result)
+
+    def test_fig5_series(self):
+        sizes = fig5_hash_throughput.default_sizes(max_power=12)
+        result = fig5_hash_throughput.run(hasher_names=("crc32",), sizes=sizes)
+        assert set(result.series_names()) == {"crc32", "data transfer (modelled)"}
+        transfer = result.series("data transfer (modelled)")
+        # Transfer throughput must rise monotonically with buffer size
+        # (latency amortisation), as in Figure 5.
+        rates = [p.bytes_per_second for p in transfer]
+        assert rates == sorted(rates)
+        assert "throughput vs data size" in fig5_hash_throughput.render(result)
+
+
+class TestStaticTables:
+    def test_table5_contains_every_evaluation_app(self):
+        result = table5_inputs.run()
+        assert len(result.rows) == 10
+        assert result.find("bfs").domain == "Graph Algorithms"
+        assert "Table 5" in table5_inputs.render(result)
+
+    def test_table6_compatibility_queries(self):
+        result = table6_ompt_support.run()
+        compatible = set(result.compatible_compilers())
+        assert "LLVM Clang/Flang" in compatible
+        assert "NVIDIA NVHPC" in compatible
+        assert "GNU GCC" not in compatible
+        assert "Arm ACfL" not in compatible
+        assert "Table 6" in table6_ompt_support.render(result)
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            table6_ompt_support.COMPILERS[0].supports("not-a-feature")
+
+
+class TestRunner:
+    def test_available_experiments(self):
+        keys = available_experiments()
+        assert {"fig2", "table1", "table6"} <= set(keys)
+
+    def test_static_experiments_through_runner(self):
+        outputs = run_experiments(["table5", "table6"], quick=True)
+        assert set(outputs) == {"table5", "table6"}
+        assert "Table 5" in outputs["table5"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"], quick=True)

@@ -1,0 +1,102 @@
+"""Tests for the collision auditor and the hash-rate harness."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.base import Hasher, get_hasher
+from repro.hashing.collision import CollisionAuditor, CollisionRecord
+from repro.hashing.ratebench import (
+    HashRateSample,
+    default_figure5_sizes,
+    measure_hash_rate,
+    sweep_sizes,
+)
+
+
+class _WeakHash(Hasher):
+    """A deliberately terrible hash used to exercise collision reporting."""
+
+    name = "weak-test-hash"
+    bits = 8
+
+    def hash_bytes(self, data: bytes, seed: int = 0) -> int:
+        return len(data) & 0xFF
+
+
+class TestCollisionAuditor:
+    def test_identical_payloads_are_not_collisions(self):
+        auditor = CollisionAuditor(get_hasher("vector64"))
+        payload = np.arange(128, dtype=np.float64)
+        first = auditor.observe(payload)
+        second = auditor.observe(payload.copy())
+        assert first == second
+        assert auditor.is_collision_free()
+        assert auditor.num_unique_payloads == 1
+        assert auditor.observed == 2
+
+    def test_collisions_are_reported(self):
+        auditor = CollisionAuditor(_WeakHash())
+        auditor.observe(b"abcd")
+        auditor.observe(b"efgh")  # same length -> same weak hash, different bytes
+        assert not auditor.is_collision_free()
+        assert auditor.num_collisions == 1
+        record = auditor.collisions[0]
+        assert record.first_payload != record.second_payload
+
+    def test_real_hashes_collision_free_on_transfer_like_payloads(self):
+        # Appendix B.1: zero collisions observed across the benchmark traces.
+        auditor = CollisionAuditor(get_hasher("vector64"))
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            auditor.observe(rng.random(rng.integers(1, 64)))
+        assert auditor.is_collision_free()
+
+    def test_report_fields(self):
+        auditor = CollisionAuditor(get_hasher("crc32"))
+        auditor.observe(b"xyz")
+        report = auditor.report()
+        assert report["hasher"] == "crc32"
+        assert report["observed"] == 1
+        assert report["stored_bytes"] == 3
+
+    def test_collision_record_requires_distinct_payloads(self):
+        with pytest.raises(ValueError):
+            CollisionRecord(hash_value=1, first_payload=b"a", second_payload=b"a")
+
+
+class TestHashRateMeasurement:
+    def test_sample_maths(self):
+        sample = HashRateSample(hasher="x", nbytes=1 << 30, seconds=2.0, repeats=2)
+        assert sample.bytes_per_second == pytest.approx(float(1 << 30))
+        assert sample.gib_per_second == pytest.approx(1.0)
+
+    def test_measure_uses_fake_timer(self):
+        ticks = iter([0.0, 1.0])
+        sample = measure_hash_rate(
+            get_hasher("crc32"), [np.zeros(1024, dtype=np.uint8)],
+            repeats=4, timer=lambda: next(ticks),
+        )
+        assert sample.repeats == 4
+        assert sample.nbytes == 1024
+        assert sample.seconds == pytest.approx(1.0)
+
+    def test_measure_requires_payloads(self):
+        with pytest.raises(ValueError):
+            measure_hash_rate(get_hasher("crc32"), [])
+        with pytest.raises(ValueError):
+            measure_hash_rate(get_hasher("crc32"), [b"x"], repeats=0)
+
+    def test_sweep_sizes_produces_one_sample_per_size(self):
+        sizes = [64, 256, 1024]
+        samples = sweep_sizes(get_hasher("crc32"), sizes, repeats_for=lambda s: 2)
+        assert [s.nbytes for s in samples] == sizes
+        assert all(s.bytes_per_second > 0 for s in samples)
+
+    def test_sweep_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            sweep_sizes(get_hasher("crc32"), [0])
+
+    def test_default_figure5_sizes_are_powers_of_two(self):
+        sizes = default_figure5_sizes()
+        assert sizes[0] == 2 and sizes[-1] == 1 << 28
+        assert all(s & (s - 1) == 0 for s in sizes)

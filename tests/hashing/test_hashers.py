@@ -1,0 +1,131 @@
+"""Tests for the content-hash substrate (Appendix B)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hashing import DEFAULT_HASHER
+from repro.hashing.base import available_hashers, get_hasher, register_hasher, rotl
+from repro.hashing.fnv import FNV1a32, FNV1a64
+from repro.hashing.murmur import Murmur3_32
+from repro.hashing.xx import XXH32, XXH64
+
+
+class TestKnownVectors:
+    """Reference test vectors for the published algorithms."""
+
+    def test_fnv1a32_empty(self):
+        assert FNV1a32().hash_bytes(b"") == 0x811C9DC5
+
+    def test_fnv1a32_known(self):
+        # FNV-1a("a") from the reference implementation.
+        assert FNV1a32().hash_bytes(b"a") == 0xE40C292C
+
+    def test_fnv1a64_empty(self):
+        assert FNV1a64().hash_bytes(b"") == 0xCBF29CE484222325
+
+    def test_fnv1a64_known(self):
+        assert FNV1a64().hash_bytes(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_murmur3_empty(self):
+        assert Murmur3_32().hash_bytes(b"", seed=0) == 0
+
+    def test_murmur3_known(self):
+        # Reference vectors from the MurmurHash3 x86_32 implementation.
+        assert Murmur3_32().hash_bytes(b"hello", seed=0) == 0x248BFA47
+        assert Murmur3_32().hash_bytes(b"hello, world", seed=0) == 0x149BBB7F
+
+    def test_xxh32_empty(self):
+        assert XXH32().hash_bytes(b"", seed=0) == 0x02CC5D05
+
+    def test_xxh64_empty(self):
+        assert XXH64().hash_bytes(b"", seed=0) == 0xEF46DB3751D8E999
+
+
+class TestAllHashers:
+    @pytest.fixture(params=sorted(available_hashers()))
+    def hasher(self, request):
+        return get_hasher(request.param)
+
+    def test_deterministic(self, hasher):
+        data = b"The quick brown fox jumps over the lazy dog" * 7
+        assert hasher.hash_bytes(data) == hasher.hash_bytes(data)
+
+    def test_output_width_respected(self, hasher):
+        data = bytes(range(256)) * 3
+        value = hasher.hash_bytes(data)
+        assert 0 <= value <= hasher.mask
+
+    def test_distinct_payloads_rarely_collide(self, hasher):
+        if hasher.name == "adler32":
+            pytest.skip("Adler-32 is a checksum kept only as a throughput reference")
+        values = {hasher.hash_bytes(f"payload-{i}".encode()) for i in range(512)}
+        # A non-cryptographic 32-bit hash should still separate 512 short keys.
+        assert len(values) >= 510
+
+    def test_numpy_and_bytes_agree(self, hasher):
+        arr = np.arange(257, dtype=np.float64)
+        assert hasher.hash(arr) == hasher.hash_bytes(arr.tobytes())
+
+    def test_non_contiguous_array_hashed_by_content(self, hasher):
+        arr = np.arange(64, dtype=np.float64)
+        strided = arr[::2]
+        assert hasher.hash(strided) == hasher.hash_bytes(np.ascontiguousarray(strided).tobytes())
+
+    def test_seed_changes_result(self, hasher):
+        data = b"seed sensitivity check, long enough to exercise stripes" * 2
+        assert hasher.hash_bytes(data, seed=0) != hasher.hash_bytes(data, seed=1)
+
+    def test_single_bit_flip_changes_hash(self, hasher):
+        data = bytearray(b"\x00" * 129)
+        base = hasher.hash_bytes(bytes(data))
+        data[64] ^= 0x01
+        assert hasher.hash_bytes(bytes(data)) != base
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_arbitrary_payloads_accepted(self, hasher, data):
+        value = hasher.hash_bytes(data)
+        assert 0 <= value <= hasher.mask
+
+
+class TestVectorHash:
+    def test_length_extension_sensitivity(self):
+        h = get_hasher("vector64")
+        a = b"\x01" * 64
+        b = b"\x01" * 72
+        assert h.hash_bytes(a) != h.hash_bytes(b)
+
+    def test_lane_order_sensitivity(self):
+        h = get_hasher("vector64")
+        forward = np.arange(1024, dtype=np.uint64)
+        backward = forward[::-1].copy()
+        assert h.hash(forward) != h.hash(backward)
+
+    def test_large_buffer_block_path(self):
+        h = get_hasher("vector64")
+        big = np.arange(h._TABLE_SIZE * 3 + 5, dtype=np.uint64)
+        assert h.hash(big) == h.hash(big.copy())
+
+
+class TestRegistry:
+    def test_default_hasher_registered(self):
+        assert DEFAULT_HASHER in available_hashers()
+
+    def test_unknown_hasher_raises(self):
+        with pytest.raises(KeyError):
+            get_hasher("not-a-hash")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_hasher("fnv1a32")
+        with pytest.raises(ValueError):
+            register_hasher(existing)
+
+    def test_rotl_behaviour(self):
+        assert rotl(1, 1, 32) == 2
+        assert rotl(0x80000000, 1, 32) == 1
+        assert rotl(1, 64) == 1

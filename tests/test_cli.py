@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_programs(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs" in out and "tealeaf" in out and "bspline-vgh-omp" in out
+
+
+def test_analyze_program(capsys):
+    assert main(["hotspot", "--size", "small", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "DD=2" in out
+    assert "Optimization Potential" in out
+
+
+def test_analyze_fixed_variant(capsys):
+    assert main(["rsbench", "--size", "small", "--variant", "fixed", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "RT=0" in out
+
+
+def test_verbose_header_and_summary(capsys):
+    assert main(["rsbench", "--size", "small", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "OMPT interface version" in out
+    assert "trace summary" in out
+
+
+def test_trace_output_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(path)]) == 0
+    from repro.events.trace import Trace
+
+    trace = Trace.load(path)
+    assert len(trace.data_op_events) > 0
+
+
+def test_collision_audit_flag(capsys):
+    assert main(["hotspot", "--size", "small", "-q", "--audit-collisions"]) == 0
+    assert "collision-free" in capsys.readouterr().out
+
+
+def test_experiments_mode(capsys):
+    assert main(["--experiments", "table6", "--quick"]) == 0
+    assert "Table 6" in capsys.readouterr().out
+
+
+def test_unknown_program_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["not-a-program"])
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(SystemExit):
+        main(["bfs", "--size", "gigantic"])
+
+
+def test_unsupported_variant_rejected():
+    with pytest.raises(SystemExit):
+        main(["lud", "--variant", "fixed"])
+
+
+def test_missing_program_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_metadata():
+    parser = build_parser()
+    assert parser.prog == "ompdataperf"

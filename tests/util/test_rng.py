@@ -1,0 +1,23 @@
+"""Tests for deterministic RNG construction."""
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def test_same_seed_parts_same_stream():
+    a = make_rng("bfs", 4096).random(8)
+    b = make_rng("bfs", 4096).random(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_parts_different_stream():
+    a = make_rng("bfs", 4096).random(8)
+    b = make_rng("bfs", 8192).random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_part_order_matters():
+    a = make_rng("a", "b").random(4)
+    b = make_rng("b", "a").random(4)
+    assert not np.array_equal(a, b)

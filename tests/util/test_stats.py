@@ -1,0 +1,119 @@
+"""Tests for the statistics helpers used by the evaluation harness."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    geometric_mean,
+    harmonic_mean,
+    mean_relative_error,
+    mean_squared_error,
+    percentile,
+    summarize,
+)
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_slowdown_style_values(self):
+        # Typical Figure-2 style slowdowns.
+        values = [1.02, 1.05, 1.33, 1.0, 1.07]
+        result = geometric_mean(values)
+        assert min(values) <= result <= max(values)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_below_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= sum(values) / len(values) + 1e-9
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_below_geometric_mean(self, values):
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+
+
+class TestErrorMetrics:
+    def test_mse_zero_for_perfect_prediction(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([1.0, 3.0], [2.0, 1.0]) == pytest.approx(2.5)
+
+    def test_relative_error_known_value(self):
+        assert mean_relative_error([1.1, 2.2], [1.0, 2.0]) == pytest.approx(0.1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [1.0, 2.0])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == pytest.approx(2.0)
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.stddev == pytest.approx(math.sqrt(1.25))
+
+    def test_as_dict_round_trip(self):
+        d = summarize([2.0, 2.0]).as_dict()
+        assert d["count"] == 2
+        assert d["stddev"] == pytest.approx(0.0)
