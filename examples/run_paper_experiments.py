@@ -22,11 +22,15 @@ def main() -> None:
                         help=f"subset to run (default: all). Available: {', '.join(available_experiments())}")
     parser.add_argument("--quick", action="store_true",
                         help="restrict the application sweeps to the small problem size")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent experiments on N worker threads "
+                             "(default: 1; the rendered output is identical for any N)")
     parser.add_argument("--output-dir", default="experiment_results",
                         help="directory for the rendered tables (default: experiment_results/)")
     args = parser.parse_args()
 
-    outputs = run_experiments(args.experiments or None, quick=args.quick, echo=print)
+    outputs = run_experiments(args.experiments or None, quick=args.quick, echo=print,
+                              jobs=args.jobs)
 
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

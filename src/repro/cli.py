@@ -8,19 +8,24 @@ the CLI takes an application name plus options::
     ompdataperf bfs --size small --variant fixed # analyze the fixed version
     ompdataperf --list                           # list available programs
     ompdataperf --experiments table1 fig2        # regenerate paper tables
+    ompdataperf --experiments --jobs 4           # ... on four worker threads
     ompdataperf bfs --trace-out bfs.json         # save the raw trace
+    ompdataperf trace convert bfs.json bfs.npz   # JSON <-> binary columnar
+    ompdataperf trace info bfs.npz               # summarise a saved trace
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import all_apps, get_app
 from repro.core.profiler import OMPDataPerf
+from repro.events.columnar import as_columnar, as_object_trace, load_trace
 from repro.experiments.runner import available_experiments, run_experiments
 
 
@@ -48,8 +53,66 @@ def build_parser() -> argparse.ArgumentParser:
                              f"available: {', '.join(available_experiments())}")
     parser.add_argument("--quick", action="store_true",
                         help="with --experiments: restrict sweeps to the small problem size")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="with --experiments: run independent experiments on N worker "
+                             "threads (default: 1; output is identical regardless of N)")
     parser.add_argument("--version", action="version", version=f"ompdataperf {__version__}")
     return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdataperf trace",
+        description="Inspect and convert saved traces (JSON <-> binary columnar).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a trace between the JSON and binary columnar formats",
+    )
+    convert.add_argument("input", help="path of the trace to read (format sniffed)")
+    convert.add_argument("output", help="path of the trace to write")
+    convert.add_argument(
+        "--to", choices=("json", "binary"), default=None,
+        help="output format (default: binary for .npz/.bin outputs, else json)",
+    )
+
+    info = sub.add_parser("info", help="print the summary of a saved trace")
+    info.add_argument("input", help="path of the trace to read (format sniffed)")
+    return parser
+
+
+def _trace_main(argv: Sequence[str]) -> int:
+    parser = build_trace_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        trace = load_trace(args.input)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        # KeyError/TypeError cover structurally valid JSON that is not a
+        # trace (missing or mistyped schema fields).
+        parser.error(f"cannot load {args.input}: {exc}")
+        return 2  # unreachable; parser.error raises SystemExit
+
+    if args.command == "info":
+        for key, value in trace.summary().items():
+            print(f"{key}: {value}")
+        return 0
+
+    fmt = args.to
+    if fmt is None:
+        fmt = "binary" if Path(args.output).suffix in (".npz", ".bin") else "json"
+    try:
+        if fmt == "binary":
+            as_columnar(trace).save_binary(args.output)
+        else:
+            as_object_trace(trace).save(args.output)
+    except OSError as exc:
+        parser.error(f"cannot write {args.output}: {exc}")
+        return 2
+    print(f"info: wrote {fmt} trace to {args.output}")
+    return 0
 
 
 def _list_programs() -> str:
@@ -61,8 +124,15 @@ def _list_programs() -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     if args.list:
         print(_list_programs())
@@ -71,7 +141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiments is not None:
         keys = args.experiments or None
         try:
-            run_experiments(keys, quick=args.quick, echo=print)
+            run_experiments(keys, quick=args.quick, echo=print, jobs=args.jobs)
         except KeyError as exc:
             parser.error(str(exc))
         return 0
@@ -109,7 +179,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     if args.trace_out:
-        result.trace.save(args.trace_out)
+        if Path(args.trace_out).suffix in (".npz", ".bin"):
+            result.trace.save_binary(args.trace_out)
+        else:
+            result.trace.save(args.trace_out)
         if not args.quiet:
             print(f"info: trace written to {args.trace_out}")
 

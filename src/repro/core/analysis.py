@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.detectors.duplicates import count_redundant_transfers, find_duplicate_transfers
+from repro.core.detectors.duplicates import (
+    count_redundant_transfers,
+    find_duplicate_transfers,
+    find_duplicate_transfers_columnar,
+)
 from repro.core.detectors.findings import (
     DuplicateTransferGroup,
     RepeatedAllocationGroup,
@@ -16,12 +20,25 @@ from repro.core.detectors.findings import (
 from repro.core.detectors.repeated_allocs import (
     count_redundant_allocations,
     find_repeated_allocations,
+    find_repeated_allocations_columnar,
 )
-from repro.core.detectors.roundtrips import count_round_trips, find_round_trips
-from repro.core.detectors.unused_allocs import find_unused_allocations
-from repro.core.detectors.unused_transfers import find_unused_transfers
+from repro.core.detectors.roundtrips import (
+    count_round_trips,
+    find_round_trips,
+    find_round_trips_columnar,
+)
+from repro.core.detectors.unused_allocs import (
+    find_unused_allocations,
+    find_unused_allocations_columnar,
+)
+from repro.core.detectors.unused_transfers import (
+    find_unused_transfers,
+    find_unused_transfers_columnar,
+)
 from repro.core.potential import OptimizationPotential, estimate_potential
 from repro.dwarf.debuginfo import DebugInfoRegistry
+from repro.events.columnar import ColumnarTrace
+from repro.events.protocol import TraceLike
 from repro.events.trace import Trace
 
 
@@ -68,7 +85,7 @@ class IssueCounts:
 class AnalysisReport:
     """Aggregated result of running all five detectors on one trace."""
 
-    trace: Trace
+    trace: TraceLike
     counts: IssueCounts
     duplicate_groups: list[DuplicateTransferGroup]
     round_trip_groups: list[RoundTripGroup]
@@ -97,20 +114,33 @@ class AnalysisReport:
 
 
 def analyze_trace(
-    trace: Trace,
+    trace: Trace | ColumnarTrace,
     *,
     debug_info: Optional[DebugInfoRegistry] = None,
 ) -> AnalysisReport:
-    """Run Algorithms 1–5 over a trace and estimate the optimization potential."""
-    data_ops = trace.data_op_events
-    targets = trace.target_events
+    """Run Algorithms 1–5 over a trace and estimate the optimization potential.
+
+    Both trace representations are accepted: a columnar trace is analysed
+    through the vectorised detector fast paths, an object trace through the
+    reference implementations.  The findings are identical either way (the
+    differential property test holds the two paths to bit-identical output).
+    """
     num_devices = max(trace.num_devices, 1)
 
-    duplicate_groups = find_duplicate_transfers(data_ops)
-    round_trip_groups = find_round_trips(data_ops)
-    repeated_alloc_groups = find_repeated_allocations(data_ops)
-    unused_allocs = find_unused_allocations(targets, data_ops, num_devices)
-    unused_txs = find_unused_transfers(targets, data_ops, num_devices)
+    if isinstance(trace, ColumnarTrace):
+        duplicate_groups = find_duplicate_transfers_columnar(trace)
+        round_trip_groups = find_round_trips_columnar(trace)
+        repeated_alloc_groups = find_repeated_allocations_columnar(trace)
+        unused_allocs = find_unused_allocations_columnar(trace, num_devices)
+        unused_txs = find_unused_transfers_columnar(trace, num_devices)
+    else:
+        data_ops = trace.data_op_events
+        targets = trace.target_events
+        duplicate_groups = find_duplicate_transfers(data_ops)
+        round_trip_groups = find_round_trips(data_ops)
+        repeated_alloc_groups = find_repeated_allocations(data_ops)
+        unused_allocs = find_unused_allocations(targets, data_ops, num_devices)
+        unused_txs = find_unused_transfers(targets, data_ops, num_devices)
 
     counts = IssueCounts(
         duplicate_transfers=count_redundant_transfers(duplicate_groups),

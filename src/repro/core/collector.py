@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.events.records import DataOpEvent, TargetEvent, TargetKind
-from repro.events.trace import Trace
+from repro.events.columnar import ColumnarTrace
+from repro.events.records import TargetKind
 from repro.hashing import DEFAULT_HASHER
 from repro.hashing.base import Hasher, get_hasher
 from repro.hashing.collision import CollisionAuditor
@@ -75,7 +75,10 @@ class TraceCollector:
         self.auditor: Optional[CollisionAuditor] = (
             CollisionAuditor(self.hasher) if audit_collisions else None
         )
-        self.trace = Trace(num_devices=0)
+        #: events land directly in the structure-of-arrays store: appending
+        #: a row into preallocated columns is the Python analogue of the
+        #: native tool's fixed-size-record append (no per-event objects).
+        self.trace = ColumnarTrace(num_devices=0)
         self._interface: Optional[OmptInterface] = None
         self._pending_targets: dict[int, _PendingTarget] = {}
         self._next_seq = 0
@@ -153,7 +156,7 @@ class TraceCollector:
         else:
             start, end = pending.begin_time, record.time
 
-        event = TargetEvent(
+        self.trace.append_target(
             seq=self._seq(),
             kind=pending.kind,
             device_num=pending.device_num,
@@ -163,7 +166,6 @@ class TraceCollector:
             target_id=record.target_id,
             name=pending.name,
         )
-        self.trace.append_target_event(event)
         return self._record_cost()
 
     def _on_target_submit(self, record: TargetSubmitRecord) -> float:
@@ -193,7 +195,7 @@ class TraceCollector:
 
         start = record.start_time if record.start_time is not None else record.time
         end = record.end_time if record.end_time is not None else record.time
-        event = DataOpEvent(
+        self.trace.append_data_op(
             seq=self._seq(),
             kind=record.optype,
             src_device_num=record.src_device_num,
@@ -208,14 +210,15 @@ class TraceCollector:
             target_id=record.target_id,
             variable=record.variable,
         )
-        self.trace.append_data_op_event(event)
         return overhead
 
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
-    def finish_trace(self, *, total_runtime: Optional[float] = None, program_name: Optional[str] = None) -> Trace:
-        """Finalize and return the recorded trace."""
+    def finish_trace(
+        self, *, total_runtime: Optional[float] = None, program_name: Optional[str] = None
+    ) -> ColumnarTrace:
+        """Finalize and return the recorded (columnar) trace."""
         if total_runtime is not None:
             self.trace.total_runtime = total_runtime
         if program_name is not None:

@@ -1,0 +1,165 @@
+"""Shared column operations for the vectorised detector fast paths.
+
+Everything here is representation-level plumbing the five detectors have in
+common: composite-key grouping in first-occurrence order, composite-key
+interning, and the columnar alloc/delete pairing that Algorithms 3 and 4
+both start from.  The helpers return *row indices* into the columnar store;
+the detectors materialise object events only for the rows that end up in
+findings, which is what makes the fast paths fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.events.columnar import CODE_ALLOC, CODE_DELETE, ColumnarTrace
+
+
+def key_ids(*columns: np.ndarray) -> np.ndarray:
+    """Factorise composite keys into compact integer ids (equal key ⇔ equal id).
+
+    Column by column, each value set is interned with ``np.unique`` and the
+    running ids are combined arithmetically; re-compacting after every
+    column keeps the intermediate products below ``n²``, so the arithmetic
+    never overflows ``int64``.  Integer factorisation is what makes the
+    grouping helpers fast — sorting an ``int64`` key array is several times
+    cheaper than sorting the equivalent structured (void) array.
+    """
+    _, ids = np.unique(columns[0], return_inverse=True)
+    for col in columns[1:]:
+        _, inv = np.unique(col, return_inverse=True)
+        width = int(inv.max()) + 1 if inv.size else 1
+        _, ids = np.unique(ids * width + inv, return_inverse=True)
+    return ids
+
+
+def group_rows_by_key(*columns: np.ndarray, min_size: int = 1) -> Iterator[np.ndarray]:
+    """Group row indices ``0..n-1`` by composite key.
+
+    Yields one index array per distinct key with at least ``min_size``
+    members, in order of each key's first occurrence; indices inside a
+    group are ascending (i.e. the original — chronological — order is
+    preserved), matching how the object detectors build their
+    ``dict``-of-``list`` groupings.  Detectors that only care about keys
+    with two or more members pass ``min_size=2``, which skips the (usually
+    overwhelming) singleton keys without building an array for each.
+    """
+    n = len(columns[0])
+    if n == 0:
+        return
+    ids = key_ids(*columns)
+    if min_size > 1:
+        counts = np.bincount(ids)
+        rows = np.flatnonzero(counts[ids] >= min_size)
+        if rows.size == 0:
+            return
+        ids = ids[rows]
+    else:
+        rows = np.arange(n, dtype=np.int64)
+    order = np.argsort(ids, kind="stable")
+    sorted_rows = rows[order]
+    sorted_ids = ids[order]
+    boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+    groups = np.split(sorted_rows, boundaries)
+    first_occurrence = np.fromiter((g[0] for g in groups), dtype=np.int64, count=len(groups))
+    for gi in np.argsort(first_occurrence, kind="stable"):
+        yield groups[gi]
+
+
+def intern_keys(*column_sets: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Intern several composite-key column sets into shared integer ids.
+
+    All sets are pooled, so equal keys receive equal ids *across* sets —
+    this is how the round-trip detector matches a transfer's ``(hash, src)``
+    against the ``(hash, dest)`` receipts without building Python tuples per
+    event.  Returns one id array per input set.
+    """
+    lengths = [len(pair[0]) for pair in column_sets]
+    pooled = [
+        np.concatenate([pair[i] for pair in column_sets])
+        for i in range(len(column_sets[0]))
+    ]
+    inverse = key_ids(*pooled)
+    out: list[np.ndarray] = []
+    offset = 0
+    for length in lengths:
+        out.append(inverse[offset : offset + length])
+        offset += length
+    return out
+
+
+def first_index_reaching(sorted_running_max: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """First index whose running maximum reaches each threshold.
+
+    ``searchsorted`` over ``np.maximum.accumulate(values)`` gives, for every
+    threshold ``x``, the smallest ``j`` with ``values[j] >= x`` — exactly the
+    resting point of the object detectors' "advance while end < start"
+    cursor (the cursor never revisits an index its threshold already
+    rejected, and thresholds are non-decreasing).
+    """
+    return np.searchsorted(sorted_running_max, thresholds, side="left")
+
+
+def alloc_delete_pair_rows(trace: ColumnarTrace) -> tuple[np.ndarray, np.ndarray]:
+    """Columnar twin of :func:`repro.events.records.get_alloc_delete_pairs`.
+
+    Returns ``(alloc_rows, delete_rows)``: the row indices of every ALLOC
+    event in chronological order and, aligned with them, the row index of
+    the matching DELETE (``-1`` when the allocation is never deleted).
+
+    The common case — no device address is re-allocated while still live,
+    which :func:`repro.events.validation.validate_trace` enforces — is fully
+    vectorised: within each ``(device, address)`` key the events alternate,
+    so a DELETE pairs with the immediately preceding event of its key if
+    and only if that event is an ALLOC.  Nested allocations (possible only
+    in unvalidated traces) fall back to the exact stack-matching loop.
+    """
+    kind = trace.do_kind
+    sel = np.flatnonzero((kind == CODE_ALLOC) | (kind == CODE_DELETE))
+    empty = np.empty(0, dtype=np.int64)
+    if sel.size == 0:
+        return empty, empty
+
+    is_alloc = kind[sel] == CODE_ALLOC
+    alloc_rows = sel[is_alloc].astype(np.int64)
+    if alloc_rows.size == 0:
+        return empty, empty
+    partners = np.full(alloc_rows.size, -1, dtype=np.int64)
+
+    dev = trace.do_dest_device_num[sel]
+    addr = trace.do_dest_addr[sel]
+    gid = key_ids(dev, addr)
+
+    order = np.argsort(gid, kind="stable")
+    gid_sorted = gid[order]
+    alloc_sorted = is_alloc[order]
+    same_group = gid_sorted[1:] == gid_sorted[:-1]
+
+    if not np.any(alloc_sorted[1:] & alloc_sorted[:-1] & same_group):
+        # Alternation holds in every group: vectorised pairing.
+        alloc_rank = np.full(sel.size, -1, dtype=np.int64)
+        alloc_rank[is_alloc] = np.arange(alloc_rows.size)
+        rank_sorted = alloc_rank[order]
+        pair_at = np.flatnonzero(same_group & alloc_sorted[:-1] & ~alloc_sorted[1:])
+        partners[rank_sorted[pair_at]] = sel[order[pair_at + 1]]
+        return alloc_rows, partners
+
+    # Nested allocations: exact stack semantics on primitive columns.
+    open_allocs: dict[tuple[int, int], list[int]] = {}
+    rank_of_row: dict[int, int] = {int(row): i for i, row in enumerate(alloc_rows)}
+    dev_list = dev.tolist()
+    addr_list = addr.tolist()
+    alloc_list = is_alloc.tolist()
+    sel_list = sel.tolist()
+    for i, row in enumerate(sel_list):
+        key = (dev_list[i], addr_list[i])
+        if alloc_list[i]:
+            open_allocs.setdefault(key, []).append(row)
+        else:
+            stack = open_allocs.get(key)
+            if not stack:
+                continue
+            partners[rank_of_row[stack.pop()]] = row
+    return alloc_rows, partners

@@ -11,7 +11,11 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
+import numpy as np
+
+from repro.core.detectors._columns import group_rows_by_key
 from repro.core.detectors.findings import DuplicateTransferGroup
+from repro.events.columnar import ColumnarTrace
 from repro.events.records import DataOpEvent
 
 
@@ -65,6 +69,56 @@ def find_duplicate_transfers(
                 content_hash=content_hash,
                 dest_device_num=dest_device_num,
                 events=tuple(events),
+            )
+        )
+    return groups
+
+
+def find_duplicate_transfers_columnar(
+    trace: ColumnarTrace,
+    *,
+    min_bytes: int = 0,
+) -> list[DuplicateTransferGroup]:
+    """Vectorised Algorithm 1 over a columnar trace.
+
+    Produces findings identical to :func:`find_duplicate_transfers` run over
+    the object events (the object implementation is the reference oracle):
+    the grouping is a masked select plus one ``np.unique`` pass, and object
+    events are materialised only for the rows that appear in findings.
+    """
+    if min_bytes < 0:
+        raise ValueError("min_bytes cannot be negative")
+
+    mask = trace.transfer_mask()
+    if min_bytes:
+        mask &= trace.do_nbytes >= min_bytes
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+
+    missing = ~trace.do_has_content_hash[idx]
+    if missing.any():
+        seq = int(trace.do_seq[idx[np.flatnonzero(missing)[0]]])
+        raise ValueError(f"transfer event seq={seq} is missing its content hash")
+
+    hashes = trace.do_content_hash[idx]
+    dests = trace.do_dest_device_num[idx]
+    member_lists = list(group_rows_by_key(hashes, dests, min_size=2))
+    if not member_lists:
+        return []
+    # One bulk materialisation for every event implicated in any group.
+    flat_rows = idx[np.concatenate(member_lists)]
+    events = trace.data_op_events_at(flat_rows)
+    groups: list[DuplicateTransferGroup] = []
+    offset = 0
+    for members in member_lists:
+        group_events = tuple(events[offset : offset + members.size])
+        offset += members.size
+        groups.append(
+            DuplicateTransferGroup(
+                content_hash=int(hashes[members[0]]),
+                dest_device_num=int(dests[members[0]]),
+                events=group_events,
             )
         )
     return groups

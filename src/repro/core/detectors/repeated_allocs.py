@@ -14,7 +14,11 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
+import numpy as np
+
+from repro.core.detectors._columns import alloc_delete_pair_rows, group_rows_by_key
 from repro.core.detectors.findings import RepeatedAllocationGroup
+from repro.events.columnar import ColumnarTrace
 from repro.events.records import AllocationPair, DataOpEvent, get_alloc_delete_pairs
 
 
@@ -65,6 +69,66 @@ def find_repeated_allocations(
                 device_num=device_num,
                 nbytes=nbytes,
                 allocations=tuple(allocations),
+            )
+        )
+    return groups
+
+
+def find_repeated_allocations_columnar(
+    trace: ColumnarTrace,
+    *,
+    require_deletion: bool = True,
+) -> list[RepeatedAllocationGroup]:
+    """Vectorised Algorithm 3 over a columnar trace.
+
+    Findings are identical to :func:`find_repeated_allocations` over the
+    object events (the reference oracle).  Alloc/delete pairing and the
+    ``(host address, device, size)`` grouping both run as array passes;
+    :class:`AllocationPair` objects are materialised only for the groups
+    that qualify as repeats.
+    """
+    alloc_rows, delete_rows = alloc_delete_pair_rows(trace)
+    if alloc_rows.size == 0:
+        return []
+
+    if require_deletion:
+        keep = delete_rows >= 0
+        alloc_rows = alloc_rows[keep]
+        delete_rows = delete_rows[keep]
+        if alloc_rows.size == 0:
+            return []
+
+    host_addr = trace.do_src_addr[alloc_rows]
+    device = trace.do_dest_device_num[alloc_rows]
+    nbytes = trace.do_nbytes[alloc_rows]
+
+    member_lists = list(group_rows_by_key(host_addr, device, nbytes, min_size=2))
+    if not member_lists:
+        return []
+    # One bulk materialisation for every pair implicated in any group.
+    flat = np.concatenate(member_lists)
+    alloc_events = trace.data_op_events_at(alloc_rows[flat])
+    flat_deletes = delete_rows[flat]
+    delete_events = iter(trace.data_op_events_at(flat_deletes[flat_deletes >= 0]))
+    pairs = [
+        AllocationPair(
+            alloc_event=alloc_events[k],
+            delete_event=next(delete_events) if flat_deletes[k] >= 0 else None,
+        )
+        for k in range(flat.size)
+    ]
+
+    groups: list[RepeatedAllocationGroup] = []
+    offset = 0
+    for members in member_lists:
+        allocations = tuple(pairs[offset : offset + members.size])
+        offset += members.size
+        groups.append(
+            RepeatedAllocationGroup(
+                host_addr=int(host_addr[members[0]]),
+                device_num=int(device[members[0]]),
+                nbytes=int(nbytes[members[0]]),
+                allocations=allocations,
             )
         )
     return groups

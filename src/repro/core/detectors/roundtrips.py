@@ -22,7 +22,11 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Sequence
 
+import numpy as np
+
+from repro.core.detectors._columns import intern_keys
 from repro.core.detectors.findings import RoundTripGroup, RoundTripPair
+from repro.events.columnar import ColumnarTrace
 from repro.events.records import DataOpEvent
 
 
@@ -89,6 +93,110 @@ def find_round_trips(
                 src_device_num=src_device_num,
                 dest_device_num=dest_device_num,
                 trips=tuple(round_trips[key]),
+            )
+        )
+    return groups
+
+
+def find_round_trips_columnar(
+    trace: ColumnarTrace,
+    *,
+    require_chronological: bool = True,
+) -> list[RoundTripGroup]:
+    """Vectorised Algorithm 2 over a columnar trace.
+
+    The queue semantics of the object implementation (the reference oracle)
+    are inherently sequential — a recorded trip pops the oldest receipt of
+    its outbound key, which changes what later transfers can match — so the
+    match loop itself cannot be replaced by array ops without changing the
+    findings.  What *can* be vectorised is the work that dominates: the
+    ``(hash, device)`` keys of all transfers are interned into integer ids
+    with one ``np.unique`` pass, per-key receipt queues become slices of one
+    argsort, and the Python loop then only visits *candidate* transfers —
+    those whose payload is ever received back by their source device.  A
+    transfer with no matching receipt key has no side effects in the object
+    algorithm (no trip, no pop), so skipping it is exact; in realistic
+    traces candidates are a small fraction of all transfers.
+    """
+    tr = np.flatnonzero(trace.transfer_mask())
+    if tr.size == 0:
+        return []
+    missing = ~trace.do_has_content_hash[tr]
+    if missing.any():
+        seq = int(trace.do_seq[tr[np.flatnonzero(missing)[0]]])
+        raise ValueError(f"transfer event seq={seq} is missing its content hash")
+
+    hashes = trace.do_content_hash[tr]
+    src = trace.do_src_device_num[tr]
+    dst = trace.do_dest_device_num[tr]
+    rx_id, tx_id = intern_keys((hashes, src), (hashes, dst))
+    num_keys = int(max(rx_id.max(), tx_id.max())) + 1
+
+    # Receipt queues: for key k, positions queue_order[queue_start[k] + head].
+    queue_order = np.argsort(tx_id, kind="stable")
+    queue_len = np.bincount(tx_id, minlength=num_keys)
+    queue_start = np.concatenate(([0], np.cumsum(queue_len)[:-1]))
+
+    # A transfer is a candidate iff some receipt carries its (hash, src) key.
+    candidates = np.flatnonzero((queue_len > 0)[rx_id])
+
+    start = trace.do_start_time[tr].tolist()
+    end = trace.do_end_time[tr].tolist()
+    hash_list = hashes.tolist()
+    src_list = src.tolist()
+    dst_list = dst.tolist()
+    rx_list = rx_id.tolist()
+    tx_list = tx_id.tolist()
+    order_list = queue_order.tolist()
+    start_list = queue_start.tolist()
+    len_list = queue_len.tolist()
+    heads = [0] * num_keys
+
+    round_trips: dict[tuple[int, int, int], list[tuple[int, int]]] = {}
+    group_order: list[tuple[int, int, int]] = []
+
+    for i in candidates.tolist():
+        rx_key = rx_list[i]
+        head = heads[rx_key]
+        if head >= len_list[rx_key]:
+            continue  # every receipt of this key has been consumed
+        j = order_list[start_list[rx_key] + head]
+        if require_chronological and start[j] < end[i]:
+            continue
+
+        trip_key = (hash_list[i], src_list[i], dst_list[i])
+        trips = round_trips.get(trip_key)
+        if trips is None:
+            trips = round_trips[trip_key] = []
+            group_order.append(trip_key)
+        trips.append((i, j))
+
+        tx_key = tx_list[i]
+        if heads[tx_key] < len_list[tx_key]:
+            heads[tx_key] += 1  # popleft: the outbound leg is consumed
+
+    # One bulk materialisation for every leg of every recorded trip.
+    legs: list[int] = []
+    for key in group_order:
+        for i, j in round_trips[key]:
+            legs.append(i)
+            legs.append(j)
+    events = trace.data_op_events_at(tr[np.asarray(legs, dtype=np.int64)])
+
+    groups: list[RoundTripGroup] = []
+    cursor = 0
+    for key in group_order:
+        content_hash, src_device_num, dest_device_num = key
+        trips = []
+        for _ in round_trips[key]:
+            trips.append(RoundTripPair(tx_event=events[cursor], rx_event=events[cursor + 1]))
+            cursor += 2
+        groups.append(
+            RoundTripGroup(
+                content_hash=content_hash,
+                src_device_num=src_device_num,
+                dest_device_num=dest_device_num,
+                trips=tuple(trips),
             )
         )
     return groups

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.core.detectors._columns import alloc_delete_pair_rows, first_index_reaching
 from repro.core.detectors.findings import UnusedAllocation
+from repro.events.columnar import ColumnarTrace
 from repro.events.records import (
     AllocationPair,
     DataOpEvent,
@@ -80,6 +84,82 @@ def find_unused_allocations(
                 tgt_idx += 1
             if tgt_idx == len(kernels) or kernels[tgt_idx].start_time > life_end:
                 unused.append(UnusedAllocation(pair=pair))
+    return unused
+
+
+def find_unused_allocations_columnar(
+    trace: ColumnarTrace,
+    num_devices: Optional[int] = None,
+    *,
+    trace_end: Optional[float] = None,
+) -> list[UnusedAllocation]:
+    """Vectorised Algorithm 4 over a columnar trace.
+
+    Findings are identical to :func:`find_unused_allocations` over the
+    object events (the reference oracle).  The object algorithm's cursor —
+    "advance while the kernel ends before the lifetime starts" — resolves,
+    for the non-decreasing lifetime starts of a chronological allocation
+    list, to a ``searchsorted`` over the running maximum of kernel end
+    times; the lifetime-overlap test is then a single vectorised compare.
+    """
+    if num_devices is None:
+        num_devices = trace.num_devices
+    if num_devices < 1:
+        raise ValueError("num_devices must be at least 1")
+
+    alloc_rows, delete_rows = alloc_delete_pair_rows(trace)
+    if alloc_rows.size == 0:
+        return []
+
+    if trace_end is None:
+        trace_end = 0.0
+        if trace.num_data_op_events:
+            trace_end = max(trace_end, float(trace.do_end_time.max()))
+        if trace.num_target_events:
+            trace_end = max(trace_end, float(trace.tgt_end_time.max()))
+
+    life_start = trace.do_start_time[alloc_rows]
+    life_end = np.where(
+        delete_rows >= 0,
+        trace.do_end_time[np.maximum(delete_rows, 0)],
+        trace_end,
+    )
+    device = trace.do_dest_device_num[alloc_rows]
+
+    kmask = trace.kernel_mask()
+    kernel_device = trace.tgt_device_num[kmask]
+    kernel_start = trace.tgt_start_time[kmask]
+    kernel_end = trace.tgt_end_time[kmask]
+
+    unused: list[UnusedAllocation] = []
+    for dev_idx in range(num_devices):
+        on_device = np.flatnonzero(device == dev_idx)
+        if on_device.size == 0:
+            continue
+        k_sel = kernel_device == dev_idx
+        k_start = kernel_start[k_sel]
+        k_end = kernel_end[k_sel]
+        if k_start.size == 0:
+            unused_mask = np.ones(on_device.size, dtype=bool)
+        else:
+            cursor = first_index_reaching(
+                np.maximum.accumulate(k_end), life_start[on_device]
+            )
+            clamped = np.minimum(cursor, k_start.size - 1)
+            unused_mask = (cursor == k_start.size) | (
+                k_start[clamped] > life_end[on_device]
+            )
+        hits = on_device[np.flatnonzero(unused_mask)]
+        alloc_events = trace.data_op_events_at(alloc_rows[hits])
+        deleted = delete_rows[hits]
+        delete_events = trace.data_op_events_at(deleted[deleted >= 0])
+        delete_iter = iter(delete_events)
+        for k in range(hits.size):
+            pair = AllocationPair(
+                alloc_event=alloc_events[k],
+                delete_event=next(delete_iter) if deleted[k] >= 0 else None,
+            )
+            unused.append(UnusedAllocation(pair=pair))
     return unused
 
 

@@ -11,9 +11,13 @@ have consumed the candidates) or when a transfer overlaps a running kernel.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.core.detectors._columns import first_index_reaching
 from repro.core.detectors.findings import UnusedTransfer
+from repro.events.columnar import ColumnarTrace
 from repro.events.records import DataOpEvent, TargetEvent
 
 
@@ -68,6 +72,103 @@ def find_unused_transfers(
                 # The transfer overlaps an active kernel; anything staged so
                 # far may have been read concurrently, so drop all candidates.
                 candidates.clear()
+    return unused
+
+
+def find_unused_transfers_columnar(
+    trace: ColumnarTrace,
+    num_devices: Optional[int] = None,
+) -> list[UnusedTransfer]:
+    """Vectorised Algorithm 5 over a columnar trace.
+
+    Findings are identical to :func:`find_unused_transfers` over the object
+    events (the reference oracle).  The sequential candidate map decomposes
+    into array passes: the kernel cursor of each transfer is a
+    ``searchsorted`` over the running maximum of kernel end times; the
+    candidate map is cleared exactly when the cursor advances or a transfer
+    overlaps a running kernel, so those clearing points cut the transfer
+    sequence into *epochs*; and within an epoch a candidate is overwritten
+    iff a later candidate in the same epoch shares its source address —
+    which one ``lexsort`` by ``(epoch, address, position)`` exposes as
+    adjacent rows.  A finding is reported at the position of the transfer
+    that triggered it (the overwriting transfer, or the transfer itself for
+    the after-last-kernel case), matching the oracle's output order.
+    """
+    if num_devices is None:
+        num_devices = trace.num_devices
+    if num_devices < 1:
+        raise ValueError("num_devices must be at least 1")
+
+    tmask = trace.transfer_mask()
+    dest = trace.do_dest_device_num
+    kmask = trace.kernel_mask()
+    kernel_device = trace.tgt_device_num[kmask]
+    kernel_start = trace.tgt_start_time[kmask]
+    kernel_end = trace.tgt_end_time[kmask]
+
+    unused: list[UnusedTransfer] = []
+    for dev_idx in range(num_devices):
+        tr = np.flatnonzero(tmask & (dest == dev_idx))
+        if tr.size == 0:
+            continue
+        tx_start = trace.do_start_time[tr]
+        tx_addr = trace.do_src_addr[tr]
+
+        k_sel = kernel_device == dev_idx
+        k_start = kernel_start[k_sel]
+        k_end = kernel_end[k_sel]
+        num_kernels = k_start.size
+
+        if num_kernels == 0:
+            cursor = np.zeros(tr.size, dtype=np.int64)
+        else:
+            cursor = first_index_reaching(np.maximum.accumulate(k_end), tx_start)
+        after_last = cursor == num_kernels
+        if num_kernels:
+            clamped = np.minimum(cursor, num_kernels - 1)
+            is_candidate = ~after_last & (k_start[clamped] > tx_start)
+        else:
+            is_candidate = np.zeros(tr.size, dtype=bool)
+        overlaps_kernel = ~after_last & ~is_candidate
+
+        # Epochs: the candidate map survives between consecutive transfers
+        # unless the kernel cursor advanced or the previous transfer
+        # overlapped a running kernel (both clear it).
+        boundary = np.empty(tr.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (cursor[1:] != cursor[:-1]) | overlaps_kernel[:-1]
+        epoch = np.cumsum(boundary)
+
+        # Overwritten candidates: same (epoch, address), all but the last,
+        # each reported when its successor lands.
+        cand = np.flatnonzero(is_candidate)
+        report_at: list[np.ndarray] = [np.flatnonzero(after_last)]
+        found_rows: list[np.ndarray] = [tr[after_last]]
+        reasons: list[np.ndarray] = [
+            np.full(int(after_last.sum()), False)  # False => "after_last_kernel"
+        ]
+        if cand.size:
+            order = np.lexsort((cand, tx_addr[cand], epoch[cand]))
+            e_sorted = epoch[cand][order]
+            a_sorted = tx_addr[cand][order]
+            p_sorted = cand[order]
+            same = (e_sorted[1:] == e_sorted[:-1]) & (a_sorted[1:] == a_sorted[:-1])
+            report_at.append(p_sorted[1:][same])
+            found_rows.append(tr[p_sorted[:-1][same]])
+            reasons.append(np.full(int(same.sum()), True))  # True => "overwritten"
+
+        all_report = np.concatenate(report_at)
+        all_rows = np.concatenate(found_rows)
+        all_overwritten = np.concatenate(reasons)
+        emit = np.argsort(all_report, kind="stable")
+        events = trace.data_op_events_at(all_rows[emit])
+        for k, event in zip(emit, events):
+            unused.append(
+                UnusedTransfer(
+                    event=event,
+                    reason="overwritten" if all_overwritten[k] else "after_last_kernel",
+                )
+            )
     return unused
 
 

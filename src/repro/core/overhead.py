@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.events.protocol import TraceLike, num_data_op_events, num_target_events
 from repro.events.records import DATA_OP_EVENT_BYTES, TARGET_EVENT_BYTES
-from repro.events.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -85,12 +85,12 @@ def space_overhead_bytes(num_data_op_events: int, num_target_events: int) -> int
     return DATA_OP_EVENT_BYTES * num_data_op_events + TARGET_EVENT_BYTES * num_target_events
 
 
-def space_overhead_of_trace(trace: Trace) -> int:
-    """Collector memory footprint of a recorded trace."""
-    return space_overhead_bytes(len(trace.data_op_events), len(trace.target_events))
+def space_overhead_of_trace(trace: TraceLike) -> int:
+    """Collector memory footprint of a recorded trace (either representation)."""
+    return space_overhead_bytes(num_data_op_events(trace), num_target_events(trace))
 
 
-def overhead_accumulation_rate(trace: Trace) -> float:
+def overhead_accumulation_rate(trace: TraceLike) -> float:
     """Bytes of collector memory accumulated per second of program runtime.
 
     Section 7.4 reports this rate (tealeaf: ~1 MB/s; geometric mean across

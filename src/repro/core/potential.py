@@ -26,8 +26,8 @@ from repro.core.detectors.findings import (
     UnusedAllocation,
     UnusedTransfer,
 )
+from repro.events.protocol import TraceLike
 from repro.events.records import DataOpEvent
-from repro.events.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -103,7 +103,7 @@ def _collect_removable(
 
 
 def estimate_potential(
-    trace: Trace,
+    trace: TraceLike,
     *,
     duplicate_groups: Sequence[DuplicateTransferGroup] = (),
     round_trip_groups: Sequence[RoundTripGroup] = (),

@@ -24,6 +24,7 @@ from repro.core.analysis import AnalysisReport, analyze_trace
 from repro.core.collector import TraceCollector
 from repro.core.overhead import OverheadModel
 from repro.dwarf.debuginfo import DebugInfoRegistry
+from repro.events.columnar import ColumnarTrace
 from repro.events.trace import Trace
 from repro.events.validation import validate_trace
 from repro.hashing import DEFAULT_HASHER
@@ -38,9 +39,13 @@ Program = Callable[[OffloadRuntime], None]
 
 @dataclass
 class ProfileResult:
-    """Everything produced by one instrumented run."""
+    """Everything produced by one instrumented run.
 
-    trace: Trace
+    ``trace`` is the collector's columnar store; its Trace-compatible read
+    API (and ``to_trace()``) covers consumers that want object events.
+    """
+
+    trace: ColumnarTrace
     analysis: AnalysisReport
     #: virtual runtime of the instrumented run (includes tool overhead)
     instrumented_runtime: float
@@ -130,7 +135,7 @@ class OMPDataPerf:
 
     def analyze(
         self,
-        trace: Trace,
+        trace: Trace | ColumnarTrace,
         *,
         debug_info: Optional[DebugInfoRegistry] = None,
     ) -> AnalysisReport:

@@ -20,17 +20,31 @@ from repro.events.records import (
     get_alloc_delete_pairs,
 )
 from repro.events.trace import Trace
+from repro.events.columnar import (
+    COLUMNAR_FORMAT_VERSION,
+    ColumnarTrace,
+    as_columnar,
+    as_object_trace,
+    load_trace,
+)
+from repro.events.protocol import TraceLike
 from repro.events.validation import TraceValidationError, validate_trace
 
 __all__ = [
     "DATA_OP_EVENT_BYTES",
     "TARGET_EVENT_BYTES",
     "AllocationPair",
+    "COLUMNAR_FORMAT_VERSION",
+    "ColumnarTrace",
     "DataOpEvent",
     "DataOpKind",
     "TargetEvent",
     "TargetKind",
+    "TraceLike",
+    "as_columnar",
+    "as_object_trace",
     "get_alloc_delete_pairs",
+    "load_trace",
     "Trace",
     "TraceValidationError",
     "validate_trace",

@@ -1,0 +1,809 @@
+"""Columnar (structure-of-arrays) trace storage.
+
+This is the throughput backbone of the reproduction: instead of one Python
+dataclass per event, a :class:`ColumnarTrace` stores target and data-op
+events as parallel NumPy arrays (sequence numbers, kind codes, device
+numbers, addresses, byte counts, begin/end timestamps, content hashes).
+The layout mirrors what the native tool's fixed-size records give it for
+free — the 72 B data-op / 24 B target records of Section 7.4 are exactly a
+row of these columns — and it is the same idiom the vectorised hash in
+:mod:`repro.hashing.vector` uses: touch memory with wide NumPy ufuncs, not
+the interpreter.
+
+Three contracts matter:
+
+* **O(1) append.**  The collector appends one event per OMPT callback;
+  columns grow by amortised doubling, so appends never reallocate per event.
+* **Zero-copy column views.**  ``do_start_time`` and friends return NumPy
+  slices of the backing buffers (no copies); detectors run masked selects,
+  ``np.unique`` and ``np.searchsorted`` over them directly.
+* **Lossless conversion.**  ``from_trace`` / ``to_trace`` round-trip every
+  field of the object representation (including optional fields and debug
+  strings), so either representation can stand in for the other.
+
+On disk the columnar form has a versioned binary format (an ``.npz``
+archive, one entry per column plus a JSON metadata blob) next to the
+existing JSON format; :func:`load_trace` sniffs the two apart.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.events.records import (
+    DATA_OP_EVENT_BYTES,
+    TARGET_EVENT_BYTES,
+    AllocationPair,
+    DataOpEvent,
+    DataOpKind,
+    TargetEvent,
+    TargetKind,
+    get_alloc_delete_pairs,
+)
+from repro.events.trace import Trace
+
+#: Version tag of the binary columnar format.
+COLUMNAR_FORMAT_VERSION = 1
+
+#: Stable kind <-> small-integer code tables.  The codes are part of the
+#: binary format, so the order here must never change; append only.
+DATA_OP_KIND_CODES: tuple[DataOpKind, ...] = (
+    DataOpKind.ALLOC,
+    DataOpKind.TRANSFER_TO_DEVICE,
+    DataOpKind.TRANSFER_FROM_DEVICE,
+    DataOpKind.DELETE,
+    DataOpKind.ASSOCIATE,
+    DataOpKind.DISASSOCIATE,
+)
+TARGET_KIND_CODES: tuple[TargetKind, ...] = (
+    TargetKind.TARGET,
+    TargetKind.ENTER_DATA,
+    TargetKind.EXIT_DATA,
+    TargetKind.UPDATE,
+)
+
+_DATA_OP_CODE_OF = {kind: code for code, kind in enumerate(DATA_OP_KIND_CODES)}
+_TARGET_CODE_OF = {kind: code for code, kind in enumerate(TARGET_KIND_CODES)}
+
+CODE_ALLOC = _DATA_OP_CODE_OF[DataOpKind.ALLOC]
+CODE_TO_DEVICE = _DATA_OP_CODE_OF[DataOpKind.TRANSFER_TO_DEVICE]
+CODE_FROM_DEVICE = _DATA_OP_CODE_OF[DataOpKind.TRANSFER_FROM_DEVICE]
+CODE_DELETE = _DATA_OP_CODE_OF[DataOpKind.DELETE]
+CODE_TARGET = _TARGET_CODE_OF[TargetKind.TARGET]
+
+_INITIAL_CAPACITY = 64
+
+# (column name, dtype) of the data-op column group, in binary-format order.
+_DATA_OP_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("seq", np.int64),
+    ("kind", np.int8),
+    ("src_device_num", np.int32),
+    ("dest_device_num", np.int32),
+    ("src_addr", np.uint64),
+    ("dest_addr", np.uint64),
+    ("nbytes", np.int64),
+    ("start_time", np.float64),
+    ("end_time", np.float64),
+    ("content_hash", np.uint64),
+    ("has_content_hash", np.bool_),
+    ("codeptr", np.uint64),
+    ("has_codeptr", np.bool_),
+    ("target_id", np.int64),
+    ("has_target_id", np.bool_),
+)
+
+# (column name, dtype) of the target column group.
+_TARGET_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("seq", np.int64),
+    ("kind", np.int8),
+    ("device_num", np.int32),
+    ("start_time", np.float64),
+    ("end_time", np.float64),
+    ("codeptr", np.uint64),
+    ("has_codeptr", np.bool_),
+    ("target_id", np.int64),
+    ("has_target_id", np.bool_),
+)
+
+
+class _ColumnGroup:
+    """A bundle of parallel arrays with amortised-doubling growth."""
+
+    def __init__(self, columns: Sequence[tuple[str, type]]) -> None:
+        self._spec = tuple(columns)
+        self.size = 0
+        self._capacity = 0
+        self._arrays: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype) for name, dtype in self._spec
+        }
+
+    def _grow_to(self, capacity: int) -> None:
+        new_capacity = max(self._capacity * 2, _INITIAL_CAPACITY)
+        while new_capacity < capacity:
+            new_capacity *= 2
+        for name, dtype in self._spec:
+            fresh = np.empty(new_capacity, dtype=dtype)
+            fresh[: self.size] = self._arrays[name][: self.size]
+            self._arrays[name] = fresh
+        self._capacity = new_capacity
+
+    def append_row(self, **values) -> None:
+        if self.size == self._capacity:
+            self._grow_to(self.size + 1)
+        i = self.size
+        arrays = self._arrays
+        for name, value in values.items():
+            arrays[name][i] = value
+        self.size = i + 1
+
+    def extend_columns(self, length: int, **columns) -> None:
+        if length == 0:
+            return
+        if self.size + length > self._capacity:
+            self._grow_to(self.size + length)
+        lo, hi = self.size, self.size + length
+        for name, _ in self._spec:
+            self._arrays[name][lo:hi] = columns[name]
+        self.size = hi
+
+    def view(self, name: str) -> np.ndarray:
+        """Zero-copy view of the live prefix of one column."""
+        return self._arrays[name][: self.size]
+
+    def compact(self) -> dict[str, np.ndarray]:
+        """Copies of the live prefixes (used by the binary writer)."""
+        return {name: self.view(name).copy() for name, _ in self._spec}
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+
+class ColumnarTrace:
+    """Structure-of-arrays trace: the columnar twin of :class:`Trace`.
+
+    The class intentionally mirrors the read API of :class:`Trace`
+    (``data_op_events``, ``transfers()``, ``summary()``, ``save()`` …) so
+    that existing consumers keep working, while the detectors' fast paths
+    reach the raw columns through the ``do_*`` / ``tgt_*`` views.  Object
+    events are materialised lazily and cached; any append invalidates the
+    cache.
+    """
+
+    def __init__(
+        self,
+        num_devices: int = 1,
+        program_name: Optional[str] = None,
+        total_runtime: Optional[float] = None,
+    ) -> None:
+        self.num_devices = num_devices
+        self.program_name = program_name
+        self.total_runtime = total_runtime
+        self._data_ops = _ColumnGroup(_DATA_OP_COLUMNS)
+        self._targets = _ColumnGroup(_TARGET_COLUMNS)
+        #: optional per-event debug strings (kept as Python lists: they are
+        #: debug aids, never touched by the detectors)
+        self._do_variables: list[Optional[str]] = []
+        self._tgt_names: list[Optional[str]] = []
+        self._do_cache: Optional[list[DataOpEvent]] = None
+        self._tgt_cache: Optional[list[TargetEvent]] = None
+
+    # ------------------------------------------------------------------ #
+    # Column views (zero copy)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_data_op_events(self) -> int:
+        return self._data_ops.size
+
+    @property
+    def num_target_events(self) -> int:
+        return self._targets.size
+
+    def do_column(self, name: str) -> np.ndarray:
+        return self._data_ops.view(name)
+
+    def tgt_column(self, name: str) -> np.ndarray:
+        return self._targets.view(name)
+
+    @property
+    def do_seq(self) -> np.ndarray:
+        return self._data_ops.view("seq")
+
+    @property
+    def do_kind(self) -> np.ndarray:
+        return self._data_ops.view("kind")
+
+    @property
+    def do_src_device_num(self) -> np.ndarray:
+        return self._data_ops.view("src_device_num")
+
+    @property
+    def do_dest_device_num(self) -> np.ndarray:
+        return self._data_ops.view("dest_device_num")
+
+    @property
+    def do_src_addr(self) -> np.ndarray:
+        return self._data_ops.view("src_addr")
+
+    @property
+    def do_dest_addr(self) -> np.ndarray:
+        return self._data_ops.view("dest_addr")
+
+    @property
+    def do_nbytes(self) -> np.ndarray:
+        return self._data_ops.view("nbytes")
+
+    @property
+    def do_start_time(self) -> np.ndarray:
+        return self._data_ops.view("start_time")
+
+    @property
+    def do_end_time(self) -> np.ndarray:
+        return self._data_ops.view("end_time")
+
+    @property
+    def do_content_hash(self) -> np.ndarray:
+        return self._data_ops.view("content_hash")
+
+    @property
+    def do_has_content_hash(self) -> np.ndarray:
+        return self._data_ops.view("has_content_hash")
+
+    @property
+    def tgt_seq(self) -> np.ndarray:
+        return self._targets.view("seq")
+
+    @property
+    def tgt_kind(self) -> np.ndarray:
+        return self._targets.view("kind")
+
+    @property
+    def tgt_device_num(self) -> np.ndarray:
+        return self._targets.view("device_num")
+
+    @property
+    def tgt_start_time(self) -> np.ndarray:
+        return self._targets.view("start_time")
+
+    @property
+    def tgt_end_time(self) -> np.ndarray:
+        return self._targets.view("end_time")
+
+    def transfer_mask(self) -> np.ndarray:
+        kind = self.do_kind
+        return (kind == CODE_TO_DEVICE) | (kind == CODE_FROM_DEVICE)
+
+    def kernel_mask(self) -> np.ndarray:
+        return self.tgt_kind == CODE_TARGET
+
+    # ------------------------------------------------------------------ #
+    # Appends (the collector's hot path)
+    # ------------------------------------------------------------------ #
+    def append_data_op(
+        self,
+        *,
+        seq: int,
+        kind: DataOpKind,
+        src_device_num: int,
+        dest_device_num: int,
+        src_addr: int,
+        dest_addr: int,
+        nbytes: int,
+        start_time: float,
+        end_time: float,
+        content_hash: Optional[int] = None,
+        codeptr: Optional[int] = None,
+        target_id: Optional[int] = None,
+        variable: Optional[str] = None,
+    ) -> None:
+        """Append one data-op row (same invariants as :class:`DataOpEvent`)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if end_time < start_time:
+            raise ValueError("event ends before it starts")
+        if kind.is_transfer and content_hash is None:
+            raise ValueError("transfer events must carry a content hash")
+        self._data_ops.append_row(
+            seq=seq,
+            kind=_DATA_OP_CODE_OF[kind],
+            src_device_num=src_device_num,
+            dest_device_num=dest_device_num,
+            src_addr=src_addr,
+            dest_addr=dest_addr,
+            nbytes=nbytes,
+            start_time=start_time,
+            end_time=end_time,
+            content_hash=0 if content_hash is None else content_hash,
+            has_content_hash=content_hash is not None,
+            codeptr=0 if codeptr is None else codeptr,
+            has_codeptr=codeptr is not None,
+            target_id=0 if target_id is None else target_id,
+            has_target_id=target_id is not None,
+        )
+        self._do_variables.append(variable)
+        self._do_cache = None
+
+    def append_target(
+        self,
+        *,
+        seq: int,
+        kind: TargetKind,
+        device_num: int,
+        start_time: float,
+        end_time: float,
+        codeptr: Optional[int] = None,
+        target_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        """Append one target row (same invariants as :class:`TargetEvent`)."""
+        if end_time < start_time:
+            raise ValueError("event ends before it starts")
+        self._targets.append_row(
+            seq=seq,
+            kind=_TARGET_CODE_OF[kind],
+            device_num=device_num,
+            start_time=start_time,
+            end_time=end_time,
+            codeptr=0 if codeptr is None else codeptr,
+            has_codeptr=codeptr is not None,
+            target_id=0 if target_id is None else target_id,
+            has_target_id=target_id is not None,
+        )
+        self._tgt_names.append(name)
+        self._tgt_cache = None
+
+    def append_data_op_event(self, event: DataOpEvent) -> None:
+        """Trace-compatible append of an object event."""
+        self.append_data_op(
+            seq=event.seq,
+            kind=event.kind,
+            src_device_num=event.src_device_num,
+            dest_device_num=event.dest_device_num,
+            src_addr=event.src_addr,
+            dest_addr=event.dest_addr,
+            nbytes=event.nbytes,
+            start_time=event.start_time,
+            end_time=event.end_time,
+            content_hash=event.content_hash,
+            codeptr=event.codeptr,
+            target_id=event.target_id,
+            variable=event.variable,
+        )
+
+    def append_target_event(self, event: TargetEvent) -> None:
+        """Trace-compatible append of an object event."""
+        self.append_target(
+            seq=event.seq,
+            kind=event.kind,
+            device_num=event.device_num,
+            start_time=event.start_time,
+            end_time=event.end_time,
+            codeptr=event.codeptr,
+            target_id=event.target_id,
+            name=event.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Materialisation
+    # ------------------------------------------------------------------ #
+    def data_op_event_at(self, index: int) -> DataOpEvent:
+        """Materialise one data-op event from its row index."""
+        if not 0 <= index < self._data_ops.size:
+            raise IndexError(f"data-op row {index} out of range")
+        a = self._data_ops._arrays
+        return DataOpEvent(
+            seq=int(a["seq"][index]),
+            kind=DATA_OP_KIND_CODES[a["kind"][index]],
+            src_device_num=int(a["src_device_num"][index]),
+            dest_device_num=int(a["dest_device_num"][index]),
+            src_addr=int(a["src_addr"][index]),
+            dest_addr=int(a["dest_addr"][index]),
+            nbytes=int(a["nbytes"][index]),
+            start_time=float(a["start_time"][index]),
+            end_time=float(a["end_time"][index]),
+            content_hash=(
+                int(a["content_hash"][index]) if a["has_content_hash"][index] else None
+            ),
+            codeptr=int(a["codeptr"][index]) if a["has_codeptr"][index] else None,
+            target_id=int(a["target_id"][index]) if a["has_target_id"][index] else None,
+            variable=self._do_variables[index],
+        )
+
+    def target_event_at(self, index: int) -> TargetEvent:
+        """Materialise one target event from its row index."""
+        if not 0 <= index < self._targets.size:
+            raise IndexError(f"target row {index} out of range")
+        a = self._targets._arrays
+        return TargetEvent(
+            seq=int(a["seq"][index]),
+            kind=TARGET_KIND_CODES[a["kind"][index]],
+            device_num=int(a["device_num"][index]),
+            start_time=float(a["start_time"][index]),
+            end_time=float(a["end_time"][index]),
+            codeptr=int(a["codeptr"][index]) if a["has_codeptr"][index] else None,
+            target_id=int(a["target_id"][index]) if a["has_target_id"][index] else None,
+            name=self._tgt_names[index],
+        )
+
+    def data_op_events_at(self, rows) -> list[DataOpEvent]:
+        """Bulk-materialise data-op events for an array of row indices.
+
+        Columns are gathered with one fancy-indexing pass each and handed
+        to the dataclass constructor as Python scalars, which is several
+        times cheaper than per-event column reads.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self._data_ops.size):
+            raise IndexError("data-op row index out of range")
+        c = {name: self._data_ops.view(name).take(rows).tolist()
+             for name, _ in _DATA_OP_COLUMNS}
+        variables = self._do_variables
+        return [
+            DataOpEvent(
+                seq=c["seq"][k],
+                kind=DATA_OP_KIND_CODES[c["kind"][k]],
+                src_device_num=c["src_device_num"][k],
+                dest_device_num=c["dest_device_num"][k],
+                src_addr=c["src_addr"][k],
+                dest_addr=c["dest_addr"][k],
+                nbytes=c["nbytes"][k],
+                start_time=c["start_time"][k],
+                end_time=c["end_time"][k],
+                content_hash=c["content_hash"][k] if c["has_content_hash"][k] else None,
+                codeptr=c["codeptr"][k] if c["has_codeptr"][k] else None,
+                target_id=c["target_id"][k] if c["has_target_id"][k] else None,
+                variable=variables[row],
+            )
+            for k, row in enumerate(rows.tolist())
+        ]
+
+    def target_events_at(self, rows) -> list[TargetEvent]:
+        """Bulk-materialise target events for an array of row indices."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self._targets.size):
+            raise IndexError("target row index out of range")
+        c = {name: self._targets.view(name).take(rows).tolist()
+             for name, _ in _TARGET_COLUMNS}
+        names = self._tgt_names
+        return [
+            TargetEvent(
+                seq=c["seq"][k],
+                kind=TARGET_KIND_CODES[c["kind"][k]],
+                device_num=c["device_num"][k],
+                start_time=c["start_time"][k],
+                end_time=c["end_time"][k],
+                codeptr=c["codeptr"][k] if c["has_codeptr"][k] else None,
+                target_id=c["target_id"][k] if c["has_target_id"][k] else None,
+                name=names[row],
+            )
+            for k, row in enumerate(rows.tolist())
+        ]
+
+    @property
+    def data_op_events(self) -> list[DataOpEvent]:
+        """Object view of the data-op columns (materialised lazily, cached)."""
+        if self._do_cache is None:
+            self._do_cache = self.data_op_events_at(np.arange(self._data_ops.size))
+        return self._do_cache
+
+    @property
+    def target_events(self) -> list[TargetEvent]:
+        """Object view of the target columns (materialised lazily, cached)."""
+        if self._tgt_cache is None:
+            self._tgt_cache = self.target_events_at(np.arange(self._targets.size))
+        return self._tgt_cache
+
+    # ------------------------------------------------------------------ #
+    # Trace-compatible read API
+    # ------------------------------------------------------------------ #
+    @property
+    def host_device_num(self) -> int:
+        return self.num_devices
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the latest event end (0.0 for an empty trace)."""
+        last = 0.0
+        if self._targets.size:
+            last = max(last, float(self.tgt_end_time.max()))
+        if self._data_ops.size:
+            last = max(last, float(self.do_end_time.max()))
+        return last
+
+    @property
+    def runtime(self) -> float:
+        if self.total_runtime is not None:
+            return self.total_runtime
+        return self.end_time
+
+    def __len__(self) -> int:
+        return self._targets.size + self._data_ops.size
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def transfers(self) -> list[DataOpEvent]:
+        return self.data_op_events_at(np.flatnonzero(self.transfer_mask()))
+
+    def transfers_to_devices(self) -> list[DataOpEvent]:
+        return self.data_op_events_at(np.flatnonzero(self.do_kind == CODE_TO_DEVICE))
+
+    def transfers_from_devices(self) -> list[DataOpEvent]:
+        return self.data_op_events_at(np.flatnonzero(self.do_kind == CODE_FROM_DEVICE))
+
+    def allocations(self) -> list[DataOpEvent]:
+        return self.data_op_events_at(np.flatnonzero(self.do_kind == CODE_ALLOC))
+
+    def deletions(self) -> list[DataOpEvent]:
+        return self.data_op_events_at(np.flatnonzero(self.do_kind == CODE_DELETE))
+
+    def alloc_delete_pairs(self) -> list[AllocationPair]:
+        return get_alloc_delete_pairs(self.data_op_events)
+
+    def kernel_events(self) -> list[TargetEvent]:
+        return self.target_events_at(np.flatnonzero(self.kernel_mask()))
+
+    def events_for_device(self, device_num: int) -> "ColumnarTrace":
+        sub = ColumnarTrace(
+            num_devices=self.num_devices,
+            program_name=self.program_name,
+            total_runtime=self.total_runtime,
+        )
+        for i in np.flatnonzero(self.tgt_device_num == device_num):
+            sub.append_target_event(self.target_event_at(i))
+        touched = (self.do_src_device_num == device_num) | (
+            self.do_dest_device_num == device_num
+        )
+        for i in np.flatnonzero(touched):
+            sub.append_data_op_event(self.data_op_event_at(i))
+        return sub
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics (vectorised)
+    # ------------------------------------------------------------------ #
+    def total_bytes_transferred(self) -> int:
+        return int(self.do_nbytes[self.transfer_mask()].sum())
+
+    def total_transfer_time(self) -> float:
+        mask = self.transfer_mask()
+        return float((self.do_end_time[mask] - self.do_start_time[mask]).sum())
+
+    def total_alloc_time(self) -> float:
+        kind = self.do_kind
+        mask = (kind == CODE_ALLOC) | (kind == CODE_DELETE)
+        return float((self.do_end_time[mask] - self.do_start_time[mask]).sum())
+
+    def total_kernel_time(self) -> float:
+        mask = self.kernel_mask()
+        return float((self.tgt_end_time[mask] - self.tgt_start_time[mask]).sum())
+
+    def space_overhead_bytes(self) -> int:
+        return (
+            DATA_OP_EVENT_BYTES * self._data_ops.size
+            + TARGET_EVENT_BYTES * self._targets.size
+        )
+
+    def summary(self) -> dict:
+        return {
+            "program_name": self.program_name,
+            "num_devices": self.num_devices,
+            "num_target_events": self._targets.size,
+            "num_kernel_events": int(self.kernel_mask().sum()),
+            "num_data_op_events": self._data_ops.size,
+            "num_transfers": int(self.transfer_mask().sum()),
+            "num_allocations": int((self.do_kind == CODE_ALLOC).sum()),
+            "bytes_transferred": self.total_bytes_transferred(),
+            "transfer_time": self.total_transfer_time(),
+            "alloc_time": self.total_alloc_time(),
+            "kernel_time": self.total_kernel_time(),
+            "runtime": self.runtime,
+            "space_overhead_bytes": self.space_overhead_bytes(),
+        }
+
+    def all_events_chronological(self) -> Iterator[DataOpEvent | TargetEvent]:
+        merged: list[tuple[float, int, DataOpEvent | TargetEvent]] = []
+        for e in self.target_events:
+            merged.append((e.start_time, e.seq, e))
+        for e in self.data_op_events:
+            merged.append((e.start_time, e.seq, e))
+        merged.sort(key=lambda t: (t[0], t[1]))
+        for _, _, e in merged:
+            yield e
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        num_devices: int = 1,
+        program_name: Optional[str] = None,
+        total_runtime: Optional[float] = None,
+        data_ops: Optional[dict[str, np.ndarray]] = None,
+        targets: Optional[dict[str, np.ndarray]] = None,
+    ) -> "ColumnarTrace":
+        """Bulk-construct a trace from ready-made column arrays.
+
+        ``data_ops`` / ``targets`` map column names (see the module-level
+        column specs) to equal-length arrays.  The optional-field presence
+        masks may be omitted: ``has_content_hash`` then defaults to "every
+        transfer has one" and ``has_codeptr`` / ``has_target_id`` to absent.
+        This is the fast path for synthetic trace generators and loaders —
+        one call ingests millions of events without per-event work.
+        """
+        out = cls(
+            num_devices=num_devices,
+            program_name=program_name,
+            total_runtime=total_runtime,
+        )
+        if data_ops:
+            n = len(data_ops["seq"])
+            filled = dict(data_ops)
+            kind = np.asarray(filled["kind"])
+            if "has_content_hash" not in filled:
+                filled["has_content_hash"] = (kind == CODE_TO_DEVICE) | (
+                    kind == CODE_FROM_DEVICE
+                )
+            for optional in ("content_hash", "codeptr", "target_id"):
+                filled.setdefault(optional, np.zeros(n, dtype=np.uint64))
+                filled.setdefault(f"has_{optional}", np.zeros(n, dtype=np.bool_))
+            out._data_ops.extend_columns(n, **filled)
+            out._do_variables = [None] * n
+        if targets:
+            m = len(targets["seq"])
+            filled = dict(targets)
+            for optional in ("codeptr", "target_id"):
+                filled.setdefault(optional, np.zeros(m, dtype=np.uint64))
+                filled.setdefault(f"has_{optional}", np.zeros(m, dtype=np.bool_))
+            out._targets.extend_columns(m, **filled)
+            out._tgt_names = [None] * m
+        return out
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+        """Build the columnar twin of an object trace (lossless)."""
+        out = cls(
+            num_devices=trace.num_devices,
+            program_name=trace.program_name,
+            total_runtime=trace.total_runtime,
+        )
+        for event in trace.target_events:
+            out.append_target_event(event)
+        for event in trace.data_op_events:
+            out.append_data_op_event(event)
+        return out
+
+    def to_trace(self) -> Trace:
+        """Materialise the object twin of this trace (lossless)."""
+        out = Trace(
+            num_devices=self.num_devices,
+            program_name=self.program_name,
+            total_runtime=self.total_runtime,
+        )
+        out.target_events = list(self.target_events)
+        out.data_op_events = list(self.data_op_events)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return self.to_trace().to_dict()
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ColumnarTrace":
+        return cls.from_trace(Trace.from_dict(d))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ColumnarTrace":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        """Write the JSON form (interchangeable with :meth:`Trace.save`)."""
+        Path(path).write_text(self.to_json(indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ColumnarTrace":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def save_binary(self, path: str | Path) -> None:
+        """Write the versioned binary columnar format (an ``.npz`` archive)."""
+        meta = {
+            "format_version": COLUMNAR_FORMAT_VERSION,
+            "program_name": self.program_name,
+            "num_devices": self.num_devices,
+            "total_runtime": self.total_runtime,
+            "num_data_op_events": self._data_ops.size,
+            "num_target_events": self._targets.size,
+            "data_op_variables": self._do_variables,
+            "target_names": self._tgt_names,
+        }
+        arrays = {f"do_{name}": col for name, col in self._data_ops.compact().items()}
+        arrays.update(
+            {f"tgt_{name}": col for name, col in self._targets.compact().items()}
+        )
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        Path(path).write_bytes(buffer.getvalue())
+
+    @classmethod
+    def load_binary(cls, path: str | Path) -> "ColumnarTrace":
+        """Read the versioned binary columnar format."""
+        try:
+            archive_file = np.load(Path(path), allow_pickle=False)
+        except zipfile.BadZipFile as exc:
+            raise ValueError(f"{path}: not a valid columnar trace archive ({exc})") from exc
+        with archive_file as archive:
+            if "meta" not in archive:
+                raise ValueError(f"{path}: not a columnar trace archive")
+            meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+            version = meta.get("format_version")
+            if version != COLUMNAR_FORMAT_VERSION:
+                raise ValueError(f"unsupported columnar trace format version {version}")
+            out = cls(
+                num_devices=int(meta["num_devices"]),
+                program_name=meta.get("program_name"),
+                total_runtime=meta.get("total_runtime"),
+            )
+            n_do = int(meta["num_data_op_events"])
+            n_tgt = int(meta["num_target_events"])
+            out._data_ops.extend_columns(
+                n_do,
+                **{
+                    name: archive[f"do_{name}"].astype(dtype, copy=False)
+                    for name, dtype in _DATA_OP_COLUMNS
+                },
+            )
+            out._targets.extend_columns(
+                n_tgt,
+                **{
+                    name: archive[f"tgt_{name}"].astype(dtype, copy=False)
+                    for name, dtype in _TARGET_COLUMNS
+                },
+            )
+        out._do_variables = list(meta.get("data_op_variables") or [None] * n_do)
+        out._tgt_names = list(meta.get("target_names") or [None] * n_tgt)
+        if len(out._do_variables) != n_do or len(out._tgt_names) != n_tgt:
+            raise ValueError(f"{path}: metadata string columns disagree with array lengths")
+        return out
+
+
+def as_columnar(trace: "Trace | ColumnarTrace") -> ColumnarTrace:
+    """Return ``trace`` itself if already columnar, else convert it."""
+    if isinstance(trace, ColumnarTrace):
+        return trace
+    return ColumnarTrace.from_trace(trace)
+
+
+def as_object_trace(trace: "Trace | ColumnarTrace") -> Trace:
+    """Return ``trace`` itself if already an object trace, else convert it."""
+    if isinstance(trace, Trace):
+        return trace
+    return trace.to_trace()
+
+
+def load_trace(path: str | Path) -> "Trace | ColumnarTrace":
+    """Load a trace from disk, sniffing JSON vs binary columnar format.
+
+    The binary format is a zip archive (``PK`` magic); everything else is
+    treated as the JSON format and loaded into an object :class:`Trace`.
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.read(2)
+    if magic == b"PK":
+        return ColumnarTrace.load_binary(path)
+    return Trace.load(path)

@@ -1,0 +1,61 @@
+"""The common protocol both trace representations satisfy.
+
+:class:`~repro.events.trace.Trace` (array-of-structs: one dataclass per
+event) and :class:`~repro.events.columnar.ColumnarTrace` (struct-of-arrays:
+one NumPy array per field) are interchangeable wherever this protocol is all
+that is required.  The analysis, overhead-accounting and optimization-
+potential layers are written against it, so either representation can flow
+through the whole post-mortem pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.events.records import DataOpEvent, TargetEvent
+
+
+@runtime_checkable
+class TraceLike(Protocol):
+    """What the post-mortem analysis layers require of a trace."""
+
+    num_devices: int
+    program_name: Optional[str]
+    total_runtime: Optional[float]
+
+    @property
+    def host_device_num(self) -> int: ...
+
+    @property
+    def end_time(self) -> float: ...
+
+    @property
+    def runtime(self) -> float: ...
+
+    @property
+    def data_op_events(self) -> Sequence[DataOpEvent]: ...
+
+    @property
+    def target_events(self) -> Sequence[TargetEvent]: ...
+
+    def __len__(self) -> int: ...
+
+    def space_overhead_bytes(self) -> int: ...
+
+    def summary(self) -> dict: ...
+
+
+def num_data_op_events(trace: TraceLike) -> int:
+    """Number of data-op events without materialising object events."""
+    n = getattr(trace, "num_data_op_events", None)
+    if n is not None:
+        return int(n)
+    return len(trace.data_op_events)
+
+
+def num_target_events(trace: TraceLike) -> int:
+    """Number of target events without materialising object events."""
+    n = getattr(trace, "num_target_events", None)
+    if n is not None:
+        return int(n)
+    return len(trace.target_events)

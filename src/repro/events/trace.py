@@ -50,13 +50,26 @@ class Trace:
 
     @property
     def end_time(self) -> float:
-        """Timestamp of the last recorded event (0.0 for an empty trace)."""
+        """Timestamp of the latest event end (0.0 for an empty trace).
+
+        The maximum is taken over *all* events, not just the last list
+        element: events are appended in chronological start order, but an
+        earlier event with a long duration can end after the last one.
+        """
         last = 0.0
         if self.target_events:
-            last = max(last, self.target_events[-1].end_time)
+            last = max(last, max(e.end_time for e in self.target_events))
         if self.data_op_events:
-            last = max(last, self.data_op_events[-1].end_time)
+            last = max(last, max(e.end_time for e in self.data_op_events))
         return last
+
+    @property
+    def num_data_op_events(self) -> int:
+        return len(self.data_op_events)
+
+    @property
+    def num_target_events(self) -> int:
+        return len(self.target_events)
 
     @property
     def runtime(self) -> float:
@@ -155,6 +168,12 @@ class Trace:
         if other.total_runtime is not None:
             base = self.total_runtime or 0.0
             self.total_runtime = max(base, other.total_runtime)
+
+    def to_columnar(self):
+        """Convert to the structure-of-arrays representation."""
+        from repro.events.columnar import ColumnarTrace
+
+        return ColumnarTrace.from_trace(self)
 
     def sorted_copy(self) -> "Trace":
         """Return a copy with events re-sorted chronologically (stable)."""

@@ -8,10 +8,15 @@ them; it is also exercised heavily by the property-based tests.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from repro.events.records import DataOpEvent, DataOpKind, TargetEvent
 from repro.events.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.events.columnar import ColumnarTrace
 
 
 class TraceValidationError(ValueError):
@@ -29,14 +34,23 @@ def _check_chronological(events: Iterable, what: str, errors: list[str]) -> None
         prev_start = event.start_time
 
 
-def validate_trace(trace: Trace, *, strict: bool = True) -> list[str]:
+def validate_trace(trace, *, strict: bool = True) -> list[str]:
     """Validate a trace, returning a list of problems.
 
     With ``strict=True`` (the default) a non-empty problem list raises
     :class:`TraceValidationError`; with ``strict=False`` the problems are
     returned to the caller (useful in tests and for the CLI's ``--quiet``
     mode, which reports but tolerates malformed traces).
+
+    Both representations are accepted; a columnar trace is checked with
+    vectorised sweeps over its columns so that validating a collector's
+    output does not force the object events to materialise.
     """
+    from repro.events.columnar import ColumnarTrace
+
+    if isinstance(trace, ColumnarTrace):
+        return _validate_columnar(trace, strict=strict)
+
     errors: list[str] = []
 
     if trace.num_devices < 1:
@@ -100,6 +114,127 @@ def validate_trace(trace: Trace, *, strict: bool = True) -> list[str]:
         if event.is_delete:
             key = (event.dest_device_num, event.dest_addr)
             open_allocs.discard(key)
+
+    if trace.total_runtime is not None and trace.total_runtime + 1e-12 < trace.end_time:
+        errors.append(
+            "total_runtime is earlier than the last recorded event "
+            f"({trace.total_runtime} < {trace.end_time})"
+        )
+
+    if errors and strict:
+        raise TraceValidationError("; ".join(errors))
+    return errors
+
+
+def _validate_columnar(trace: "ColumnarTrace", *, strict: bool) -> list[str]:
+    """Vectorised validation sweeps over a columnar trace's columns.
+
+    The set of problems found (including multiplicities) matches the
+    object validator; only the *ordering* of the returned problem list may
+    differ, because the sweeps run check by check rather than event by
+    event.  Valid traces return ``[]`` in both representations.
+    """
+    from repro.events.columnar import (
+        CODE_ALLOC,
+        CODE_DELETE,
+        CODE_FROM_DEVICE,
+        CODE_TO_DEVICE,
+    )
+
+    errors: list[str] = []
+
+    if trace.num_devices < 1:
+        errors.append("trace must describe at least one target device")
+
+    for what, starts, seqs in (
+        ("target", trace.tgt_start_time, trace.tgt_seq),
+        ("data-op", trace.do_start_time, trace.do_seq),
+    ):
+        if starts.size > 1:
+            bad = np.flatnonzero(starts[1:] < starts[:-1])
+            if bad.size:
+                errors.append(
+                    f"{what} events are not in chronological order "
+                    f"at seq={int(seqs[bad[0] + 1])}"
+                )
+
+    host = trace.host_device_num
+    valid_low, valid_high = 0, trace.num_devices - 1
+
+    def _device_ok(devices: np.ndarray) -> np.ndarray:
+        return ((devices >= valid_low) & (devices <= valid_high)) | (devices == host)
+
+    tgt_seq = trace.tgt_seq
+    if tgt_seq.size:
+        uniq, counts = np.unique(tgt_seq, return_counts=True)
+        for seq, count in zip(uniq[counts > 1], counts[counts > 1]):
+            # One error per repeat occurrence, like the object validator.
+            errors.extend(
+                [f"duplicate target event sequence number {int(seq)}"] * (int(count) - 1)
+            )
+        for i in np.flatnonzero(~_device_ok(trace.tgt_device_num)):
+            errors.append(
+                f"target event seq={int(tgt_seq[i])} references unknown device "
+                f"{int(trace.tgt_device_num[i])}"
+            )
+
+    do_seq = trace.do_seq
+    if do_seq.size:
+        uniq, counts = np.unique(do_seq, return_counts=True)
+        for seq, count in zip(uniq[counts > 1], counts[counts > 1]):
+            errors.extend(
+                [f"duplicate data-op event sequence number {int(seq)}"] * (int(count) - 1)
+            )
+        for i in np.flatnonzero(~_device_ok(trace.do_src_device_num)):
+            errors.append(
+                f"data-op seq={int(do_seq[i])} references unknown source device "
+                f"{int(trace.do_src_device_num[i])}"
+            )
+        for i in np.flatnonzero(~_device_ok(trace.do_dest_device_num)):
+            errors.append(
+                f"data-op seq={int(do_seq[i])} references unknown destination device "
+                f"{int(trace.do_dest_device_num[i])}"
+            )
+
+        kind = trace.do_kind
+        transfer = (kind == CODE_TO_DEVICE) | (kind == CODE_FROM_DEVICE)
+        for i in np.flatnonzero(transfer & ~trace.do_has_content_hash):
+            errors.append(f"transfer seq={int(do_seq[i])} is missing its content hash")
+        for i in np.flatnonzero(
+            transfer & (trace.do_src_device_num == trace.do_dest_device_num)
+        ):
+            errors.append(
+                f"transfer seq={int(do_seq[i])} has identical source and destination device"
+            )
+        for i in np.flatnonzero((kind == CODE_TO_DEVICE) & (trace.do_dest_device_num == host)):
+            errors.append(f"transfer-to-device seq={int(do_seq[i])} targets the host device")
+        for i in np.flatnonzero(
+            (kind == CODE_FROM_DEVICE) & (trace.do_src_device_num == host)
+        ):
+            errors.append(
+                f"transfer-from-device seq={int(do_seq[i])} originates from the host device"
+            )
+
+        # Live-address reuse: among the ALLOC/DELETE events of one
+        # (device, address) key, an ALLOC is invalid iff the key's previous
+        # event is also an ALLOC (i.e. the address is still live).
+        ad = np.flatnonzero((kind == CODE_ALLOC) | (kind == CODE_DELETE))
+        if ad.size:
+            is_alloc = kind[ad] == CODE_ALLOC
+            dev = trace.do_dest_device_num[ad]
+            addr = trace.do_dest_addr[ad]
+            order = np.lexsort((ad, addr, dev))
+            same_key = (dev[order][1:] == dev[order][:-1]) & (
+                addr[order][1:] == addr[order][:-1]
+            )
+            alloc_sorted = is_alloc[order]
+            reused = np.flatnonzero(same_key & alloc_sorted[1:] & alloc_sorted[:-1])
+            for pos in ad[order[reused + 1]]:
+                errors.append(
+                    f"alloc seq={int(do_seq[pos])} reuses a live device address "
+                    f"{int(trace.do_dest_addr[pos]):#x} on device "
+                    f"{int(trace.do_dest_device_num[pos])}"
+                )
 
     if trace.total_runtime is not None and trace.total_runtime + 1e-12 < trace.end_time:
         errors.append(

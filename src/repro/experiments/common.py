@@ -9,6 +9,7 @@ the Figure 2 and Figure 3 harnesses share one set of runs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -47,12 +48,27 @@ class AppRun:
 
 
 class RunCache:
-    """Memoises application executions across experiment modules."""
+    """Memoises application executions across experiment modules.
+
+    The cache is thread-safe so the experiment runner can execute specs
+    concurrently: a per-key lock serialises the first execution of each
+    (application, size, variant) — two experiments that need the same run
+    share one execution instead of duplicating it — while distinct keys
+    proceed in parallel.  The simulated executions themselves are
+    deterministic (seeded RNG, per-runtime code-pointer registries), so
+    the cached result is identical no matter which thread computes it.
+    """
 
     def __init__(self, tool: Optional[OMPDataPerf] = None) -> None:
         self.tool = tool or OMPDataPerf()
         self._runs: dict[RunKey, AppRun] = {}
         self._native_only: dict[RunKey, float] = {}
+        self._mutex = threading.Lock()
+        self._key_locks: dict[tuple[str, RunKey], threading.Lock] = {}
+
+    def _lock_for(self, kind: str, key: RunKey) -> threading.Lock:
+        with self._mutex:
+            return self._key_locks.setdefault((kind, key), threading.Lock())
 
     # ------------------------------------------------------------------ #
     def run(self, app_name: str, size: ProblemSize, variant: AppVariant) -> AppRun:
@@ -61,15 +77,19 @@ class RunCache:
         cached = self._runs.get(key)
         if cached is not None:
             return cached
-        app = get_app(app_name)
-        program_name = app.program_name(size, variant)
-        profile = self.tool.profile(
-            app.build_program(size, variant), program_name=program_name
-        )
-        native = self.native_runtime(app_name, size, variant)
-        run = AppRun(key=key, profile=profile, native_runtime=native)
-        self._runs[key] = run
-        return run
+        with self._lock_for("run", key):
+            cached = self._runs.get(key)
+            if cached is not None:
+                return cached
+            app = get_app(app_name)
+            program_name = app.program_name(size, variant)
+            profile = self.tool.profile(
+                app.build_program(size, variant), program_name=program_name
+            )
+            native = self.native_runtime(app_name, size, variant)
+            run = AppRun(key=key, profile=profile, native_runtime=native)
+            self._runs[key] = run
+            return run
 
     def native_runtime(self, app_name: str, size: ProblemSize, variant: AppVariant) -> float:
         """Uninstrumented execution only (no collector, no overhead)."""
@@ -77,20 +97,26 @@ class RunCache:
         cached = self._native_only.get(key)
         if cached is not None:
             return cached
-        app = get_app(app_name)
-        runtime = run_uninstrumented(
-            app.build_program(size, variant),
-            program_name=app.program_name(size, variant),
-        )
-        self._native_only[key] = runtime
-        return runtime
+        with self._lock_for("native", key):
+            cached = self._native_only.get(key)
+            if cached is not None:
+                return cached
+            app = get_app(app_name)
+            runtime = run_uninstrumented(
+                app.build_program(size, variant),
+                program_name=app.program_name(size, variant),
+            )
+            self._native_only[key] = runtime
+            return runtime
 
     def supports(self, app_name: str, variant: AppVariant) -> bool:
         return get_app(app_name).supports_variant(variant)
 
     def clear(self) -> None:
-        self._runs.clear()
-        self._native_only.clear()
+        with self._mutex:
+            self._runs.clear()
+            self._native_only.clear()
+            self._key_locks.clear()
 
 
 #: Process-wide cache shared by all experiments (and the benchmark suite).

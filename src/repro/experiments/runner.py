@@ -4,10 +4,17 @@ Used by ``examples/run_paper_experiments.py`` and the CLI's ``--experiments``
 mode.  Experiments that sweep every application at every size are expensive;
 ``quick=True`` restricts them to the small problem size so the whole suite
 finishes in well under a minute.
+
+Independent experiment specs can execute concurrently (``jobs > 1``): each
+spec runs in a worker thread, the shared
+:data:`~repro.experiments.common.GLOBAL_CACHE` deduplicates the application
+executions the specs have in common, and results are collected (and echoed)
+in spec order so the rendered output is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -35,6 +42,12 @@ class ExperimentSpec:
     run_full: Callable[[], object]
     run_quick: Callable[[], object]
     render: Callable[[object], str]
+    #: Whether the experiment may share the machine with other experiments.
+    #: The hash-throughput experiments (Table 4, Figure 5) measure real
+    #: wall-clock rates, so they always run alone — executing them while
+    #: other specs compete for cores would systematically depress the
+    #: measured rates.  Everything else is a deterministic simulation.
+    parallel_safe: bool = True
 
 
 def _specs() -> list[ExperimentSpec]:
@@ -81,6 +94,7 @@ def _specs() -> list[ExperimentSpec]:
             lambda: table4_hashrate.run(),
             lambda: table4_hashrate.run(apps=("bfs", "hotspot"), max_bytes=1 << 20),
             table4_hashrate.render,
+            parallel_safe=False,
         ),
         ExperimentSpec(
             "fig5", "Figure 5: hash throughput vs data size",
@@ -90,6 +104,7 @@ def _specs() -> list[ExperimentSpec]:
                 sizes=fig5_hash_throughput.default_sizes(max_power=16),
             ),
             fig5_hash_throughput.render,
+            parallel_safe=False,
         ),
         ExperimentSpec(
             "table5", "Table 5: benchmark inputs",
@@ -110,13 +125,26 @@ def available_experiments() -> list[str]:
     return [spec.key for spec in _specs()]
 
 
+def run_all(*, quick: bool = False, jobs: int = 1) -> dict[str, str]:
+    """Run every experiment (the CI smoke entry point)."""
+    return run_experiments(None, quick=quick, jobs=jobs)
+
+
 def run_experiments(
     keys: Optional[list[str]] = None,
     *,
     quick: bool = False,
     echo: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> dict[str, str]:
-    """Run the selected experiments and return ``{key: rendered output}``."""
+    """Run the selected experiments and return ``{key: rendered output}``.
+
+    With ``jobs > 1`` the specs execute concurrently in a thread pool.
+    Output order (and content) is independent of ``jobs``: results are
+    rendered and echoed in spec order as they become available.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
     selected = {spec.key: spec for spec in _specs()}
     if keys:
         unknown = [k for k in keys if k not in selected]
@@ -129,11 +157,34 @@ def run_experiments(
     else:
         specs = list(selected.values())
 
+    def execute(spec: ExperimentSpec) -> object:
+        return spec.run_quick() if quick else spec.run_full()
+
     outputs: dict[str, str] = {}
-    for spec in specs:
-        result = spec.run_quick() if quick else spec.run_full()
-        text = f"{'=' * 72}\n{spec.title}\n{'=' * 72}\n{spec.render(result)}"
-        outputs[spec.key] = text
-        if echo is not None:
-            echo(text)
+    if jobs == 1 or len(specs) <= 1:
+        results = map(execute, specs)
+        for spec, result in zip(specs, results):
+            text = f"{'=' * 72}\n{spec.title}\n{'=' * 72}\n{spec.render(result)}"
+            outputs[spec.key] = text
+            if echo is not None:
+                echo(text)
+        return outputs
+
+    pooled = [spec for spec in specs if spec.parallel_safe]
+    with ThreadPoolExecutor(max_workers=max(min(jobs, len(pooled)), 1)) as pool:
+        futures = {spec.key: pool.submit(execute, spec) for spec in pooled}
+        for spec in specs:
+            if spec.parallel_safe:
+                result = futures[spec.key].result()
+            else:
+                # Wait for every pooled experiment first: timing-sensitive
+                # experiments get the machine to themselves, exactly as in
+                # a serial run.
+                for future in futures.values():
+                    future.result()
+                result = execute(spec)
+            text = f"{'=' * 72}\n{spec.title}\n{'=' * 72}\n{spec.render(result)}"
+            outputs[spec.key] = text
+            if echo is not None:
+                echo(text)
     return outputs

@@ -1,0 +1,140 @@
+"""Differential property test: object vs columnar detector paths.
+
+Every detector has two implementations — the object-based reference oracle
+and the vectorised columnar fast path.  For any well-formed trace the two
+must return *identical* findings (same finding objects, in the same order,
+holding equal events).  Hypothesis generates random multi-device mapping
+histories and the test asserts equality detector by detector, plus at the
+aggregated analysis level.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import analyze_trace
+from repro.core.detectors.duplicates import (
+    find_duplicate_transfers,
+    find_duplicate_transfers_columnar,
+)
+from repro.core.detectors.repeated_allocs import (
+    find_repeated_allocations,
+    find_repeated_allocations_columnar,
+)
+from repro.core.detectors.roundtrips import find_round_trips, find_round_trips_columnar
+from repro.core.detectors.unused_allocs import (
+    find_unused_allocations,
+    find_unused_allocations_columnar,
+)
+from repro.core.detectors.unused_transfers import (
+    find_unused_transfers,
+    find_unused_transfers_columnar,
+)
+from repro.events.columnar import ColumnarTrace
+
+from tests.conftest import TraceBuilder
+
+# One step of a variable's history: which operation happens next.
+_STEP = st.sampled_from(["h2d", "d2h", "kernel", "remap", "idle", "double_h2d"])
+
+
+@st.composite
+def mapping_traces(draw):
+    """Generate a well-formed mapping history over one or two devices."""
+    num_devices = draw(st.integers(min_value=1, max_value=2))
+    num_vars = draw(st.integers(min_value=1, max_value=4))
+    steps = draw(st.lists(st.tuples(st.integers(0, num_vars - 1), _STEP),
+                          min_size=1, max_size=50))
+    hash_pool = draw(st.lists(st.integers(1, 6), min_size=1, max_size=6))
+
+    b = TraceBuilder(num_devices=num_devices)
+    mapped: dict[int, int] = {}  # var -> device addr
+    device_of_var = {v: v % num_devices for v in range(num_vars)}
+    next_addr = 0xA000
+    for var, step in steps:
+        host_addr = 0x100 + var * 0x10
+        device = device_of_var[var]
+        if step == "kernel":
+            b.kernel(device=device)
+            continue
+        if step == "idle":
+            b.idle(1e-5)
+            continue
+        if var not in mapped:
+            mapped[var] = next_addr
+            next_addr += 0x100
+            b.alloc(host_addr, mapped[var], device=device)
+        content = hash_pool[(var + len(b.trace.data_op_events)) % len(hash_pool)]
+        if step == "h2d":
+            b.h2d(host_addr, mapped[var], content_hash=content, device=device)
+        elif step == "double_h2d":
+            b.h2d(host_addr, mapped[var], content_hash=content, device=device)
+            b.h2d(host_addr, mapped[var], content_hash=content + 100, device=device)
+        elif step == "d2h":
+            b.d2h(host_addr, mapped[var], content_hash=content, device=device)
+        elif step == "remap":
+            b.delete(host_addr, mapped[var], device=device)
+            b.alloc(host_addr, mapped[var], device=device)
+    for var, addr in mapped.items():
+        b.delete(0x100 + var * 0x10, addr, device=device_of_var[var])
+    return b.build()
+
+
+@settings(max_examples=120, deadline=None)
+@given(mapping_traces())
+def test_all_detectors_identical_across_representations(trace):
+    ct = ColumnarTrace.from_trace(trace)
+    data_ops = trace.data_op_events
+    targets = trace.target_events
+    n = trace.num_devices
+
+    assert find_duplicate_transfers(data_ops) == find_duplicate_transfers_columnar(ct)
+    assert find_round_trips(data_ops) == find_round_trips_columnar(ct)
+    assert find_repeated_allocations(data_ops) == find_repeated_allocations_columnar(ct)
+    assert find_unused_allocations(targets, data_ops, n) == (
+        find_unused_allocations_columnar(ct, n)
+    )
+    assert find_unused_transfers(targets, data_ops, n) == (
+        find_unused_transfers_columnar(ct, n)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces(), st.integers(min_value=0, max_value=2048))
+def test_duplicate_min_bytes_threshold_identical(trace, min_bytes):
+    ct = ColumnarTrace.from_trace(trace)
+    assert find_duplicate_transfers(trace.data_op_events, min_bytes=min_bytes) == (
+        find_duplicate_transfers_columnar(ct, min_bytes=min_bytes)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces())
+def test_roundtrip_nonchronological_mode_identical(trace):
+    ct = ColumnarTrace.from_trace(trace)
+    assert find_round_trips(trace.data_op_events, require_chronological=False) == (
+        find_round_trips_columnar(ct, require_chronological=False)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces())
+def test_repeated_allocs_keep_undeleted_mode_identical(trace):
+    ct = ColumnarTrace.from_trace(trace)
+    assert find_repeated_allocations(trace.data_op_events, require_deletion=False) == (
+        find_repeated_allocations_columnar(ct, require_deletion=False)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(mapping_traces())
+def test_full_analysis_identical_across_representations(trace):
+    obj_report = analyze_trace(trace)
+    col_report = analyze_trace(ColumnarTrace.from_trace(trace))
+    assert obj_report.counts == col_report.counts
+    assert obj_report.potential == col_report.potential
+    assert obj_report.duplicate_groups == col_report.duplicate_groups
+    assert obj_report.round_trip_groups == col_report.round_trip_groups
+    assert obj_report.repeated_alloc_groups == col_report.repeated_alloc_groups
+    assert obj_report.unused_allocations == col_report.unused_allocations
+    assert obj_report.unused_transfers == col_report.unused_transfers

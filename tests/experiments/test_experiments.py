@@ -155,3 +155,17 @@ class TestRunner:
     def test_unknown_key_rejected(self):
         with pytest.raises(KeyError):
             run_experiments(["nope"], quick=True)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["table6"], quick=True, jobs=0)
+
+    def test_parallel_output_identical_to_serial(self):
+        # fig3 exercises real application runs through the shared cache;
+        # table5/table6 are static.  The CI workflow covers the full
+        # run_all(quick=True) sweep.
+        keys = ["fig3", "table5", "table6"]
+        serial = run_experiments(keys, quick=True)
+        parallel = run_experiments(keys, quick=True, jobs=3)
+        assert parallel == serial
+        assert list(parallel) == keys  # spec order preserved

@@ -50,6 +50,60 @@ def test_experiments_mode(capsys):
     assert "Table 6" in capsys.readouterr().out
 
 
+def test_experiments_parallel_jobs(capsys):
+    assert main(["--experiments", "table5", "table6", "--quick", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out and "Table 6" in out
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(SystemExit):
+        main(["--experiments", "table6", "--jobs", "0"])
+
+
+def test_trace_subcommand_round_trip(tmp_path, capsys):
+    json_path = tmp_path / "trace.json"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
+    capsys.readouterr()
+
+    npz_path = tmp_path / "trace.npz"
+    back_path = tmp_path / "back.json"
+    assert main(["trace", "convert", str(json_path), str(npz_path)]) == 0
+    assert main(["trace", "convert", str(npz_path), str(back_path)]) == 0
+    capsys.readouterr()
+
+    import json
+
+    original = json.loads(json_path.read_text(encoding="utf-8"))
+    restored = json.loads(back_path.read_text(encoding="utf-8"))
+    assert restored == original  # JSON -> binary columnar -> JSON is lossless
+
+
+def test_trace_subcommand_binary_out_from_cli(tmp_path, capsys):
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    capsys.readouterr()
+    from repro.events.columnar import ColumnarTrace
+
+    trace = ColumnarTrace.load_binary(npz_path)
+    assert trace.num_data_op_events > 0
+
+
+def test_trace_subcommand_info(tmp_path, capsys):
+    json_path = tmp_path / "trace.json"
+    assert main(["rsbench", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "info", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "num_data_op_events" in out
+    assert "rsbench" in out
+
+
+def test_trace_subcommand_rejects_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "info", str(tmp_path / "nope.json")])
+
+
 def test_unknown_program_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["not-a-program"])
