@@ -17,6 +17,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow  # 1M-event benchmark: skipped by -m "not slow"
+
 from repro.core.detectors.duplicates import (
     find_duplicate_transfers,
     find_duplicate_transfers_columnar,

@@ -1,0 +1,206 @@
+"""Streaming pipeline throughput and memory on a million-event trace.
+
+Replays the 1M-event synthetic trace through the sharded store and the
+incremental streaming detectors at several shard sizes, verifies the
+findings are bit-identical to the in-memory columnar path, and writes a
+machine-readable record to ``BENCH_streaming.json`` in the repo root.
+
+Three claims are measured and enforced:
+
+* **Bounded-memory ingest.**  Writing the trace through a
+  :class:`~repro.events.store.TraceWriter` allocates O(shard_events)
+  memory — the traced peak scales with the shard size, not the trace.
+* **Streaming throughput.**  At the default shard size the five
+  incremental detector passes (one scan of the store, fold + finalize)
+  reach at least ``MIN_STREAMING_RATIO`` of the in-memory columnar
+  throughput (load the whole store, run the vectorised detectors).
+* **Streaming analysis memory.**  The streaming path peaks below the
+  in-memory path; what remains is the shard buffer plus the detector
+  carries (key tables, pending legs — see ``docs/architecture.md``),
+  which do not grow when the same trace is cut into more shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.core.analysis import analyze_stream
+from repro.core.detectors.duplicates import find_duplicate_transfers_columnar
+from repro.core.detectors.repeated_allocs import find_repeated_allocations_columnar
+from repro.core.detectors.roundtrips import find_round_trips_columnar
+from repro.core.detectors.unused_allocs import find_unused_allocations_columnar
+from repro.core.detectors.unused_transfers import find_unused_transfers_columnar
+from repro.events.store import ShardedTraceStore, TraceWriter, shard_trace
+from repro.events.stream import DEFAULT_SHARD_EVENTS, iter_trace_slices
+from repro.events.synth import make_synthetic_columnar_trace
+
+pytestmark = pytest.mark.slow  # 1M-event benchmark: skipped by -m "not slow"
+
+NUM_EVENTS = 1_000_000
+SHARD_SIZES = (32_768, DEFAULT_SHARD_EVENTS, 524_288)
+
+#: Acceptance bar on dedicated hardware; shared CI runners can relax it via
+#: the environment, mirroring the detector-throughput benchmark.
+MIN_STREAMING_RATIO = float(os.environ.get("OMPDATAPERF_BENCH_MIN_STREAMING_RATIO", "0.5"))
+
+_RECORD: dict = {}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_synthetic_columnar_trace(NUM_EVENTS)
+
+
+@pytest.fixture(scope="module")
+def stores(trace, tmp_path_factory):
+    base = tmp_path_factory.mktemp("streaming-bench")
+    return {
+        shard_events: shard_trace(
+            trace, base / f"shard-{shard_events}", shard_events=shard_events
+        )
+        for shard_events in SHARD_SIZES
+    }
+
+
+def _run_columnar(full):
+    return (
+        find_duplicate_transfers_columnar(full),
+        find_round_trips_columnar(full),
+        find_repeated_allocations_columnar(full),
+        find_unused_allocations_columnar(full, full.num_devices),
+        find_unused_transfers_columnar(full, full.num_devices),
+    )
+
+
+def _report_findings(report):
+    return (
+        report.duplicate_groups,
+        report.round_trip_groups,
+        report.repeated_alloc_groups,
+        report.unused_allocations,
+        report.unused_transfers,
+    )
+
+
+def test_ingest_memory_is_shard_bounded(trace, tmp_path_factory):
+    """TraceWriter ingest peaks scale with shard size, not trace size."""
+    base = tmp_path_factory.mktemp("ingest-bench")
+    peaks: dict[int, int] = {}
+    for shard_events in SHARD_SIZES:
+        # The source trace pre-exists tracing, so only writer-side
+        # allocations (buffer, slice, savez) count toward the peak.
+        tracemalloc.start()
+        writer = TraceWriter(
+            base / f"in-{shard_events}", shard_events=shard_events, num_devices=1
+        )
+        for piece in iter_trace_slices(trace, shard_events):
+            writer.write_batch(piece)
+        writer.close(total_runtime=trace.total_runtime)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[shard_events] = peak
+
+    _RECORD["ingest"] = {
+        str(shard_events): {"peak_traced_bytes": peaks[shard_events]}
+        for shard_events in SHARD_SIZES
+    }
+    smallest, largest = SHARD_SIZES[0], SHARD_SIZES[-1]
+    # Peak grows with the shard, and the small-shard ingest of a 1M-event
+    # trace stays far below the trace's in-memory footprint (~70 MB).
+    assert peaks[smallest] < peaks[largest]
+    assert peaks[smallest] < 40 * 1024 * 1024, (
+        f"ingest at {smallest}-event shards peaked at {peaks[smallest] / 1e6:.1f} MB"
+    )
+
+
+def test_streaming_matches_columnar_and_measures_throughput(trace, stores):
+    store = stores[DEFAULT_SHARD_EVENTS]
+
+    t0 = time.perf_counter()
+    full = store.load()
+    expected = _run_columnar(full)
+    in_memory_seconds = time.perf_counter() - t0
+    del full
+
+    per_shard: dict[str, dict] = {}
+    for shard_events in SHARD_SIZES:
+        t0 = time.perf_counter()
+        report = analyze_stream(stores[shard_events])
+        seconds = time.perf_counter() - t0
+        assert _report_findings(report) == expected, (
+            f"streaming findings differ from the columnar oracle at "
+            f"shard_events={shard_events}"
+        )
+        per_shard[str(shard_events)] = {
+            "seconds": seconds,
+            "events_per_sec": NUM_EVENTS / seconds,
+            "ratio_vs_in_memory": in_memory_seconds / seconds,
+        }
+
+    _RECORD["in_memory"] = {
+        "seconds": in_memory_seconds,
+        "events_per_sec": NUM_EVENTS / in_memory_seconds,
+    }
+    _RECORD["streaming"] = per_shard
+
+    default = per_shard[str(DEFAULT_SHARD_EVENTS)]
+    assert default["ratio_vs_in_memory"] >= MIN_STREAMING_RATIO, (
+        f"streaming analysis at the default shard size reaches only "
+        f"{default['ratio_vs_in_memory']:.2f}x of the in-memory columnar "
+        f"throughput (need >= {MIN_STREAMING_RATIO})"
+    )
+
+
+def test_streaming_memory_below_in_memory_and_write_record(trace, stores):
+    assert "streaming" in _RECORD, "throughput benchmark must run first"
+    store = stores[DEFAULT_SHARD_EVENTS]
+
+    tracemalloc.start()
+    analyze_stream(store)
+    _, streaming_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    full = store.load()
+    _run_columnar(full)
+    _, in_memory_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del full
+
+    # Cutting the same trace into 4x smaller shards must not grow the
+    # analysis peak: it is carry + shard buffer, not trace size.
+    tracemalloc.start()
+    analyze_stream(stores[SHARD_SIZES[0]])
+    _, small_shard_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    _RECORD["memory"] = {
+        "streaming_peak_traced_bytes": streaming_peak,
+        "streaming_small_shard_peak_traced_bytes": small_shard_peak,
+        "in_memory_peak_traced_bytes": in_memory_peak,
+    }
+    record = {
+        "benchmark": "streaming_throughput",
+        "num_events": NUM_EVENTS,
+        "shard_sizes": list(SHARD_SIZES),
+        "default_shard_events": DEFAULT_SHARD_EVENTS,
+        "min_streaming_ratio": MIN_STREAMING_RATIO,
+        **_RECORD,
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    assert streaming_peak < in_memory_peak, (
+        f"streaming analysis peaked at {streaming_peak / 1e6:.1f} MB, above the "
+        f"in-memory path's {in_memory_peak / 1e6:.1f} MB; see {out_path}"
+    )
+    assert small_shard_peak < 1.25 * streaming_peak, (
+        "analysis peak grew when the trace was cut into smaller shards — "
+        "memory is supposed to be carry + shard buffer, not trace size"
+    )

@@ -10,14 +10,19 @@ the CLI takes an application name plus options::
     ompdataperf --experiments table1 fig2        # regenerate paper tables
     ompdataperf --experiments --jobs 4           # ... on four worker threads
     ompdataperf bfs --trace-out bfs.json         # save the raw trace
+    ompdataperf bfs --stream --trace-out b.store # bounded-memory sharded run
     ompdataperf trace convert bfs.json bfs.npz   # JSON <-> binary columnar
-    ompdataperf trace info bfs.npz               # summarise a saved trace
+    ompdataperf trace shard bfs.npz bfs.store    # cut into a sharded store
+    ompdataperf trace merge bfs.store bfs.npz    # merge a store back
+    ompdataperf trace info bfs.store             # summarise without loading
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -25,7 +30,9 @@ from repro._version import __version__
 from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import all_apps, get_app
 from repro.core.profiler import OMPDataPerf
-from repro.events.columnar import as_columnar, as_object_trace, load_trace
+from repro.events.columnar import ColumnarTrace, as_columnar, as_object_trace, load_trace
+from repro.events.store import ShardedTraceStore, shard_trace
+from repro.events.stream import DEFAULT_SHARD_EVENTS
 from repro.experiments.runner import available_experiments, run_experiments
 
 
@@ -55,7 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --experiments: restrict sweeps to the small problem size")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="with --experiments: run independent experiments on N worker "
-                             "threads (default: 1; output is identical regardless of N)")
+                             "threads; with --stream: pipeline the analysis scan (prefetch "
+                             "the next shard while detectors fold the current one, finalize "
+                             "concurrently) (default: 1; output is identical regardless of N)")
+    parser.add_argument("--stream", action="store_true",
+                        help="record into an on-disk sharded store (O(shard) ingest memory) "
+                             "and analyze it with the incremental streaming detectors; "
+                             "--trace-out names the store directory (default: a temp dir)")
+    parser.add_argument("--shard-events", type=int, default=DEFAULT_SHARD_EVENTS, metavar="N",
+                        help=f"with --stream: events per shard (default: {DEFAULT_SHARD_EVENTS})")
     parser.add_argument("--version", action="version", version=f"ompdataperf {__version__}")
     return parser
 
@@ -63,7 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
 def build_trace_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ompdataperf trace",
-        description="Inspect and convert saved traces (JSON <-> binary columnar).",
+        description="Inspect and convert saved traces "
+                    "(JSON <-> binary columnar <-> sharded store).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -78,9 +94,69 @@ def build_trace_parser() -> argparse.ArgumentParser:
         help="output format (default: binary for .npz/.bin outputs, else json)",
     )
 
-    info = sub.add_parser("info", help="print the summary of a saved trace")
+    shard = sub.add_parser(
+        "shard",
+        help="cut a trace into a sharded on-disk store (a directory of "
+             "columnar shards plus a manifest)",
+    )
+    shard.add_argument("input", help="path of the trace to read (format sniffed)")
+    shard.add_argument("output", help="directory of the store to create")
+    shard.add_argument("--shard-events", type=int, default=DEFAULT_SHARD_EVENTS,
+                       metavar="N", help="events per shard "
+                       f"(default: {DEFAULT_SHARD_EVENTS})")
+    shard.add_argument("--compress", action="store_true",
+                       help="compress the shards (smaller, slower to scan)")
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge a sharded store back into one JSON or binary trace file",
+    )
+    merge.add_argument("input", help="directory of the store to read")
+    merge.add_argument("output", help="path of the trace to write")
+    merge.add_argument(
+        "--to", choices=("json", "binary"), default=None,
+        help="output format (default: binary for .npz/.bin outputs, else json)",
+    )
+
+    info = sub.add_parser(
+        "info",
+        help="print the summary, per-kind event counts and on-disk size of a "
+             "saved trace (sharded stores are summarised from the manifest "
+             "without loading any shard)",
+    )
     info.add_argument("input", help="path of the trace to read (format sniffed)")
     return parser
+
+
+def _on_disk_bytes(trace, path: Path) -> int:
+    if isinstance(trace, ShardedTraceStore):
+        return trace.on_disk_bytes()
+    return path.stat().st_size
+
+
+def _print_trace_info(trace, path: Path) -> None:
+    for key, value in trace.summary().items():
+        print(f"{key}: {value}")
+    if isinstance(trace, ShardedTraceStore):
+        # Per-kind counts straight from the manifest: no shard is read.
+        do_kinds = trace.data_op_kind_counts()
+        tgt_kinds = trace.target_kind_counts()
+        print(f"num_shards: {trace.num_shards}")
+    else:
+        columnar = as_columnar(trace)
+        import numpy as np
+
+        from repro.events.columnar import DATA_OP_KIND_CODES, TARGET_KIND_CODES
+
+        do_counts = np.bincount(columnar.do_kind, minlength=len(DATA_OP_KIND_CODES))
+        tgt_counts = np.bincount(columnar.tgt_kind, minlength=len(TARGET_KIND_CODES))
+        do_kinds = {k.value: int(n) for k, n in zip(DATA_OP_KIND_CODES, do_counts)}
+        tgt_kinds = {k.value: int(n) for k, n in zip(TARGET_KIND_CODES, tgt_counts)}
+    for kind, count in do_kinds.items():
+        print(f"data_op_kind.{kind}: {count}")
+    for kind, count in tgt_kinds.items():
+        print(f"target_kind.{kind}: {count}")
+    print(f"on_disk_bytes: {_on_disk_bytes(trace, path)}")
 
 
 def _trace_main(argv: Sequence[str]) -> int:
@@ -96,9 +172,33 @@ def _trace_main(argv: Sequence[str]) -> int:
         return 2  # unreachable; parser.error raises SystemExit
 
     if args.command == "info":
-        for key, value in trace.summary().items():
-            print(f"{key}: {value}")
+        _print_trace_info(trace, Path(args.input))
         return 0
+
+    if args.command == "shard":
+        if args.shard_events < 1:
+            parser.error("--shard-events must be at least 1")
+        try:
+            store = shard_trace(
+                trace,
+                args.output,
+                shard_events=args.shard_events,
+                compress=args.compress,
+            )
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot shard into {args.output}: {exc}")
+            return 2
+        print(
+            f"info: wrote {store.num_shards} shard(s), {len(store)} events "
+            f"to {args.output}"
+        )
+        return 0
+
+    if args.command == "merge" and not isinstance(trace, ShardedTraceStore):
+        parser.error(f"{args.input} is not a sharded trace store")
+
+    if isinstance(trace, ShardedTraceStore):
+        trace = trace.load()  # convert/merge write a single file: materialise
 
     fmt = args.to
     if fmt is None:
@@ -165,6 +265,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not app.supports_variant(variant):
         parser.error(f"{app.name} does not provide a {variant.value!r} variant")
 
+    if args.shard_events < 1:
+        parser.error("--shard-events must be at least 1")
+
     if not args.quiet:
         print(f"info: OpenMP OMPT interface version 5.1 (simulated)")
         print(f"info: analyzing {app.name} [{size.value}, {variant.value}] with OMPDataPerf {__version__}")
@@ -173,21 +276,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         hasher=args.hasher or "vector64",
         audit_collisions=args.audit_collisions,
     )
-    result = tool.profile(
-        app.build_program(size, variant),
-        program_name=app.program_name(size, variant),
-    )
+    if args.stream:
+        # Without --trace-out the store only exists to bound the run's
+        # memory: put it in a scratch directory and remove it afterwards.
+        scratch = None if args.trace_out else tempfile.mkdtemp(prefix="ompdataperf-")
+        store_path = args.trace_out or Path(scratch) / "trace.store"
+        try:
+            try:
+                result = tool.profile_streaming(
+                    app.build_program(size, variant),
+                    store_path,
+                    shard_events=args.shard_events,
+                    program_name=app.program_name(size, variant),
+                    jobs=args.jobs,
+                )
+            except (OSError, ValueError) as exc:
+                # e.g. the store directory already exists and is non-empty
+                parser.error(f"cannot stream into {store_path}: {exc}")
+                return 2  # unreachable; parser.error raises SystemExit
+            trace_like = result.store
+            if not args.quiet:
+                kept = "" if scratch is None else " (scratch, removed on exit)"
+                print(
+                    f"info: streamed {len(result.store)} events into "
+                    f"{result.store.num_shards} shard(s) at {store_path}{kept}"
+                )
+        finally:
+            if scratch is not None:
+                shutil.rmtree(scratch, ignore_errors=True)
+    else:
+        result = tool.profile(
+            app.build_program(size, variant),
+            program_name=app.program_name(size, variant),
+        )
+        trace_like = result.trace
 
-    if args.trace_out:
-        if Path(args.trace_out).suffix in (".npz", ".bin"):
-            result.trace.save_binary(args.trace_out)
-        else:
-            result.trace.save(args.trace_out)
-        if not args.quiet:
-            print(f"info: trace written to {args.trace_out}")
+        if args.trace_out:
+            if Path(args.trace_out).suffix in (".npz", ".bin"):
+                result.trace.save_binary(args.trace_out)
+            else:
+                result.trace.save(args.trace_out)
+            if not args.quiet:
+                print(f"info: trace written to {args.trace_out}")
 
+    # The report and summaries below read only in-memory state (findings
+    # and manifest aggregates), so a scratch store may already be gone.
     if args.verbose:
-        summary = result.trace.summary()
+        summary = trace_like.summary()
         print("info: trace summary:")
         for key, value in summary.items():
             print(f"  {key}: {value}")

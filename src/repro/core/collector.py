@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.events.columnar import ColumnarTrace
 from repro.events.records import TargetKind
+from repro.events.store import ShardedTraceStore, TraceWriter
 from repro.hashing import DEFAULT_HASHER
 from repro.hashing.base import Hasher, get_hasher
 from repro.hashing.collision import CollisionAuditor
@@ -61,6 +62,12 @@ class TraceCollector:
         When true, keep payload copies and verify that no two distinct
         payloads share a hash (Appendix B.1's optional mode — high memory
         cost, only for validation runs).
+    writer:
+        Optional :class:`~repro.events.store.TraceWriter`.  When given,
+        events are appended into the writer instead of the in-memory trace:
+        the writer flushes a shard to disk every ``shard_events`` events, so
+        ingest runs in O(shard) memory no matter how long the program runs.
+        Finish with :meth:`finish_store` instead of :meth:`finish_trace`.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class TraceCollector:
         hasher: str | Hasher = DEFAULT_HASHER,
         overhead_model: Optional[OverheadModel] = OverheadModel(),
         audit_collisions: bool = False,
+        writer: Optional[TraceWriter] = None,
     ) -> None:
         self.hasher: Hasher = get_hasher(hasher) if isinstance(hasher, str) else hasher
         self.overhead_model = overhead_model
@@ -78,7 +86,11 @@ class TraceCollector:
         #: events land directly in the structure-of-arrays store: appending
         #: a row into preallocated columns is the Python analogue of the
         #: native tool's fixed-size-record append (no per-event objects).
+        #: With a writer attached the sink is the bounded shard buffer
+        #: instead, and ``self.trace`` stays empty.
         self.trace = ColumnarTrace(num_devices=0)
+        self.writer = writer
+        self._sink = writer if writer is not None else self.trace
         self._interface: Optional[OmptInterface] = None
         self._pending_targets: dict[int, _PendingTarget] = {}
         self._next_seq = 0
@@ -156,7 +168,7 @@ class TraceCollector:
         else:
             start, end = pending.begin_time, record.time
 
-        self.trace.append_target(
+        self._sink.append_target(
             seq=self._seq(),
             kind=pending.kind,
             device_num=pending.device_num,
@@ -195,7 +207,7 @@ class TraceCollector:
 
         start = record.start_time if record.start_time is not None else record.time
         end = record.end_time if record.end_time is not None else record.time
-        self.trace.append_data_op(
+        self._sink.append_data_op(
             seq=self._seq(),
             kind=record.optype,
             src_device_num=record.src_device_num,
@@ -219,6 +231,10 @@ class TraceCollector:
         self, *, total_runtime: Optional[float] = None, program_name: Optional[str] = None
     ) -> ColumnarTrace:
         """Finalize and return the recorded (columnar) trace."""
+        if self.writer is not None:
+            raise ValueError(
+                "collector records into a TraceWriter; use finish_store()"
+            )
         if total_runtime is not None:
             self.trace.total_runtime = total_runtime
         if program_name is not None:
@@ -226,3 +242,16 @@ class TraceCollector:
         if self.trace.num_devices == 0:
             self.trace.num_devices = 1
         return self.trace
+
+    def finish_store(
+        self, *, total_runtime: Optional[float] = None, program_name: Optional[str] = None
+    ) -> ShardedTraceStore:
+        """Flush the remainder, write the manifest, return the sharded store."""
+        if self.writer is None:
+            raise ValueError("collector has no TraceWriter; use finish_trace()")
+        num_devices = max(self.trace.num_devices, 1)
+        return self.writer.close(
+            num_devices=num_devices,
+            program_name=program_name,
+            total_runtime=total_runtime,
+        )

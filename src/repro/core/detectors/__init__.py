@@ -11,6 +11,13 @@ Each submodule implements one algorithm over the post-mortem event trace:
 The detectors deliberately consume only information available through the
 OMPT EMI callbacks (timestamps, device numbers, addresses, sizes, content
 hashes); none of them require memory-access instrumentation.
+
+Every algorithm ships in three equivalent implementations: the object-based
+reference oracle (``find_*``), the vectorised columnar fast path
+(``find_*_columnar``) and the incremental streaming variant
+(``find_*_streaming``) that folds an event stream shard by shard in
+O(carry) memory.  The three-way differential property test holds them to
+bit-identical findings.
 """
 
 from repro.core.detectors.findings import (
@@ -21,11 +28,31 @@ from repro.core.detectors.findings import (
     UnusedAllocation,
     UnusedTransfer,
 )
-from repro.core.detectors.duplicates import find_duplicate_transfers
-from repro.core.detectors.roundtrips import find_round_trips
-from repro.core.detectors.repeated_allocs import find_repeated_allocations
-from repro.core.detectors.unused_allocs import find_unused_allocations
-from repro.core.detectors.unused_transfers import find_unused_transfers
+from repro.core.detectors.duplicates import (
+    find_duplicate_transfers,
+    find_duplicate_transfers_columnar,
+    find_duplicate_transfers_streaming,
+)
+from repro.core.detectors.roundtrips import (
+    find_round_trips,
+    find_round_trips_columnar,
+    find_round_trips_streaming,
+)
+from repro.core.detectors.repeated_allocs import (
+    find_repeated_allocations,
+    find_repeated_allocations_columnar,
+    find_repeated_allocations_streaming,
+)
+from repro.core.detectors.unused_allocs import (
+    find_unused_allocations,
+    find_unused_allocations_columnar,
+    find_unused_allocations_streaming,
+)
+from repro.core.detectors.unused_transfers import (
+    find_unused_transfers,
+    find_unused_transfers_columnar,
+    find_unused_transfers_streaming,
+)
 
 __all__ = [
     "DuplicateTransferGroup",
@@ -35,8 +62,18 @@ __all__ = [
     "UnusedAllocation",
     "UnusedTransfer",
     "find_duplicate_transfers",
+    "find_duplicate_transfers_columnar",
+    "find_duplicate_transfers_streaming",
     "find_round_trips",
+    "find_round_trips_columnar",
+    "find_round_trips_streaming",
     "find_repeated_allocations",
+    "find_repeated_allocations_columnar",
+    "find_repeated_allocations_streaming",
     "find_unused_allocations",
+    "find_unused_allocations_columnar",
+    "find_unused_allocations_streaming",
     "find_unused_transfers",
+    "find_unused_transfers_columnar",
+    "find_unused_transfers_streaming",
 ]

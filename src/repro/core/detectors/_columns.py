@@ -1,8 +1,8 @@
 """Shared column operations for the vectorised detector fast paths.
 
 Everything here is representation-level plumbing the five detectors have in
-common: composite-key grouping in first-occurrence order, composite-key
-interning, and the columnar alloc/delete pairing that Algorithms 3 and 4
+common: composite-key grouping in first-occurrence order and the
+columnar alloc/delete pairing that Algorithms 3 and 4
 both start from.  The helpers return *row indices* into the columnar store;
 the detectors materialise object events only for the rows that end up in
 findings, which is what makes the fast paths fast.
@@ -10,7 +10,7 @@ findings, which is what makes the fast paths fast.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -66,28 +66,6 @@ def group_rows_by_key(*columns: np.ndarray, min_size: int = 1) -> Iterator[np.nd
     first_occurrence = np.fromiter((g[0] for g in groups), dtype=np.int64, count=len(groups))
     for gi in np.argsort(first_occurrence, kind="stable"):
         yield groups[gi]
-
-
-def intern_keys(*column_sets: Sequence[np.ndarray]) -> list[np.ndarray]:
-    """Intern several composite-key column sets into shared integer ids.
-
-    All sets are pooled, so equal keys receive equal ids *across* sets —
-    this is how the round-trip detector matches a transfer's ``(hash, src)``
-    against the ``(hash, dest)`` receipts without building Python tuples per
-    event.  Returns one id array per input set.
-    """
-    lengths = [len(pair[0]) for pair in column_sets]
-    pooled = [
-        np.concatenate([pair[i] for pair in column_sets])
-        for i in range(len(column_sets[0]))
-    ]
-    inverse = key_ids(*pooled)
-    out: list[np.ndarray] = []
-    offset = 0
-    for length in lengths:
-        out.append(inverse[offset : offset + length])
-        offset += length
-    return out
 
 
 def first_index_reaching(sorted_running_max: np.ndarray, thresholds: np.ndarray) -> np.ndarray:

@@ -1,0 +1,617 @@
+"""Shared plumbing for the incremental (streaming) detector variants.
+
+The ``find_*_streaming`` detectors fold one columnar batch at a time into
+small carry state and never hold a whole trace.  The carries they share:
+
+* :class:`GrowArray` / :class:`ColumnBuffer` — append-only NumPy storage
+  (amortised doubling / chunk list) for per-device cursors and compact
+  column captures.
+* :class:`CompositeKeyCounter` — the streaming twin of
+  :func:`repro.core.detectors._columns.group_rows_by_key`: a lexsorted
+  key table tracking, per distinct composite key, the cumulative member
+  count, the smallest global position observed and that row's payload.
+  Folding a batch reports which rows belong to keys that have reached the
+  group threshold, which is all the duplicate/repeated-allocation
+  detectors need to collect group members as positions (events are only
+  materialised for findings, in one targeted pass at the end).
+* :class:`StreamingAllocPairer` — the streaming twin of
+  :func:`repro.events.records.get_alloc_delete_pairs`: carries the open
+  allocations across batch boundaries and emits completed
+  (alloc, delete) position pairs as the deletes arrive.  The common case
+  (no live device address re-allocated, which ``validate_trace`` enforces)
+  is fully vectorised; nested allocations fall back to the exact
+  stack-matching loop, permanently for the rest of the stream.
+
+Positions are "gpos": the row index an event would have in the
+concatenation of every batch's data-op columns (see
+:mod:`repro.events.stream`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.events.columnar import CODE_ALLOC, CODE_DELETE, ColumnarTrace
+
+
+class GrowArray:
+    """A 1-D append-only NumPy array with amortised-doubling growth."""
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+        self._arr = np.empty(16, dtype=self._dtype)
+        self.size = 0
+
+    def extend(self, values: np.ndarray) -> None:
+        n = len(values)
+        if n == 0:
+            return
+        needed = self.size + n
+        if needed > self._arr.size:
+            capacity = self._arr.size
+            while capacity < needed:
+                capacity *= 2
+            fresh = np.empty(capacity, dtype=self._dtype)
+            fresh[: self.size] = self._arr[: self.size]
+            self._arr = fresh
+        self._arr[self.size : needed] = values
+        self.size = needed
+
+    def view(self) -> np.ndarray:
+        return self._arr[: self.size]
+
+
+class DeviceKernels:
+    """Per-device kernel cursor base: start times and running-max end times.
+
+    Shared by the unused-allocation and unused-transfer passes: both decide
+    "first kernel whose running-max end reaches t" with a ``searchsorted``
+    over ``runmax`` and then compare against ``start``.
+    """
+
+    def __init__(self) -> None:
+        self.start = GrowArray(np.float64)
+        self.runmax = GrowArray(np.float64)
+        self.last = -np.inf
+
+    def extend(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        if len(starts) == 0:
+            return
+        run = np.maximum.accumulate(ends)
+        np.maximum(run, self.last, out=run)
+        self.last = float(run[-1])
+        self.start.extend(starts)
+        self.runmax.extend(run)
+
+    @property
+    def count(self) -> int:
+        return self.start.size
+
+
+class ColumnBuffer:
+    """Append-only column storage as a chunk list (concatenated on demand)."""
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self.size = 0
+
+    def append(self, values: np.ndarray) -> None:
+        if len(values):
+            self._chunks.append(values)
+            self.size += len(values)
+
+    def concat(self, dtype=None) -> np.ndarray:
+        if not self._chunks:
+            return np.empty(0, dtype=dtype if dtype is not None else np.int64)
+        return np.concatenate(self._chunks)
+
+
+# --------------------------------------------------------------------- #
+# Composite-key counting
+# --------------------------------------------------------------------- #
+@dataclass
+class KeyFold:
+    """Result of folding one batch of keyed rows (arrays per *shard* key)."""
+
+    #: row index -> index into the per-batch unique-key arrays below
+    inverse: np.ndarray
+    #: members of each key seen before this batch
+    prior_count: np.ndarray
+    #: members of each key including this batch
+    total_count: np.ndarray
+    #: smallest gpos ever observed for the key (after this batch)
+    first_gpos: np.ndarray
+    #: payload of the row at ``first_gpos``
+    first_payload: np.ndarray
+    #: stable identifier assigned when the key was first seen (never changes
+    #: across folds, unlike ``first_gpos`` when rows arrive out of gpos
+    #: order — group membership must key on this)
+    key_uid: np.ndarray
+    #: ``first_gpos`` as it stood BEFORE this batch (the retained member a
+    #: caller must recover when ``prior_count == 1``; meaningless where
+    #: ``prior_count == 0``)
+    prior_first_gpos: np.ndarray
+    #: payload of the row at ``prior_first_gpos``
+    prior_payload: np.ndarray
+
+
+class CompositeKeyCounter:
+    """Incremental composite-key statistics with a lexsorted NumPy table.
+
+    Carry is O(distinct keys) at a few dozen bytes each — the same
+    asymptotics as the object detectors' hash maps, but with no per-key
+    Python objects.  The payload column (one int64 per key, e.g. a partner
+    position) is only carried when a caller ever supplies one.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Optional[tuple[np.ndarray, ...]] = None
+        self._count = np.empty(0, dtype=np.int64)
+        self._first = np.empty(0, dtype=np.int64)
+        self._uid = np.empty(0, dtype=np.int64)
+        self._next_uid = 0
+        self._payload: Optional[np.ndarray] = None
+
+    @property
+    def num_keys(self) -> int:
+        return self._count.size
+
+    @staticmethod
+    def _group_boundaries(cols: Sequence[np.ndarray], order: np.ndarray) -> np.ndarray:
+        boundary = np.ones(order.size, dtype=bool)
+        if order.size > 1:
+            same = np.ones(order.size - 1, dtype=bool)
+            for col in cols:
+                sorted_col = col[order]
+                same &= sorted_col[1:] == sorted_col[:-1]
+            boundary[1:] = ~same
+        return boundary
+
+    def fold(
+        self,
+        cols: Sequence[np.ndarray],
+        gpos: np.ndarray,
+        payload: Optional[np.ndarray] = None,
+    ) -> KeyFold:
+        """Fold one batch of rows; ``cols`` are the composite key columns."""
+        n = len(gpos)
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return KeyFold(empty, empty, empty, empty, empty, empty, empty, empty)
+        if payload is not None and self._payload is None:
+            self._payload = np.zeros(self._count.size, dtype=np.int64)
+        track_payload = self._payload is not None
+        if track_payload and payload is None:
+            payload = np.zeros(n, dtype=np.int64)
+
+        # Batch-local uniques: sort by key columns, gpos as tiebreak, so the
+        # first row of each run carries the batch-minimal gpos.
+        order = np.lexsort((gpos, *reversed(cols)))
+        boundary = self._group_boundaries(cols, order)
+        starts = np.flatnonzero(boundary)
+        group_id = np.cumsum(boundary) - 1
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = group_id
+
+        u_cols = tuple(col[order][starts] for col in cols)
+        u_count = np.diff(np.append(starts, n)).astype(np.int64)
+        u_first = gpos[order][starts].astype(np.int64)
+        u_payload = (
+            payload[order][starts].astype(np.int64)
+            if track_payload
+            else np.zeros(len(starts), dtype=np.int64)
+        )
+
+        if self._keys is None:
+            self._keys = u_cols
+            self._count = u_count
+            self._first = u_first
+            self._uid = np.arange(len(starts), dtype=np.int64)
+            self._next_uid = len(starts)
+            if track_payload:
+                self._payload = u_payload
+            prior = np.zeros(len(starts), dtype=np.int64)
+            return KeyFold(
+                inverse, prior, u_count.copy(), u_first.copy(), u_payload,
+                self._uid.copy(), u_first.copy(), u_payload.copy(),
+            )
+
+        # Merge the batch uniques into the table (both sides key-sorted; a
+        # lexsort of the concatenation keeps the code simple, and the table
+        # being nearly sorted keeps it cheap).
+        m_cols = tuple(np.concatenate([t, u]) for t, u in zip(self._keys, u_cols))
+        tag = np.concatenate([
+            np.zeros(self._count.size, dtype=np.int8),
+            np.ones(len(starts), dtype=np.int8),
+        ])
+        m_count = np.concatenate([self._count, u_count])
+        m_first = np.concatenate([self._first, u_first])
+        fresh_uids = self._next_uid + np.arange(len(starts), dtype=np.int64)
+        self._next_uid += len(starts)
+        m_uid = np.concatenate([self._uid, fresh_uids])
+
+        morder = np.lexsort((tag, *reversed(m_cols)))
+        mboundary = self._group_boundaries(m_cols, morder)
+        run_starts = np.flatnonzero(mboundary)
+        run_id = np.cumsum(mboundary) - 1
+        m = morder.size
+
+        count_sorted = m_count[morder]
+        first_sorted = m_first[morder]
+        uid_sorted = m_uid[morder]
+        new_count = np.add.reduceat(count_sorted, run_starts)
+        new_first = np.minimum.reduceat(first_sorted, run_starts)
+        # Table entries sort before batch entries (the tag), so the run
+        # head is the pre-existing key when there is one: its uid, first
+        # and payload are the key's stable identity and prior state.
+        new_uid = uid_sorted[run_starts]
+        prior_first = first_sorted[run_starts]
+        del count_sorted
+
+        # Runs have at most two entries (table + batch); the payload follows
+        # whichever entry holds the smaller first-gpos.
+        run_len = np.diff(np.append(run_starts, m))
+        second = run_starts + 1
+        two = run_len == 2
+        pick = run_starts.copy()
+        pick[two] = np.where(
+            first_sorted[np.minimum(second, m - 1)][two] < first_sorted[run_starts][two],
+            second[two],
+            run_starts[two],
+        )
+        del first_sorted
+        if track_payload:
+            payload_sorted = np.concatenate([self._payload, u_payload])[morder]
+            new_payload = payload_sorted[pick]
+            prior_payload = payload_sorted[run_starts]
+        else:
+            new_payload = np.zeros(run_starts.size, dtype=np.int64)
+            prior_payload = new_payload
+
+        self._keys = tuple(col[morder][run_starts] for col in m_cols)
+        del m_cols
+        self._count = new_count.astype(np.int64)
+        self._first = new_first
+        self._uid = new_uid
+        if track_payload:
+            self._payload = new_payload
+
+        # Map each batch key to its merged run; batch entries appear in the
+        # merged order in the same sorted order as the batch's own uniques.
+        batch_runs = run_id[np.flatnonzero(tag[morder] == 1)]
+        total_count = new_count[batch_runs]
+        prior_count = total_count - u_count
+        return KeyFold(
+            inverse,
+            prior_count.astype(np.int64),
+            total_count.astype(np.int64),
+            new_first[batch_runs],
+            new_payload[batch_runs],
+            new_uid[batch_runs],
+            prior_first[batch_runs],
+            prior_payload[batch_runs],
+        )
+
+
+# --------------------------------------------------------------------- #
+# Streaming alloc/delete pairing
+# --------------------------------------------------------------------- #
+@dataclass
+class PairBatch:
+    """Completed (or, at finalize, still-open) allocation pairs."""
+
+    alloc_gpos: np.ndarray
+    #: aligned delete positions; -1 when the allocation was never deleted
+    delete_gpos: np.ndarray
+    #: captured alloc-side columns, keyed by column name
+    alloc: dict[str, np.ndarray] = field(default_factory=dict)
+    #: captured delete-side columns (empty arrays where delete_gpos == -1)
+    delete: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return self.alloc_gpos.size
+
+
+class StreamingAllocPairer:
+    """Pairs ALLOC/DELETE events across batches with O(open allocs) carry."""
+
+    def __init__(
+        self,
+        alloc_cols: Sequence[str] = (),
+        delete_cols: Sequence[str] = (),
+    ) -> None:
+        self.alloc_cols = tuple(alloc_cols)
+        self.delete_cols = tuple(delete_cols)
+        #: (device, address) -> stack of (gpos, {col: value}) for open allocs
+        self._open: dict[tuple[int, int], list[tuple[int, dict]]] = {}
+        self._vectorized = True
+        self._dtypes: dict[str, np.dtype] = {}
+
+    @property
+    def num_open(self) -> int:
+        return sum(len(stack) for stack in self._open.values())
+
+    def _empty_batch(self) -> PairBatch:
+        return PairBatch(
+            alloc_gpos=np.empty(0, dtype=np.int64),
+            delete_gpos=np.empty(0, dtype=np.int64),
+            alloc={c: np.empty(0, dtype=self._dtypes.get(c)) for c in self.alloc_cols},
+            delete={c: np.empty(0, dtype=self._dtypes.get(c)) for c in self.delete_cols},
+        )
+
+    def fold(self, batch: ColumnarTrace, offset: int) -> PairBatch:
+        """Feed one batch; returns the pairs whose DELETE landed in it."""
+        kind = batch.do_kind
+        sel = np.flatnonzero((kind == CODE_ALLOC) | (kind == CODE_DELETE))
+        for col in self.alloc_cols + self.delete_cols:
+            self._dtypes.setdefault(col, batch.do_column(col).dtype)
+        if sel.size == 0:
+            return self._empty_batch()
+
+        is_alloc = kind[sel] == CODE_ALLOC
+        dev = batch.do_dest_device_num[sel]
+        addr = batch.do_dest_addr[sel]
+        gpos = offset + sel
+
+        if self._vectorized:
+            result = self._fold_vectorized(batch, sel, is_alloc, dev, addr, gpos)
+            if result is not None:
+                return result
+            self._vectorized = False  # nesting detected: exact stacks from now on
+        return self._fold_stacks(batch, sel, is_alloc, dev, addr, gpos)
+
+    # -- vectorised path (alternation holds per (device, address) key) --- #
+    def _fold_vectorized(self, batch, sel, is_alloc, dev, addr, gpos):
+        if any(len(stack) > 1 for stack in self._open.values()):
+            return None
+        carry_items = [
+            (key, stack[0]) for key, stack in self._open.items() if stack
+        ]
+        k = len(carry_items)
+        n = sel.size
+        c_dev = np.concatenate([
+            np.array([key[0] for key, _ in carry_items], dtype=dev.dtype),
+            dev,
+        ])
+        c_addr = np.concatenate([
+            np.array([key[1] for key, _ in carry_items], dtype=addr.dtype),
+            addr,
+        ])
+        c_alloc = np.concatenate([np.ones(k, dtype=bool), is_alloc])
+        c_pos = np.concatenate([
+            np.arange(-k, 0, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+        ])
+        c_gpos = np.concatenate([
+            np.array([entry[0] for _, entry in carry_items], dtype=np.int64),
+            gpos,
+        ])
+
+        order = np.lexsort((c_pos, c_addr, c_dev))
+        dev_s, addr_s = c_dev[order], c_addr[order]
+        alloc_s = c_alloc[order]
+        same_key = np.empty(order.size, dtype=bool)
+        same_key[0] = False
+        same_key[1:] = (dev_s[1:] == dev_s[:-1]) & (addr_s[1:] == addr_s[:-1])
+        if np.any(same_key[1:] & alloc_s[1:] & alloc_s[:-1]):
+            return None  # nested allocation: exact stack semantics needed
+
+        pair_at = np.flatnonzero(same_key[1:] & alloc_s[:-1] & ~alloc_s[1:])
+        alloc_side = order[pair_at]
+        delete_side = order[pair_at + 1]
+
+        # Capture the alloc-side columns, mixing carried values and batch rows.
+        alloc_values: dict[str, np.ndarray] = {}
+        for col in self.alloc_cols:
+            batch_col = batch.do_column(col)[sel]
+            carried = np.array(
+                [entry[1][col] for _, entry in carry_items], dtype=batch_col.dtype
+            )
+            alloc_values[col] = np.concatenate([carried, batch_col])
+        delete_local = c_pos[delete_side]  # always >= 0: deletes are batch rows
+
+        result = PairBatch(
+            alloc_gpos=c_gpos[alloc_side],
+            delete_gpos=gpos[delete_local],
+            alloc={col: alloc_values[col][alloc_side] for col in self.alloc_cols},
+            delete={
+                col: batch.do_column(col)[sel][delete_local]
+                for col in self.delete_cols
+            },
+        )
+
+        # Rebuild the open-alloc carry: every alloc entry not paired above.
+        paired = np.zeros(order.size, dtype=bool)
+        paired[alloc_side] = True
+        open_entries = np.flatnonzero(c_alloc & ~paired)
+        self._open = {}
+        for entry_index in open_entries.tolist():
+            key = (int(c_dev[entry_index]), int(c_addr[entry_index]))
+            values = {
+                col: alloc_values[col][entry_index] for col in self.alloc_cols
+            }
+            self._open[key] = [(int(c_gpos[entry_index]), values)]
+        return result
+
+    # -- exact stack semantics (nested allocations) ---------------------- #
+    def _fold_stacks(self, batch, sel, is_alloc, dev, addr, gpos):
+        alloc_cols = {c: batch.do_column(c)[sel] for c in self.alloc_cols}
+        delete_cols = {c: batch.do_column(c)[sel] for c in self.delete_cols}
+        out_alloc_gpos: list[int] = []
+        out_delete_gpos: list[int] = []
+        out_alloc_vals: dict[str, list] = {c: [] for c in self.alloc_cols}
+        out_delete_vals: dict[str, list] = {c: [] for c in self.delete_cols}
+        dev_l, addr_l = dev.tolist(), addr.tolist()
+        alloc_l, gpos_l = is_alloc.tolist(), gpos.tolist()
+        for i in range(sel.size):
+            key = (dev_l[i], addr_l[i])
+            if alloc_l[i]:
+                values = {c: alloc_cols[c][i] for c in self.alloc_cols}
+                self._open.setdefault(key, []).append((gpos_l[i], values))
+            else:
+                stack = self._open.get(key)
+                if not stack:
+                    continue
+                a_gpos, values = stack.pop()
+                out_alloc_gpos.append(a_gpos)
+                out_delete_gpos.append(gpos_l[i])
+                for c in self.alloc_cols:
+                    out_alloc_vals[c].append(values[c])
+                for c in self.delete_cols:
+                    out_delete_vals[c].append(delete_cols[c][i])
+        return PairBatch(
+            alloc_gpos=np.array(out_alloc_gpos, dtype=np.int64),
+            delete_gpos=np.array(out_delete_gpos, dtype=np.int64),
+            alloc={
+                c: np.array(out_alloc_vals[c], dtype=self._dtypes[c])
+                for c in self.alloc_cols
+            },
+            delete={
+                c: np.array(out_delete_vals[c], dtype=self._dtypes[c])
+                for c in self.delete_cols
+            },
+        )
+
+    def finalize(self) -> PairBatch:
+        """The allocations still open at end of stream (delete_gpos == -1)."""
+        entries: list[tuple[int, dict]] = []
+        for stack in self._open.values():
+            entries.extend(stack)
+        entries.sort(key=lambda e: e[0])
+        out = PairBatch(
+            alloc_gpos=np.array([e[0] for e in entries], dtype=np.int64),
+            delete_gpos=np.full(len(entries), -1, dtype=np.int64),
+            alloc={
+                c: np.array([e[1][c] for e in entries], dtype=self._dtypes.get(c))
+                for c in self.alloc_cols
+            },
+            delete={
+                c: np.empty(0, dtype=self._dtypes.get(c)) for c in self.delete_cols
+            },
+        )
+        return out
+
+
+class StreamingPass:
+    """One detector's incremental half: fold batches, then finalize.
+
+    ``fold`` consumes one columnar batch (with the global data-op row
+    offset of its first row) and updates the carry; ``finalize`` closes the
+    carry and materialises findings — it may re-scan the stream, but only
+    the shards that contain finding rows.  A pass instance is single-use.
+    """
+
+    def fold(self, batch: ColumnarTrace, offset: int) -> None:
+        raise NotImplementedError
+
+    def finalize(self, stream):
+        raise NotImplementedError
+
+
+def run_streaming_pass(pass_: StreamingPass, stream) -> list:
+    """Drive one pass over a stream: the ``find_*_streaming`` entry point."""
+    offset = 0
+    for batch in stream.batches():
+        pass_.fold(batch, offset)
+        offset += batch.num_data_op_events
+    return pass_.finalize(stream)
+
+
+def _iter_prefetched(stream, depth: int = 2):
+    """Iterate a stream's batches with a background prefetch thread.
+
+    While the consumer folds batch *k*, the loader thread is already
+    reading and decoding batch *k+1* — shard decode (zip read, zlib for
+    compressed stores) releases the GIL, so load and fold genuinely
+    overlap.  ``depth`` bounds the number of decoded batches in flight,
+    keeping memory O(depth × shard).
+    """
+    import queue
+    import threading
+
+    q: "queue.Queue" = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+    _DONE = object()
+
+    def _put(item) -> None:
+        # Bounded put that gives up when the consumer has gone away, so an
+        # aborted scan never leaves the loader blocked (pinning a decoded
+        # shard) for the life of the process.
+        while not stop.is_set():
+            try:
+                q.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def _loader() -> None:
+        try:
+            for batch in stream.batches():
+                _put(batch)
+                if stop.is_set():
+                    return
+            _put(_DONE)
+        except BaseException as exc:  # propagate into the consumer
+            _put(exc)
+
+    thread = threading.Thread(target=_loader, name="shard-prefetch", daemon=True)
+    thread.start()
+    try:
+        while True:
+            item = q.get()
+            if item is _DONE:
+                break
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+    finally:
+        stop.set()
+        while thread.is_alive():
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                pass
+            thread.join(timeout=0.05)
+
+
+def run_streaming_passes(passes: Sequence[StreamingPass], stream, *, jobs: int = 1) -> list:
+    """Drive several passes over ONE scan of the stream.
+
+    Each shard is loaded once and handed to every pass — the single-pass,
+    multi-fold shape of the streaming pipeline.  With ``jobs > 1`` the scan
+    becomes a two-stage pipeline: a prefetch thread decodes the next shard
+    while the folds consume the current one (decode releases the GIL), and
+    the finalizes — whose targeted materialisation scans are independent —
+    run concurrently on a thread pool.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    offset = 0
+    if jobs == 1:
+        for batch in stream.batches():
+            for pass_ in passes:
+                pass_.fold(batch, offset)
+            offset += batch.num_data_op_events
+        return [pass_.finalize(stream) for pass_ in passes]
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    for batch in _iter_prefetched(stream, depth=min(jobs, 4)):
+        for pass_ in passes:
+            pass_.fold(batch, offset)
+        offset += batch.num_data_op_events
+    with ThreadPoolExecutor(max_workers=min(jobs, len(passes))) as pool:
+        futures = [pool.submit(pass_.finalize, stream) for pass_ in passes]
+        return [future.result() for future in futures]
+
+
+def first_missing_hash_seq(batch: ColumnarTrace, idx: np.ndarray) -> Optional[int]:
+    """Sequence number of the first selected transfer without a hash, if any."""
+    missing = ~batch.do_has_content_hash[idx]
+    if missing.any():
+        return int(batch.do_seq[idx[np.flatnonzero(missing)[0]]])
+    return None

@@ -14,9 +14,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.detectors._columns import group_rows_by_key
+from repro.core.detectors._streaming import (
+    ColumnBuffer,
+    CompositeKeyCounter,
+    StreamingPass,
+    first_missing_hash_seq,
+    run_streaming_pass,
+)
 from repro.core.detectors.findings import DuplicateTransferGroup
 from repro.events.columnar import ColumnarTrace
+from repro.events.protocol import EventStream
 from repro.events.records import DataOpEvent
+from repro.events.stream import materialize_data_op_events
 
 
 def find_duplicate_transfers(
@@ -122,6 +131,104 @@ def find_duplicate_transfers_columnar(
             )
         )
     return groups
+
+
+class DuplicateTransferPass(StreamingPass):
+    """Incremental Algorithm 1: fold shards, finalize to groups.
+
+    Findings are identical to the batch implementations.  Carry state is a
+    :class:`CompositeKeyCounter` over ``(hash, destination device)`` —
+    count and first position per distinct key, the streaming analogue of
+    the native tool's hash map — plus the positions of members of keys
+    that reached the group threshold (O(findings)).  When a key crosses
+    from one member to two, its retained first position is pulled into the
+    member set, so no rescan is needed for counting; events are
+    materialised once at finalize, only for the rows in findings.
+    """
+
+    def __init__(self, *, min_bytes: int = 0) -> None:
+        if min_bytes < 0:
+            raise ValueError("min_bytes cannot be negative")
+        self.min_bytes = min_bytes
+        self._counter = CompositeKeyCounter()
+        self._gpos = ColumnBuffer()
+        self._group = ColumnBuffer()  # stable uid of the member's key
+        self._hash = ColumnBuffer()
+        self._dest = ColumnBuffer()
+
+    def fold(self, batch, offset: int) -> None:
+        mask = batch.transfer_mask()
+        if self.min_bytes:
+            mask &= batch.do_nbytes >= self.min_bytes
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return
+        bad_seq = first_missing_hash_seq(batch, idx)
+        if bad_seq is not None:
+            raise ValueError(
+                f"transfer event seq={bad_seq} is missing its content hash"
+            )
+        hashes = batch.do_content_hash[idx]
+        dests = batch.do_dest_device_num[idx]
+        gpos = offset + idx
+        fold = self._counter.fold((hashes, dests), gpos)
+
+        qualified = fold.total_count[fold.inverse] >= 2
+        if qualified.any():
+            self._gpos.append(gpos[qualified])
+            self._group.append(fold.key_uid[fold.inverse][qualified])
+            self._hash.append(hashes[qualified])
+            self._dest.append(dests[qualified])
+        crossed = (fold.prior_count == 1) & (fold.total_count >= 2)
+        if crossed.any():
+            # The key's single retained member (counted while the key was
+            # still a singleton) joins the group now.
+            self._gpos.append(fold.prior_first_gpos[crossed])
+            self._group.append(fold.key_uid[crossed])
+            # recover the key columns from any batch member of the key
+            _, first_row_of_key = np.unique(fold.inverse, return_index=True)
+            representative = first_row_of_key[np.flatnonzero(crossed)]
+            self._hash.append(hashes[representative])
+            self._dest.append(dests[representative])
+
+    def finalize(self, stream) -> list[DuplicateTransferGroup]:
+        all_gpos = self._gpos.concat()
+        if all_gpos.size == 0:
+            return []
+        all_group = self._group.concat()
+        all_hash = self._hash.concat()
+        all_dest = self._dest.concat()
+
+        order = np.lexsort((all_gpos, all_group))
+        events = materialize_data_op_events(stream, all_gpos)
+
+        # Members grouped by stable key uid, chronological inside each
+        # group; groups emitted in order of their first (earliest) member,
+        # matching the oracle's first-occurrence ordering.
+        keyed: list[tuple[int, DuplicateTransferGroup]] = []
+        sorted_group = all_group[order]
+        boundaries = np.flatnonzero(sorted_group[1:] != sorted_group[:-1]) + 1
+        for member_rows in np.split(order, boundaries):
+            group_events = tuple(events[int(all_gpos[i])] for i in member_rows)
+            keyed.append((
+                int(all_gpos[member_rows[0]]),
+                DuplicateTransferGroup(
+                    content_hash=int(all_hash[member_rows[0]]),
+                    dest_device_num=int(all_dest[member_rows[0]]),
+                    events=group_events,
+                ),
+            ))
+        keyed.sort(key=lambda pair: pair[0])
+        return [group for _, group in keyed]
+
+
+def find_duplicate_transfers_streaming(
+    stream: EventStream,
+    *,
+    min_bytes: int = 0,
+) -> list[DuplicateTransferGroup]:
+    """Incremental Algorithm 1 over an event stream (one shard at a time)."""
+    return run_streaming_pass(DuplicateTransferPass(min_bytes=min_bytes), stream)
 
 
 def count_redundant_transfers(groups: Sequence[DuplicateTransferGroup]) -> int:

@@ -17,9 +17,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.detectors._columns import alloc_delete_pair_rows, group_rows_by_key
+from repro.core.detectors._streaming import (
+    ColumnBuffer,
+    CompositeKeyCounter,
+    StreamingAllocPairer,
+    StreamingPass,
+    run_streaming_pass,
+)
 from repro.core.detectors.findings import RepeatedAllocationGroup
 from repro.events.columnar import ColumnarTrace
+from repro.events.protocol import EventStream
 from repro.events.records import AllocationPair, DataOpEvent, get_alloc_delete_pairs
+from repro.events.stream import materialize_data_op_events
 
 
 def find_repeated_allocations(
@@ -132,6 +141,123 @@ def find_repeated_allocations_columnar(
             )
         )
     return groups
+
+
+class RepeatedAllocationPass(StreamingPass):
+    """Incremental Algorithm 3: fold pairs, finalize to groups.
+
+    Carry state: the open allocations (a :class:`StreamingAllocPairer`,
+    O(live mappings)) and a :class:`CompositeKeyCounter` over the
+    ``(host address, device, size)`` mapping keys, holding count and first
+    pair per key.  Completed pairs are counted as their deletes arrive;
+    pairs of keys that reached two members are kept as position pairs
+    (O(findings)) and materialised once at finalize.
+    """
+
+    def __init__(self, *, require_deletion: bool = True) -> None:
+        self.require_deletion = require_deletion
+        self._pairer = StreamingAllocPairer(
+            alloc_cols=("src_addr", "dest_device_num", "nbytes")
+        )
+        self._counter = CompositeKeyCounter()
+        self._alloc = ColumnBuffer()
+        self._delete = ColumnBuffer()
+        self._group = ColumnBuffer()
+        self._host = ColumnBuffer()
+        self._dev = ColumnBuffer()
+        self._nbytes = ColumnBuffer()
+
+    def _count(self, pairs) -> None:
+        if pairs.size == 0:
+            return
+        host = pairs.alloc["src_addr"]
+        dev = pairs.alloc["dest_device_num"]
+        nbytes = pairs.alloc["nbytes"]
+        fold = self._counter.fold(
+            (host, dev, nbytes), pairs.alloc_gpos, payload=pairs.delete_gpos
+        )
+        qualified = fold.total_count[fold.inverse] >= 2
+        if qualified.any():
+            self._alloc.append(pairs.alloc_gpos[qualified])
+            self._delete.append(pairs.delete_gpos[qualified])
+            self._group.append(fold.key_uid[fold.inverse][qualified])
+            self._host.append(host[qualified])
+            self._dev.append(dev[qualified])
+            self._nbytes.append(nbytes[qualified])
+        crossed = (fold.prior_count == 1) & (fold.total_count >= 2)
+        if crossed.any():
+            # Recover the key's single retained pair — the one counted
+            # while the key was still a singleton (NOT the post-merge
+            # minimum: pairs complete in delete order, so this batch's
+            # pair may predate the retained one).
+            self._alloc.append(fold.prior_first_gpos[crossed])
+            self._delete.append(fold.prior_payload[crossed])
+            self._group.append(fold.key_uid[crossed])
+            _, first_row_of_key = np.unique(fold.inverse, return_index=True)
+            representative = first_row_of_key[np.flatnonzero(crossed)]
+            self._host.append(host[representative])
+            self._dev.append(dev[representative])
+            self._nbytes.append(nbytes[representative])
+
+    def fold(self, batch, offset: int) -> None:
+        self._count(self._pairer.fold(batch, offset))
+
+    def finalize(self, stream) -> list[RepeatedAllocationGroup]:
+        if not self.require_deletion:
+            self._count(self._pairer.finalize())
+
+        alloc_gpos = self._alloc.concat()
+        if alloc_gpos.size == 0:
+            return []
+        delete_gpos = self._delete.concat()
+        group_uid = self._group.concat()
+        host = self._host.concat()
+        dev = self._dev.concat()
+        nbytes = self._nbytes.concat()
+
+        order = np.lexsort((alloc_gpos, group_uid))
+        needed = np.concatenate([alloc_gpos, delete_gpos[delete_gpos >= 0]])
+        events = materialize_data_op_events(stream, needed)
+
+        # Pairs grouped by stable key uid, alloc-ordered inside each group;
+        # groups emitted in order of their earliest counted pair, matching
+        # the oracle's first-qualifying-pair ordering.
+        keyed: list[tuple[int, RepeatedAllocationGroup]] = []
+        sorted_group = group_uid[order]
+        boundaries = np.flatnonzero(sorted_group[1:] != sorted_group[:-1]) + 1
+        for member_rows in np.split(order, boundaries):
+            allocations = tuple(
+                AllocationPair(
+                    alloc_event=events[int(alloc_gpos[i])],
+                    delete_event=(
+                        events[int(delete_gpos[i])] if delete_gpos[i] >= 0 else None
+                    ),
+                )
+                for i in member_rows
+            )
+            head = member_rows[0]
+            keyed.append((
+                int(alloc_gpos[head]),
+                RepeatedAllocationGroup(
+                    host_addr=int(host[head]),
+                    device_num=int(dev[head]),
+                    nbytes=int(nbytes[head]),
+                    allocations=allocations,
+                ),
+            ))
+        keyed.sort(key=lambda pair: pair[0])
+        return [group for _, group in keyed]
+
+
+def find_repeated_allocations_streaming(
+    stream: EventStream,
+    *,
+    require_deletion: bool = True,
+) -> list[RepeatedAllocationGroup]:
+    """Incremental Algorithm 3 over an event stream."""
+    return run_streaming_pass(
+        RepeatedAllocationPass(require_deletion=require_deletion), stream
+    )
 
 
 def count_redundant_allocations(groups: Sequence[RepeatedAllocationGroup]) -> int:

@@ -24,10 +24,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.detectors._columns import intern_keys
+from repro.core.detectors._streaming import (
+    ColumnBuffer,
+    StreamingPass,
+    first_missing_hash_seq,
+    run_streaming_pass,
+)
 from repro.core.detectors.findings import RoundTripGroup, RoundTripPair
 from repro.events.columnar import ColumnarTrace
+from repro.events.protocol import EventStream
 from repro.events.records import DataOpEvent
+from repro.events.stream import materialize_data_op_events
 
 
 def find_round_trips(
@@ -126,11 +133,61 @@ def find_round_trips_columnar(
         seq = int(trace.do_seq[tr[np.flatnonzero(missing)[0]]])
         raise ValueError(f"transfer event seq={seq} is missing its content hash")
 
-    hashes = trace.do_content_hash[tr]
-    src = trace.do_src_device_num[tr]
-    dst = trace.do_dest_device_num[tr]
-    rx_id, tx_id = intern_keys((hashes, src), (hashes, dst))
-    num_keys = int(max(rx_id.max(), tx_id.max())) + 1
+    group_order, round_trips = _match_trips(
+        trace.do_content_hash[tr],
+        trace.do_src_device_num[tr],
+        trace.do_dest_device_num[tr],
+        trace.do_start_time[tr],
+        trace.do_end_time[tr],
+        require_chronological=require_chronological,
+    )
+
+    # One bulk materialisation for every leg of every recorded trip.
+    legs: list[int] = []
+    for key in group_order:
+        for i, j in round_trips[key]:
+            legs.append(i)
+            legs.append(j)
+    events = trace.data_op_events_at(tr[np.asarray(legs, dtype=np.int64)])
+    return _build_groups(group_order, round_trips, lambda cursor: events[cursor])
+
+
+def _match_trips(
+    hashes: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+    *,
+    require_chronological: bool,
+) -> tuple[list[tuple[int, int, int]], dict[tuple[int, int, int], list[tuple[int, int]]]]:
+    """The queue-matching core of Algorithm 2 over transfer leg arrays.
+
+    Returns the trip-group keys in first-completion order and, per key, the
+    recorded trips as ``(outbound, return)`` index pairs into the inputs.
+    Shared by the columnar fast path (indices into the transfer subset) and
+    the streaming variant (global positions).
+
+    Only *candidate* transfers — those whose payload is ever received back
+    by their source device — enter the Python loop, and only their columns
+    are unboxed to lists; the full-width arrays (``start`` for arbitrary
+    return legs, the receipt queue) stay NumPy, so memory stays O(transfers
+    × 8 B) instead of O(transfers × boxed objects).
+    """
+    # Intern the (hash, device) keys: hashes are factorised once, devices
+    # are small, so the composite is exact int64 arithmetic; one pooled
+    # ``np.unique`` compacts the rx/tx key spaces together.
+    _, hash_id = np.unique(hashes, return_inverse=True)
+    width = int(max(int(src.max()), int(dst.max()))) + 1
+    pooled = np.concatenate([
+        hash_id * width + src.astype(np.int64),
+        hash_id * width + dst.astype(np.int64),
+    ])
+    uniq, inv = np.unique(pooled, return_inverse=True)
+    del pooled
+    n = hashes.size
+    rx_id, tx_id = inv[:n], inv[n:]
+    num_keys = uniq.size
 
     # Receipt queues: for key k, positions queue_order[queue_start[k] + head].
     queue_order = np.argsort(tx_id, kind="stable")
@@ -140,56 +197,52 @@ def find_round_trips_columnar(
     # A transfer is a candidate iff some receipt carries its (hash, src) key.
     candidates = np.flatnonzero((queue_len > 0)[rx_id])
 
-    start = trace.do_start_time[tr].tolist()
-    end = trace.do_end_time[tr].tolist()
-    hash_list = hashes.tolist()
-    src_list = src.tolist()
-    dst_list = dst.tolist()
-    rx_list = rx_id.tolist()
-    tx_list = tx_id.tolist()
-    order_list = queue_order.tolist()
-    start_list = queue_start.tolist()
+    cand_end = end[candidates].tolist()
+    cand_hash = hashes[candidates].tolist()
+    cand_src = src[candidates].tolist()
+    cand_dst = dst[candidates].tolist()
+    cand_rx = rx_id[candidates].tolist()
+    cand_tx = tx_id[candidates].tolist()
+    qstart_list = queue_start.tolist()
     len_list = queue_len.tolist()
     heads = [0] * num_keys
 
     round_trips: dict[tuple[int, int, int], list[tuple[int, int]]] = {}
     group_order: list[tuple[int, int, int]] = []
 
-    for i in candidates.tolist():
-        rx_key = rx_list[i]
+    for k, i in enumerate(candidates.tolist()):
+        rx_key = cand_rx[k]
         head = heads[rx_key]
         if head >= len_list[rx_key]:
             continue  # every receipt of this key has been consumed
-        j = order_list[start_list[rx_key] + head]
-        if require_chronological and start[j] < end[i]:
+        j = int(queue_order[qstart_list[rx_key] + head])
+        if require_chronological and start[j] < cand_end[k]:
             continue
 
-        trip_key = (hash_list[i], src_list[i], dst_list[i])
+        trip_key = (cand_hash[k], cand_src[k], cand_dst[k])
         trips = round_trips.get(trip_key)
         if trips is None:
             trips = round_trips[trip_key] = []
             group_order.append(trip_key)
         trips.append((i, j))
 
-        tx_key = tx_list[i]
+        tx_key = cand_tx[k]
         if heads[tx_key] < len_list[tx_key]:
             heads[tx_key] += 1  # popleft: the outbound leg is consumed
 
-    # One bulk materialisation for every leg of every recorded trip.
-    legs: list[int] = []
-    for key in group_order:
-        for i, j in round_trips[key]:
-            legs.append(i)
-            legs.append(j)
-    events = trace.data_op_events_at(tr[np.asarray(legs, dtype=np.int64)])
+    return group_order, round_trips
 
+
+def _build_groups(group_order, round_trips, event_at) -> list[RoundTripGroup]:
     groups: list[RoundTripGroup] = []
     cursor = 0
     for key in group_order:
         content_hash, src_device_num, dest_device_num = key
         trips = []
         for _ in round_trips[key]:
-            trips.append(RoundTripPair(tx_event=events[cursor], rx_event=events[cursor + 1]))
+            trips.append(
+                RoundTripPair(tx_event=event_at(cursor), rx_event=event_at(cursor + 1))
+            )
             cursor += 2
         groups.append(
             RoundTripGroup(
@@ -200,6 +253,78 @@ def find_round_trips_columnar(
             )
         )
     return groups
+
+
+class RoundTripPass(StreamingPass):
+    """Incremental Algorithm 2: fold legs, match at finalize.
+
+    A round trip's return leg typically arrives long after its outbound
+    leg, and the queue semantics make *every* transfer a potential receipt
+    for a later outbound leg — so the carry here is inherently the pending
+    legs themselves.  They are folded shard by shard into six flat arrays
+    (hash, devices, start/end, position): ~40 bytes per transfer and no
+    Python objects, versus the full event record either batch path holds
+    in memory.  The match loop runs once at finalize over the compact
+    arrays, and only the legs of recorded trips are materialised, in one
+    targeted pass over the shards that contain them.
+    """
+
+    def __init__(self, *, require_chronological: bool = True) -> None:
+        self.require_chronological = require_chronological
+        self._hash = ColumnBuffer()
+        self._src = ColumnBuffer()
+        self._dst = ColumnBuffer()
+        self._start = ColumnBuffer()
+        self._end = ColumnBuffer()
+        self._gpos = ColumnBuffer()
+
+    def fold(self, batch, offset: int) -> None:
+        tr = np.flatnonzero(batch.transfer_mask())
+        if tr.size == 0:
+            return
+        bad_seq = first_missing_hash_seq(batch, tr)
+        if bad_seq is not None:
+            raise ValueError(
+                f"transfer event seq={bad_seq} is missing its content hash"
+            )
+        self._hash.append(batch.do_content_hash[tr])
+        self._src.append(batch.do_src_device_num[tr])
+        self._dst.append(batch.do_dest_device_num[tr])
+        self._start.append(batch.do_start_time[tr])
+        self._end.append(batch.do_end_time[tr])
+        self._gpos.append(offset + tr)
+
+    def finalize(self, stream) -> list[RoundTripGroup]:
+        if self._gpos.size == 0:
+            return []
+        gpos = self._gpos.concat()
+        group_order, round_trips = _match_trips(
+            self._hash.concat(),
+            self._src.concat(),
+            self._dst.concat(),
+            self._start.concat(),
+            self._end.concat(),
+            require_chronological=self.require_chronological,
+        )
+
+        legs: list[int] = []
+        for key in group_order:
+            for i, j in round_trips[key]:
+                legs.append(int(gpos[i]))
+                legs.append(int(gpos[j]))
+        events = materialize_data_op_events(stream, np.asarray(legs, dtype=np.int64))
+        return _build_groups(group_order, round_trips, lambda cursor: events[legs[cursor]])
+
+
+def find_round_trips_streaming(
+    stream: EventStream,
+    *,
+    require_chronological: bool = True,
+) -> list[RoundTripGroup]:
+    """Incremental Algorithm 2 over an event stream."""
+    return run_streaming_pass(
+        RoundTripPass(require_chronological=require_chronological), stream
+    )
 
 
 def count_round_trips(groups: Sequence[RoundTripGroup]) -> int:

@@ -16,14 +16,23 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.detectors._columns import alloc_delete_pair_rows, first_index_reaching
+from repro.core.detectors._streaming import (
+    ColumnBuffer,
+    DeviceKernels,
+    StreamingAllocPairer,
+    StreamingPass,
+    run_streaming_pass,
+)
 from repro.core.detectors.findings import UnusedAllocation
 from repro.events.columnar import ColumnarTrace
+from repro.events.protocol import EventStream
 from repro.events.records import (
     AllocationPair,
     DataOpEvent,
     TargetEvent,
     get_alloc_delete_pairs,
 )
+from repro.events.stream import materialize_data_op_events
 
 
 def find_unused_allocations(
@@ -161,6 +170,173 @@ def find_unused_allocations_columnar(
             )
             unused.append(UnusedAllocation(pair=pair))
     return unused
+
+
+class UnusedAllocationPass(StreamingPass):
+    """Incremental Algorithm 4: fold pairs and kernels, decide eagerly.
+
+    Carry state per device: the kernel start times with the running maximum
+    of kernel end times (the ``searchsorted`` cursor base), plus the pairs
+    whose verdict still depends on the future.  A completed pair is decided
+    as soon as some kernel's running-max end reaches its lifetime start —
+    the cursor is final from that point on — and discarded unless unused;
+    pairs deleted but never reached stay pending, and allocations never
+    deleted live in the pairer's open set until finalize, where the trace
+    end closes their lifetimes exactly as the batch oracles do.
+    """
+
+    def __init__(
+        self, num_devices: int, *, trace_end: Optional[float] = None
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        self.num_devices = num_devices
+        self.trace_end = trace_end
+        self._pairer = StreamingAllocPairer(
+            alloc_cols=("dest_device_num", "start_time"), delete_cols=("end_time",)
+        )
+        self._kernels = [DeviceKernels() for _ in range(num_devices)]
+        # pending per device: (alloc_gpos, delete_gpos, life_start, life_end)
+        self._pending = [
+            (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+            for _ in range(num_devices)
+        ]
+        self._found_alloc = [ColumnBuffer() for _ in range(num_devices)]
+        self._found_delete = [ColumnBuffer() for _ in range(num_devices)]
+        self._folded_end = 0.0
+
+    def _decide(self, dev: int, final: bool) -> None:
+        p_alloc, p_delete, p_start, p_end = self._pending[dev]
+        if p_alloc.size == 0:
+            return
+        dk = self._kernels[dev]
+        cursor = np.searchsorted(dk.runmax.view(), p_start, side="left")
+        resolved = cursor < dk.count
+        if dk.count:
+            clamped = np.minimum(cursor, dk.count - 1)
+            starts_after = resolved & (dk.start.view()[clamped] > p_end)
+        else:
+            starts_after = np.zeros(p_alloc.size, dtype=bool)
+        if final:
+            unused = ~resolved | starts_after
+            keep = np.zeros(p_alloc.size, dtype=bool)
+        else:
+            unused = starts_after
+            keep = ~resolved
+        if unused.any():
+            self._found_alloc[dev].append(p_alloc[unused])
+            self._found_delete[dev].append(p_delete[unused])
+        self._pending[dev] = (
+            p_alloc[keep], p_delete[keep], p_start[keep], p_end[keep]
+        )
+
+    def _enqueue(self, dev, alloc_gpos, delete_gpos, life_start, life_end) -> None:
+        old = self._pending[dev]
+        self._pending[dev] = (
+            np.concatenate([old[0], alloc_gpos]),
+            np.concatenate([old[1], delete_gpos]),
+            np.concatenate([old[2], life_start]),
+            np.concatenate([old[3], life_end]),
+        )
+
+    def fold(self, batch, offset: int) -> None:
+        num_devices = self.num_devices
+        self._folded_end = max(self._folded_end, batch.end_time)
+        pairs = self._pairer.fold(batch, offset)
+
+        kmask = batch.kernel_mask()
+        k_dev = batch.tgt_device_num[kmask]
+        k_start = batch.tgt_start_time[kmask]
+        k_end = batch.tgt_end_time[kmask]
+
+        touched = set()
+        if pairs.size:
+            p_dev = pairs.alloc["dest_device_num"]
+            for dev in np.unique(p_dev).tolist():
+                if not 0 <= dev < num_devices:
+                    continue
+                on_dev = p_dev == dev
+                self._enqueue(
+                    dev,
+                    pairs.alloc_gpos[on_dev],
+                    pairs.delete_gpos[on_dev],
+                    pairs.alloc["start_time"][on_dev],
+                    pairs.delete["end_time"][on_dev],
+                )
+                touched.add(dev)
+        if k_dev.size:
+            for dev in np.unique(k_dev).tolist():
+                if not 0 <= dev < num_devices:
+                    continue
+                on_dev = k_dev == dev
+                self._kernels[dev].extend(k_start[on_dev], k_end[on_dev])
+                touched.add(dev)
+        for dev in touched:
+            self._decide(dev, final=False)
+
+    def finalize(self, stream) -> list[UnusedAllocation]:
+        num_devices = self.num_devices
+        trace_end = self.trace_end if self.trace_end is not None else self._folded_end
+        open_pairs = self._pairer.finalize()
+        if open_pairs.size:
+            o_dev = open_pairs.alloc["dest_device_num"]
+            for dev in np.unique(o_dev).tolist():
+                if not 0 <= dev < num_devices:
+                    continue
+                on_dev = o_dev == dev
+                n_open = int(on_dev.sum())
+                self._enqueue(
+                    dev,
+                    open_pairs.alloc_gpos[on_dev],
+                    np.full(n_open, -1, dtype=np.int64),
+                    open_pairs.alloc["start_time"][on_dev],
+                    np.full(n_open, trace_end, dtype=np.float64),
+                )
+        for dev in range(num_devices):
+            self._decide(dev, final=True)
+
+        per_device: list[tuple[np.ndarray, np.ndarray]] = []
+        needed: list[np.ndarray] = []
+        for dev in range(num_devices):
+            alloc_gpos = self._found_alloc[dev].concat()
+            delete_gpos = self._found_delete[dev].concat()
+            order = np.argsort(alloc_gpos, kind="stable")
+            alloc_gpos, delete_gpos = alloc_gpos[order], delete_gpos[order]
+            per_device.append((alloc_gpos, delete_gpos))
+            needed.append(alloc_gpos)
+            needed.append(delete_gpos[delete_gpos >= 0])
+        events = materialize_data_op_events(stream, np.concatenate(needed))
+
+        unused: list[UnusedAllocation] = []
+        for alloc_gpos, delete_gpos in per_device:
+            for k in range(alloc_gpos.size):
+                pair = AllocationPair(
+                    alloc_event=events[int(alloc_gpos[k])],
+                    delete_event=(
+                        events[int(delete_gpos[k])] if delete_gpos[k] >= 0 else None
+                    ),
+                )
+                unused.append(UnusedAllocation(pair=pair))
+        return unused
+
+
+def find_unused_allocations_streaming(
+    stream: EventStream,
+    num_devices: Optional[int] = None,
+    *,
+    trace_end: Optional[float] = None,
+) -> list[UnusedAllocation]:
+    """Incremental Algorithm 4 over an event stream."""
+    if num_devices is None:
+        num_devices = stream.num_devices
+    return run_streaming_pass(
+        UnusedAllocationPass(num_devices, trace_end=trace_end), stream
+    )
 
 
 def count_unused_allocations(findings: Sequence[UnusedAllocation]) -> int:

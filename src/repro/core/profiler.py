@@ -20,13 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.core.analysis import AnalysisReport, analyze_trace
+from repro.core.analysis import AnalysisReport, analyze_stream, analyze_trace
 from repro.core.collector import TraceCollector
 from repro.core.overhead import OverheadModel
 from repro.dwarf.debuginfo import DebugInfoRegistry
 from repro.events.columnar import ColumnarTrace
+from repro.events.store import ShardedTraceStore, TraceWriter
+from repro.events.stream import DEFAULT_SHARD_EVENTS
 from repro.events.trace import Trace
-from repro.events.validation import validate_trace
+from repro.events.validation import validate_stream, validate_trace
 from repro.hashing import DEFAULT_HASHER
 from repro.hashing.base import Hasher
 from repro.omp.costmodel import CostModel
@@ -62,6 +64,33 @@ class ProfileResult:
     @property
     def space_overhead_bytes(self) -> int:
         return self.trace.space_overhead_bytes()
+
+    def render_report(self) -> str:
+        return self.analysis.render()
+
+
+@dataclass
+class StreamingProfileResult:
+    """Everything produced by one bounded-memory instrumented run.
+
+    ``store`` is the on-disk sharded trace the collector flushed into;
+    ``analysis`` holds the findings of the incremental detector passes.
+    """
+
+    store: ShardedTraceStore
+    analysis: AnalysisReport
+    instrumented_runtime: float
+    tool_overhead: float
+    collector: TraceCollector
+    debug_info: DebugInfoRegistry
+
+    @property
+    def native_runtime_estimate(self) -> float:
+        return max(self.instrumented_runtime - self.tool_overhead, 0.0)
+
+    @property
+    def space_overhead_bytes(self) -> int:
+        return self.store.space_overhead_bytes()
 
     def render_report(self) -> str:
         return self.analysis.render()
@@ -133,6 +162,63 @@ class OMPDataPerf:
             debug_info=runtime.debug_info,
         )
 
+    def profile_streaming(
+        self,
+        program: Program,
+        store_path,
+        *,
+        shard_events: int = DEFAULT_SHARD_EVENTS,
+        num_devices: int = 1,
+        cost_model: Optional[CostModel] = None,
+        device_memory_capacity: int = 40 * (1 << 30),
+        program_name: Optional[str] = None,
+        jobs: int = 1,
+    ) -> "StreamingProfileResult":
+        """Run ``program`` with the collector flushing shards to disk.
+
+        Ingest memory stays O(``shard_events``) regardless of trace length;
+        the analysis then runs the incremental detectors over the resulting
+        :class:`~repro.events.store.ShardedTraceStore` (``jobs > 1`` runs
+        the five detector passes shard-parallel).
+        """
+        writer = TraceWriter(
+            store_path,
+            shard_events=shard_events,
+            num_devices=num_devices,
+            program_name=program_name,
+        )
+        ompt = OmptInterface()
+        collector = TraceCollector(
+            hasher=self.hasher,
+            overhead_model=self.overhead_model,
+            audit_collisions=self.audit_collisions,
+            writer=writer,
+        )
+        ompt.connect_tool(collector)
+        runtime = OffloadRuntime(
+            num_devices=num_devices,
+            cost_model=cost_model,
+            ompt=ompt,
+            device_memory_capacity=device_memory_capacity,
+            program_name=program_name,
+        )
+        program(runtime)
+        total_runtime = runtime.finish()
+        store = collector.finish_store(
+            total_runtime=total_runtime, program_name=program_name
+        )
+        if self.validate:
+            validate_stream(store)
+        analysis = analyze_stream(store, debug_info=runtime.debug_info, jobs=jobs)
+        return StreamingProfileResult(
+            store=store,
+            analysis=analysis,
+            instrumented_runtime=total_runtime,
+            tool_overhead=runtime.clock.tool_overhead,
+            collector=collector,
+            debug_info=runtime.debug_info,
+        )
+
     def analyze(
         self,
         trace: Trace | ColumnarTrace,
@@ -143,6 +229,18 @@ class OMPDataPerf:
         if self.validate:
             validate_trace(trace)
         return analyze_trace(trace, debug_info=debug_info)
+
+    def analyze_stream(
+        self,
+        stream,
+        *,
+        debug_info: Optional[DebugInfoRegistry] = None,
+        jobs: int = 1,
+    ) -> AnalysisReport:
+        """Offline incremental analysis of an event stream (sharded store)."""
+        if self.validate:
+            validate_stream(stream)
+        return analyze_stream(stream, debug_info=debug_info, jobs=jobs)
 
 
 def run_uninstrumented(

@@ -27,8 +27,23 @@ from repro.events.columnar import (
     as_object_trace,
     load_trace,
 )
-from repro.events.protocol import TraceLike
-from repro.events.validation import TraceValidationError, validate_trace
+from repro.events.protocol import EventStream, TraceLike
+from repro.events.backends import TraceBackend, available_backends, register_trace_backend
+from repro.events.stream import (
+    DEFAULT_SHARD_EVENTS,
+    SlicedTraceStream,
+    as_event_stream,
+    iter_trace_slices,
+    merge_stream,
+)
+from repro.events.store import (
+    STORE_FORMAT_VERSION,
+    ShardedTraceStore,
+    TraceWriter,
+    merge_shards,
+    shard_trace,
+)
+from repro.events.validation import TraceValidationError, validate_stream, validate_trace
 
 __all__ = [
     "DATA_OP_EVENT_BYTES",
@@ -38,14 +53,29 @@ __all__ = [
     "ColumnarTrace",
     "DataOpEvent",
     "DataOpKind",
+    "DEFAULT_SHARD_EVENTS",
+    "EventStream",
+    "STORE_FORMAT_VERSION",
+    "ShardedTraceStore",
+    "SlicedTraceStream",
     "TargetEvent",
     "TargetKind",
+    "TraceBackend",
     "TraceLike",
+    "TraceWriter",
     "as_columnar",
+    "as_event_stream",
     "as_object_trace",
+    "available_backends",
     "get_alloc_delete_pairs",
+    "iter_trace_slices",
     "load_trace",
+    "merge_shards",
+    "merge_stream",
+    "register_trace_backend",
+    "shard_trace",
     "Trace",
     "TraceValidationError",
+    "validate_stream",
     "validate_trace",
 ]

@@ -1,0 +1,108 @@
+"""The storage-backend registry behind :func:`load_trace`.
+
+Each on-disk trace format is one :class:`TraceBackend`: a sniffer deciding
+whether a path is in that format and a loader producing the corresponding
+in-memory representation.  The built-in backends are registered at import
+time —
+
+====================  ==========================  ==========================
+backend               sniff                       loads as
+====================  ==========================  ==========================
+``sharded``           directory with a manifest   ``ShardedTraceStore``
+``columnar-binary``   zip archive (``PK`` magic)  ``ColumnarTrace``
+``json``              anything else               ``Trace``
+====================  ==========================  ==========================
+
+New formats (a database-backed store, a compressed archive of shards, …)
+plug in through :func:`register_trace_backend` without touching the
+sniffing logic of existing callers — ``load_trace`` tries backends in
+registration order, most specific first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class TraceBackend:
+    """One pluggable storage format."""
+
+    name: str
+    sniff: Callable[[Path], bool]
+    load: Callable[[Path], object]
+
+
+_BACKENDS: List[TraceBackend] = []
+
+
+def register_trace_backend(backend: TraceBackend, *, front: bool = False) -> None:
+    """Register a storage backend (``front=True`` to sniff before others)."""
+    if any(existing.name == backend.name for existing in _BACKENDS):
+        raise ValueError(f"a trace backend named {backend.name!r} is already registered")
+    if front:
+        _BACKENDS.insert(0, backend)
+    else:
+        _BACKENDS.append(backend)
+
+
+def available_backends() -> list[str]:
+    return [backend.name for backend in _BACKENDS]
+
+
+def load_trace(path: str | Path):
+    """Load a trace from disk with whichever backend recognises the path."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"{path}: no such trace")
+    for backend in _BACKENDS:
+        if backend.sniff(path):
+            return backend.load(path)
+    raise ValueError(f"{path}: no trace backend recognises this path")
+
+
+# --------------------------------------------------------------------- #
+# Built-in backends
+# --------------------------------------------------------------------- #
+def _sniff_sharded(path: Path) -> bool:
+    from repro.events.store import ShardedTraceStore
+
+    return path.is_dir() and ShardedTraceStore.is_store_dir(path)
+
+
+def _load_sharded(path: Path):
+    from repro.events.store import ShardedTraceStore
+
+    return ShardedTraceStore.open(path)
+
+
+def _sniff_columnar_binary(path: Path) -> bool:
+    if not path.is_file():
+        return False
+    with path.open("rb") as fh:
+        return fh.read(2) == b"PK"
+
+
+def _load_columnar_binary(path: Path):
+    from repro.events.columnar import ColumnarTrace
+
+    return ColumnarTrace.load_binary(path)
+
+
+def _sniff_json(path: Path) -> bool:
+    return path.is_file()
+
+
+def _load_json(path: Path):
+    from repro.events.trace import Trace
+
+    return Trace.load(path)
+
+
+register_trace_backend(TraceBackend("sharded", _sniff_sharded, _load_sharded))
+register_trace_backend(
+    TraceBackend("columnar-binary", _sniff_columnar_binary, _load_columnar_binary)
+)
+register_trace_backend(TraceBackend("json", _sniff_json, _load_json))

@@ -152,6 +152,26 @@ class _ColumnGroup:
             self._arrays[name][lo:hi] = columns[name]
         self.size = hi
 
+    def adopt_columns(self, length: int, **columns) -> None:
+        """Take ownership of ready-made arrays without copying.
+
+        Only valid on an empty group; the arrays must be freshly allocated
+        (the loader's decode buffers) — the group will hand out views of
+        them and grow by reallocating, never mutating the originals'
+        tails.  This halves the transient footprint of loading a shard.
+        """
+        if self.size:
+            raise ValueError("adopt_columns requires an empty column group")
+        if length == 0:
+            return
+        for name, dtype in self._spec:
+            arr = np.ascontiguousarray(columns[name], dtype=dtype)
+            if arr.shape != (length,):
+                raise ValueError(f"column {name!r} has wrong length")
+            self._arrays[name] = arr
+        self.size = length
+        self._capacity = length
+
     def view(self, name: str) -> np.ndarray:
         """Zero-copy view of the live prefix of one column."""
         return self._arrays[name][: self.size]
@@ -281,6 +301,36 @@ class ColumnarTrace:
 
     def kernel_mask(self) -> np.ndarray:
         return self.tgt_kind == CODE_TARGET
+
+    def batches(self) -> Iterator["ColumnarTrace"]:
+        """The trivial :class:`~repro.events.protocol.EventStream`: one batch.
+
+        Makes every columnar trace directly consumable by the streaming
+        detectors and :func:`repro.core.analysis.analyze_stream`.
+        """
+        return iter((self,))
+
+    def slice_rows(
+        self, do_lo: int, do_hi: int, tgt_lo: int, tgt_hi: int
+    ) -> "ColumnarTrace":
+        """Copy a contiguous row range of both column groups into a new trace.
+
+        The slice carries the parent's ``num_devices`` / ``program_name``
+        but no ``total_runtime`` (a shard's runtime is meaningless on its
+        own).  Used by the shard writer and the in-memory stream slicer.
+        """
+        out = ColumnarTrace(num_devices=self.num_devices, program_name=self.program_name)
+        out._data_ops.extend_columns(
+            do_hi - do_lo,
+            **{name: self._data_ops.view(name)[do_lo:do_hi] for name, _ in _DATA_OP_COLUMNS},
+        )
+        out._targets.extend_columns(
+            tgt_hi - tgt_lo,
+            **{name: self._targets.view(name)[tgt_lo:tgt_hi] for name, _ in _TARGET_COLUMNS},
+        )
+        out._do_variables = self._do_variables[do_lo:do_hi]
+        out._tgt_names = self._tgt_names[tgt_lo:tgt_hi]
+        return out
 
     # ------------------------------------------------------------------ #
     # Appends (the collector's hot path)
@@ -616,6 +666,21 @@ class ColumnarTrace:
         for _, _, e in merged:
             yield e
 
+    def extend_from(self, other: "ColumnarTrace") -> None:
+        """Append another columnar trace's rows (bulk column copies)."""
+        self._data_ops.extend_columns(
+            other.num_data_op_events,
+            **{name: other._data_ops.view(name) for name, _ in _DATA_OP_COLUMNS},
+        )
+        self._targets.extend_columns(
+            other.num_target_events,
+            **{name: other._targets.view(name) for name, _ in _TARGET_COLUMNS},
+        )
+        self._do_variables.extend(other._do_variables)
+        self._tgt_names.extend(other._tgt_names)
+        self._do_cache = None
+        self._tgt_cache = None
+
     # ------------------------------------------------------------------ #
     # Conversion
     # ------------------------------------------------------------------ #
@@ -716,8 +781,14 @@ class ColumnarTrace:
     def load(cls, path: str | Path) -> "ColumnarTrace":
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
-    def save_binary(self, path: str | Path) -> None:
-        """Write the versioned binary columnar format (an ``.npz`` archive)."""
+    def save_binary(self, path: str | Path, *, compress: bool = True) -> None:
+        """Write the versioned binary columnar format (an ``.npz`` archive).
+
+        ``compress=False`` writes a stored (uncompressed) archive: ~2-3x
+        larger on disk but much faster to write and to re-read, which is
+        what the sharded store uses — shards are scanned repeatedly by the
+        streaming detectors, so decode speed beats density there.
+        """
         meta = {
             "format_version": COLUMNAR_FORMAT_VERSION,
             "program_name": self.program_name,
@@ -736,7 +807,10 @@ class ColumnarTrace:
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
         )
         buffer = io.BytesIO()
-        np.savez_compressed(buffer, **arrays)
+        if compress:
+            np.savez_compressed(buffer, **arrays)
+        else:
+            np.savez(buffer, **arrays)
         Path(path).write_bytes(buffer.getvalue())
 
     @classmethod
@@ -760,19 +834,13 @@ class ColumnarTrace:
             )
             n_do = int(meta["num_data_op_events"])
             n_tgt = int(meta["num_target_events"])
-            out._data_ops.extend_columns(
+            out._data_ops.adopt_columns(
                 n_do,
-                **{
-                    name: archive[f"do_{name}"].astype(dtype, copy=False)
-                    for name, dtype in _DATA_OP_COLUMNS
-                },
+                **{name: archive[f"do_{name}"] for name, _ in _DATA_OP_COLUMNS},
             )
-            out._targets.extend_columns(
+            out._targets.adopt_columns(
                 n_tgt,
-                **{
-                    name: archive[f"tgt_{name}"].astype(dtype, copy=False)
-                    for name, dtype in _TARGET_COLUMNS
-                },
+                **{name: archive[f"tgt_{name}"] for name, _ in _TARGET_COLUMNS},
             )
         out._do_variables = list(meta.get("data_op_variables") or [None] * n_do)
         out._tgt_names = list(meta.get("target_names") or [None] * n_tgt)
@@ -795,15 +863,15 @@ def as_object_trace(trace: "Trace | ColumnarTrace") -> Trace:
     return trace.to_trace()
 
 
-def load_trace(path: str | Path) -> "Trace | ColumnarTrace":
-    """Load a trace from disk, sniffing JSON vs binary columnar format.
+def load_trace(path: str | Path):
+    """Load a trace from disk, sniffing the storage format.
 
-    The binary format is a zip archive (``PK`` magic); everything else is
-    treated as the JSON format and loaded into an object :class:`Trace`.
+    Delegates to the storage-backend registry in
+    :mod:`repro.events.backends`: a directory is opened as a
+    :class:`~repro.events.store.ShardedTraceStore`, a zip archive
+    (``PK`` magic) as the binary columnar format, and everything else as
+    the JSON format (an object :class:`Trace`).
     """
-    path = Path(path)
-    with path.open("rb") as fh:
-        magic = fh.read(2)
-    if magic == b"PK":
-        return ColumnarTrace.load_binary(path)
-    return Trace.load(path)
+    from repro.events.backends import load_trace as _registry_load_trace
+
+    return _registry_load_trace(path)

@@ -1,0 +1,430 @@
+"""Sharded on-disk trace storage: bounded-memory ingest and replay.
+
+A sharded trace store is a directory of versioned binary columnar shards
+(the ``.npz`` format of :meth:`ColumnarTrace.save_binary`) plus a JSON
+manifest describing the whole trace::
+
+    trace.store/
+        manifest.json
+        shard-00000.npz
+        shard-00001.npz
+        ...
+
+Two actors produce and consume it:
+
+* :class:`TraceWriter` is the ingest half.  The collector (or
+  :func:`shard_trace`) appends events into a bounded columnar buffer; every
+  time the buffer reaches ``shard_events`` events it is flushed to disk as
+  one shard and reset, so recording a trace of any length needs O(shard)
+  memory instead of O(trace).  ``close()`` writes the manifest — per-shard
+  row counts plus the folded aggregate statistics — and returns the store.
+* :class:`ShardedTraceStore` is the replay half: an
+  :class:`~repro.events.protocol.EventStream` whose ``batches()`` loads one
+  shard at a time, plus the ``TraceLike`` aggregate surface (``summary()``,
+  ``runtime``, event counts) answered straight from the manifest without
+  touching a single shard.
+
+Shards are written uncompressed by default: the streaming detectors scan
+them repeatedly, so decode speed matters more than density (pass
+``compress=True`` for archival stores).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.events.columnar import ColumnarTrace
+from repro.events.protocol import EventStream
+from repro.events.stream import (
+    DEFAULT_SHARD_EVENTS,
+    StreamStats,
+    merge_stream,
+    slice_bounds,
+)
+
+#: Version tag of the sharded-store manifest format.
+STORE_FORMAT_VERSION = 1
+
+#: Identifies a directory as a sharded trace store.
+STORE_KIND = "ompdataperf-sharded-trace"
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One manifest entry: where a shard lives and what it holds."""
+
+    file: str
+    num_data_op_events: int
+    num_target_events: int
+    end_time: float
+
+    @property
+    def num_events(self) -> int:
+        return self.num_data_op_events + self.num_target_events
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "num_data_op_events": self.num_data_op_events,
+            "num_target_events": self.num_target_events,
+            "end_time": self.end_time,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardInfo":
+        return cls(
+            file=str(d["file"]),
+            num_data_op_events=int(d["num_data_op_events"]),
+            num_target_events=int(d["num_target_events"]),
+            end_time=float(d["end_time"]),
+        )
+
+
+class ShardedTraceStore:
+    """A directory of columnar shards behaving as stream *and* summary.
+
+    Iterating ``batches()`` yields each shard as a :class:`ColumnarTrace`
+    in chronological order; every aggregate query (``summary()``,
+    ``num_data_op_events``, per-kind counts, ``space_overhead_bytes``) is
+    answered from the manifest alone, so inspecting a multi-gigabyte store
+    costs one small JSON read.
+    """
+
+    def __init__(self, path: Path, manifest: dict) -> None:
+        self.path = Path(path)
+        self._manifest = manifest
+        self.num_devices: int = int(manifest["num_devices"])
+        self.program_name: Optional[str] = manifest.get("program_name")
+        self.total_runtime: Optional[float] = manifest.get("total_runtime")
+        self.shards: list[ShardInfo] = [
+            ShardInfo.from_dict(d) for d in manifest["shards"]
+        ]
+        self._stats = manifest["stats"]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(cls, path: str | Path) -> "ShardedTraceStore":
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ValueError(f"{path}: not a sharded trace store (no {MANIFEST_NAME})")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("kind") != STORE_KIND:
+            raise ValueError(f"{path}: not a sharded trace store manifest")
+        version = manifest.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported store format version {version}")
+        return cls(path, manifest)
+
+    @staticmethod
+    def is_store_dir(path: str | Path) -> bool:
+        return (Path(path) / MANIFEST_NAME).is_file()
+
+    # ------------------------------------------------------------------ #
+    # EventStream
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def _stamp(self, batch: ColumnarTrace) -> ColumnarTrace:
+        # The manifest is authoritative for trace-level metadata: a shard
+        # written early in a run may predate later device initialisations.
+        batch.num_devices = self.num_devices
+        batch.program_name = self.program_name
+        return batch
+
+    def load_batch(self, index: int) -> ColumnarTrace:
+        """Load one shard (random access for targeted materialisation)."""
+        return self._stamp(
+            ColumnarTrace.load_binary(self.path / self.shards[index].file)
+        )
+
+    def batch_row_counts(self) -> list[tuple[int, int]]:
+        return [(s.num_data_op_events, s.num_target_events) for s in self.shards]
+
+    def batches(self) -> Iterator[ColumnarTrace]:
+        for shard in self.shards:
+            yield self._stamp(ColumnarTrace.load_binary(self.path / shard.file))
+
+    # ------------------------------------------------------------------ #
+    # TraceLike aggregate surface (manifest only)
+    # ------------------------------------------------------------------ #
+    @property
+    def host_device_num(self) -> int:
+        return self.num_devices
+
+    @property
+    def num_data_op_events(self) -> int:
+        return int(self._stats["num_data_op_events"])
+
+    @property
+    def num_target_events(self) -> int:
+        return int(self._stats["num_target_events"])
+
+    @property
+    def end_time(self) -> float:
+        return float(self._stats["end_time"])
+
+    @property
+    def runtime(self) -> float:
+        if self.total_runtime is not None:
+            return self.total_runtime
+        return self.end_time
+
+    def __len__(self) -> int:
+        return self.num_data_op_events + self.num_target_events
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def space_overhead_bytes(self) -> int:
+        from repro.events.records import DATA_OP_EVENT_BYTES, TARGET_EVENT_BYTES
+
+        return (
+            DATA_OP_EVENT_BYTES * self.num_data_op_events
+            + TARGET_EVENT_BYTES * self.num_target_events
+        )
+
+    def data_op_kind_counts(self) -> dict[str, int]:
+        """Events per data-op kind, from the manifest."""
+        return dict(self._stats["data_op_kind_counts"])
+
+    def target_kind_counts(self) -> dict[str, int]:
+        """Events per target kind, from the manifest."""
+        return dict(self._stats["target_kind_counts"])
+
+    def on_disk_bytes(self) -> int:
+        """Total size of the store on disk (shards + manifest)."""
+        total = (self.path / MANIFEST_NAME).stat().st_size
+        for shard in self.shards:
+            total += (self.path / shard.file).stat().st_size
+        return total
+
+    def summary(self) -> dict:
+        stats = self._stats
+        return {
+            "program_name": self.program_name,
+            "num_devices": self.num_devices,
+            "num_target_events": stats["num_target_events"],
+            "num_kernel_events": stats["num_kernel_events"],
+            "num_data_op_events": stats["num_data_op_events"],
+            "num_transfers": stats["num_transfers"],
+            "num_allocations": stats["num_allocations"],
+            "bytes_transferred": stats["bytes_transferred"],
+            "transfer_time": stats["transfer_time"],
+            "alloc_time": stats["alloc_time"],
+            "kernel_time": stats["kernel_time"],
+            "runtime": self.runtime,
+            "space_overhead_bytes": self.space_overhead_bytes(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Materialisation (the expensive path, for small stores)
+    # ------------------------------------------------------------------ #
+    def load(self) -> ColumnarTrace:
+        """Merge every shard into one in-memory columnar trace."""
+        return merge_stream(self)
+
+    @property
+    def data_op_events(self):
+        return self.load().data_op_events
+
+    @property
+    def target_events(self):
+        return self.load().target_events
+
+
+class TraceWriter:
+    """Bounded-memory trace ingest: buffer, flush shards, write manifest.
+
+    The writer exposes the same ``append_data_op`` / ``append_target``
+    surface as :class:`ColumnarTrace`, so the collector can use either as
+    its sink.  Whenever the buffer reaches ``shard_events`` events it is
+    written out as one shard and reset — ingest memory is O(shard_events)
+    no matter how long the monitored program runs.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        shard_events: int = DEFAULT_SHARD_EVENTS,
+        num_devices: int = 1,
+        program_name: Optional[str] = None,
+        compress: bool = False,
+    ) -> None:
+        if shard_events < 1:
+            raise ValueError("shard_events must be at least 1")
+        self.path = Path(path)
+        if self.path.exists():
+            if not self.path.is_dir():
+                raise ValueError(f"{self.path}: exists and is not a directory")
+            if any(self.path.iterdir()):
+                raise ValueError(f"{self.path}: refusing to write into a non-empty directory")
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.shard_events = shard_events
+        self.num_devices = num_devices
+        self.program_name = program_name
+        self.compress = compress
+        self.shards: list[ShardInfo] = []
+        self.stats = StreamStats()
+        self.closed = False
+        self._buffer = self._fresh_buffer()
+
+    def _fresh_buffer(self) -> ColumnarTrace:
+        return ColumnarTrace(num_devices=self.num_devices, program_name=self.program_name)
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self.closed:
+            self.close()
+
+    @property
+    def buffered_events(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def num_events_written(self) -> int:
+        return sum(s.num_events for s in self.shards)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError("writer is closed")
+
+    def append_data_op(self, **kwargs) -> None:
+        self._check_open()
+        self._buffer.append_data_op(**kwargs)
+        if len(self._buffer) >= self.shard_events:
+            self.flush()
+
+    def append_target(self, **kwargs) -> None:
+        self._check_open()
+        self._buffer.append_target(**kwargs)
+        if len(self._buffer) >= self.shard_events:
+            self.flush()
+
+    def write_batch(self, batch: ColumnarTrace) -> None:
+        """Ingest a whole columnar batch.
+
+        The batch is appended to the buffer and complete shards are cut
+        from the front, so consecutive small batches coalesce into
+        full-size shards — re-sharding a finely sharded store to a larger
+        ``shard_events`` genuinely merges its shards.
+        """
+        self._check_open()
+        self._buffer.extend_from(batch)
+        if len(self._buffer) < self.shard_events:
+            return
+        bounds = slice_bounds(self._buffer, self.shard_events)
+        remainder: Optional[ColumnarTrace] = None
+        for do_lo, do_hi, tgt_lo, tgt_hi in bounds:
+            piece = self._buffer.slice_rows(do_lo, do_hi, tgt_lo, tgt_hi)
+            if len(piece) < self.shard_events:
+                remainder = piece
+                break
+            self._write_shard(piece)
+        self._buffer = remainder if remainder is not None else self._fresh_buffer()
+
+    def flush(self) -> None:
+        """Write the buffered events as one shard and reset the buffer."""
+        self._check_open()
+        if self._buffer.is_empty():
+            return
+        self._write_shard(self._buffer)
+        self._buffer = self._fresh_buffer()
+
+    def _write_shard(self, shard: ColumnarTrace) -> None:
+        name = f"shard-{len(self.shards):05d}.npz"
+        shard.num_devices = self.num_devices
+        shard.program_name = self.program_name
+        shard.total_runtime = None  # a shard has no runtime of its own
+        shard.save_binary(self.path / name, compress=self.compress)
+        self.stats.fold(shard)
+        self.shards.append(
+            ShardInfo(
+                file=name,
+                num_data_op_events=shard.num_data_op_events,
+                num_target_events=shard.num_target_events,
+                end_time=shard.end_time,
+            )
+        )
+
+    def close(
+        self,
+        *,
+        num_devices: Optional[int] = None,
+        program_name: Optional[str] = None,
+        total_runtime: Optional[float] = None,
+    ) -> ShardedTraceStore:
+        """Flush the remainder, write the manifest, return the opened store."""
+        self._check_open()
+        if num_devices is not None:
+            self.num_devices = num_devices
+        if program_name is not None:
+            self.program_name = program_name
+        self.flush()
+        self.closed = True
+        stats = self.stats
+        manifest = {
+            "kind": STORE_KIND,
+            "format_version": STORE_FORMAT_VERSION,
+            "num_devices": self.num_devices,
+            "program_name": self.program_name,
+            "total_runtime": total_runtime,
+            "shards": [s.to_dict() for s in self.shards],
+            "stats": {
+                "num_data_op_events": stats.num_data_op_events,
+                "num_target_events": stats.num_target_events,
+                "num_kernel_events": stats.num_kernel_events,
+                "num_transfers": stats.num_transfers,
+                "num_allocations": stats.num_allocations,
+                "bytes_transferred": stats.bytes_transferred,
+                "transfer_time": stats.transfer_time,
+                "alloc_time": stats.alloc_time,
+                "kernel_time": stats.kernel_time,
+                "end_time": stats.end_time,
+                "data_op_kind_counts": stats.data_op_kind_counts,
+                "target_kind_counts": stats.target_kind_counts,
+            },
+        }
+        (self.path / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        return ShardedTraceStore.open(self.path)
+
+
+def shard_trace(
+    trace,
+    path: str | Path,
+    *,
+    shard_events: int = DEFAULT_SHARD_EVENTS,
+    compress: bool = False,
+) -> ShardedTraceStore:
+    """Write any trace representation (or stream) out as a sharded store."""
+    from repro.events.stream import as_event_stream
+
+    stream = as_event_stream(trace)
+    writer = TraceWriter(
+        path,
+        shard_events=shard_events,
+        num_devices=stream.num_devices,
+        program_name=stream.program_name,
+        compress=compress,
+    )
+    for batch in stream.batches():
+        writer.write_batch(batch)
+    return writer.close(total_runtime=stream.total_runtime)
+
+
+def merge_shards(store: ShardedTraceStore) -> ColumnarTrace:
+    """Merge a sharded store back into one in-memory columnar trace."""
+    return merge_stream(store)

@@ -17,6 +17,7 @@ from repro.events.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.events.columnar import ColumnarTrace
+    from repro.events.protocol import EventStream
 
 
 class TraceValidationError(ValueError):
@@ -119,6 +120,63 @@ def validate_trace(trace, *, strict: bool = True) -> list[str]:
         errors.append(
             "total_runtime is earlier than the last recorded event "
             f"({trace.total_runtime} < {trace.end_time})"
+        )
+
+    if errors and strict:
+        raise TraceValidationError("; ".join(errors))
+    return errors
+
+
+def validate_stream(stream: "EventStream", *, strict: bool = True) -> list[str]:
+    """Validate an event stream shard by shard, in O(shard) memory.
+
+    Each batch runs through the columnar validation sweeps, and batch
+    boundaries are checked for the stream contract: per column group,
+    sequence numbers ascend and start times do not decrease across the
+    boundary.  Whole-trace properties that would need O(trace) state
+    (global sequence-number uniqueness, cross-shard live-address reuse)
+    are only enforced within each shard.
+    """
+    errors: list[str] = []
+    if stream.num_devices < 1:
+        errors.append("trace must describe at least one target device")
+
+    end_time = 0.0
+    prev_bounds: dict[str, tuple[int, float]] = {}
+    for batch_index, batch in enumerate(stream.batches()):
+        # The stream's device count is authoritative (a shard written early
+        # in a run may predate later device initialisations), so per-batch
+        # device-range checks run against it.
+        batch.num_devices = stream.num_devices
+        batch_errors = _validate_columnar(batch, strict=False)
+        for what, seqs, starts in (
+            ("target", batch.tgt_seq, batch.tgt_start_time),
+            ("data-op", batch.do_seq, batch.do_start_time),
+        ):
+            if seqs.size == 0:
+                continue
+            prev = prev_bounds.get(what)
+            if prev is not None:
+                last_seq, last_start = prev
+                if int(seqs[0]) <= last_seq:
+                    batch_errors.append(
+                        f"{what} sequence numbers do not ascend across the "
+                        f"shard boundary at seq={int(seqs[0])}"
+                    )
+                if float(starts[0]) < last_start:
+                    batch_errors.append(
+                        f"{what} events are not in chronological order across "
+                        f"the shard boundary at seq={int(seqs[0])}"
+                    )
+            prev_bounds[what] = (int(seqs[-1]), float(starts.max()))
+        end_time = max(end_time, batch.end_time)
+        errors.extend(f"shard {batch_index}: {e}" for e in batch_errors)
+
+    total_runtime = stream.total_runtime
+    if total_runtime is not None and total_runtime + 1e-12 < end_time:
+        errors.append(
+            "total_runtime is earlier than the last recorded event "
+            f"({total_runtime} < {end_time})"
         )
 
     if errors and strict:

@@ -163,3 +163,21 @@ class TestProfiler:
         assert result.trace.num_devices == 2
         devices_seen = {e.dest_device_num for e in result.trace.transfers_to_devices()}
         assert devices_seen == {0, 1}
+
+    def test_multi_device_streaming_profile(self, tmp_path):
+        # Bounded-memory ingest of a multi-device run: every shard was
+        # written before the final device count was known, and validation
+        # (validate=True default) must still accept the store.
+        def program(rt: OffloadRuntime) -> None:
+            a = np.arange(64, dtype=np.float64)
+            for device in range(2):
+                rt.target(maps=[to(a)], reads=[a], kernel=None, device_num=device)
+
+        result = OMPDataPerf().profile_streaming(
+            program, tmp_path / "multi.store", shard_events=2, num_devices=2
+        )
+        assert result.store.num_devices == 2
+        assert result.store.num_shards > 1
+        expected = OMPDataPerf().profile(program, num_devices=2)
+        assert result.analysis.counts == expected.analysis.counts
+        assert result.analysis.potential == expected.analysis.potential

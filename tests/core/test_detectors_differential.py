@@ -1,41 +1,59 @@
-"""Differential property test: object vs columnar detector paths.
+"""Differential property test: object vs columnar vs streaming detectors.
 
-Every detector has two implementations — the object-based reference oracle
-and the vectorised columnar fast path.  For any well-formed trace the two
-must return *identical* findings (same finding objects, in the same order,
-holding equal events).  Hypothesis generates random multi-device mapping
-histories and the test asserts equality detector by detector, plus at the
-aggregated analysis level.
+Every detector has three implementations — the object-based reference
+oracle, the vectorised columnar fast path, and the incremental streaming
+variant that folds an event stream shard by shard.  For any well-formed
+trace the three must return *identical* findings (same finding objects, in
+the same order, holding equal events), for every shard size.  Hypothesis
+generates random multi-device mapping histories plus a shard size and the
+test asserts equality detector by detector, plus at the aggregated
+analysis level.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.analysis import analyze_trace
+from repro.core.analysis import analyze_stream, analyze_trace
 from repro.core.detectors.duplicates import (
     find_duplicate_transfers,
     find_duplicate_transfers_columnar,
+    find_duplicate_transfers_streaming,
 )
 from repro.core.detectors.repeated_allocs import (
     find_repeated_allocations,
     find_repeated_allocations_columnar,
+    find_repeated_allocations_streaming,
 )
-from repro.core.detectors.roundtrips import find_round_trips, find_round_trips_columnar
+from repro.core.detectors.roundtrips import (
+    find_round_trips,
+    find_round_trips_columnar,
+    find_round_trips_streaming,
+)
 from repro.core.detectors.unused_allocs import (
     find_unused_allocations,
     find_unused_allocations_columnar,
+    find_unused_allocations_streaming,
 )
 from repro.core.detectors.unused_transfers import (
     find_unused_transfers,
     find_unused_transfers_columnar,
+    find_unused_transfers_streaming,
 )
 from repro.events.columnar import ColumnarTrace
+from repro.events.stream import as_event_stream
 
 from tests.conftest import TraceBuilder
 
+pytestmark = pytest.mark.slow
+
 # One step of a variable's history: which operation happens next.
 _STEP = st.sampled_from(["h2d", "d2h", "kernel", "remap", "idle", "double_h2d"])
+
+# Shard sizes for the streaming variants: exercise one-event shards, shards
+# cutting through the middle of a trace, and single-batch streams.
+_SHARDS = st.integers(min_value=1, max_value=40)
 
 
 @st.composite
@@ -81,60 +99,81 @@ def mapping_traces(draw):
 
 
 @settings(max_examples=120, deadline=None)
-@given(mapping_traces())
-def test_all_detectors_identical_across_representations(trace):
+@given(mapping_traces(), _SHARDS)
+def test_all_detectors_identical_across_representations(trace, shard_events):
     ct = ColumnarTrace.from_trace(trace)
+    stream = as_event_stream(ct, shard_events)
     data_ops = trace.data_op_events
     targets = trace.target_events
     n = trace.num_devices
 
-    assert find_duplicate_transfers(data_ops) == find_duplicate_transfers_columnar(ct)
-    assert find_round_trips(data_ops) == find_round_trips_columnar(ct)
-    assert find_repeated_allocations(data_ops) == find_repeated_allocations_columnar(ct)
-    assert find_unused_allocations(targets, data_ops, n) == (
-        find_unused_allocations_columnar(ct, n)
-    )
-    assert find_unused_transfers(targets, data_ops, n) == (
-        find_unused_transfers_columnar(ct, n)
+    expected = find_duplicate_transfers(data_ops)
+    assert expected == find_duplicate_transfers_columnar(ct)
+    assert expected == find_duplicate_transfers_streaming(stream)
+
+    expected = find_round_trips(data_ops)
+    assert expected == find_round_trips_columnar(ct)
+    assert expected == find_round_trips_streaming(stream)
+
+    expected = find_repeated_allocations(data_ops)
+    assert expected == find_repeated_allocations_columnar(ct)
+    assert expected == find_repeated_allocations_streaming(stream)
+
+    expected = find_unused_allocations(targets, data_ops, n)
+    assert expected == find_unused_allocations_columnar(ct, n)
+    assert expected == find_unused_allocations_streaming(stream, n)
+
+    expected = find_unused_transfers(targets, data_ops, n)
+    assert expected == find_unused_transfers_columnar(ct, n)
+    assert expected == find_unused_transfers_streaming(stream, n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mapping_traces(), st.integers(min_value=0, max_value=2048), _SHARDS)
+def test_duplicate_min_bytes_threshold_identical(trace, min_bytes, shard_events):
+    ct = ColumnarTrace.from_trace(trace)
+    expected = find_duplicate_transfers(trace.data_op_events, min_bytes=min_bytes)
+    assert expected == find_duplicate_transfers_columnar(ct, min_bytes=min_bytes)
+    assert expected == find_duplicate_transfers_streaming(
+        as_event_stream(ct, shard_events), min_bytes=min_bytes
     )
 
 
 @settings(max_examples=60, deadline=None)
-@given(mapping_traces(), st.integers(min_value=0, max_value=2048))
-def test_duplicate_min_bytes_threshold_identical(trace, min_bytes):
+@given(mapping_traces(), _SHARDS)
+def test_roundtrip_nonchronological_mode_identical(trace, shard_events):
     ct = ColumnarTrace.from_trace(trace)
-    assert find_duplicate_transfers(trace.data_op_events, min_bytes=min_bytes) == (
-        find_duplicate_transfers_columnar(ct, min_bytes=min_bytes)
+    expected = find_round_trips(trace.data_op_events, require_chronological=False)
+    assert expected == find_round_trips_columnar(ct, require_chronological=False)
+    assert expected == find_round_trips_streaming(
+        as_event_stream(ct, shard_events), require_chronological=False
     )
 
 
 @settings(max_examples=60, deadline=None)
-@given(mapping_traces())
-def test_roundtrip_nonchronological_mode_identical(trace):
+@given(mapping_traces(), _SHARDS)
+def test_repeated_allocs_keep_undeleted_mode_identical(trace, shard_events):
     ct = ColumnarTrace.from_trace(trace)
-    assert find_round_trips(trace.data_op_events, require_chronological=False) == (
-        find_round_trips_columnar(ct, require_chronological=False)
-    )
-
-
-@settings(max_examples=60, deadline=None)
-@given(mapping_traces())
-def test_repeated_allocs_keep_undeleted_mode_identical(trace):
-    ct = ColumnarTrace.from_trace(trace)
-    assert find_repeated_allocations(trace.data_op_events, require_deletion=False) == (
-        find_repeated_allocations_columnar(ct, require_deletion=False)
+    expected = find_repeated_allocations(trace.data_op_events, require_deletion=False)
+    assert expected == find_repeated_allocations_columnar(ct, require_deletion=False)
+    assert expected == find_repeated_allocations_streaming(
+        as_event_stream(ct, shard_events), require_deletion=False
     )
 
 
 @settings(max_examples=40, deadline=None)
-@given(mapping_traces())
-def test_full_analysis_identical_across_representations(trace):
+@given(mapping_traces(), _SHARDS)
+def test_full_analysis_identical_across_representations(trace, shard_events):
     obj_report = analyze_trace(trace)
     col_report = analyze_trace(ColumnarTrace.from_trace(trace))
-    assert obj_report.counts == col_report.counts
-    assert obj_report.potential == col_report.potential
-    assert obj_report.duplicate_groups == col_report.duplicate_groups
-    assert obj_report.round_trip_groups == col_report.round_trip_groups
-    assert obj_report.repeated_alloc_groups == col_report.repeated_alloc_groups
-    assert obj_report.unused_allocations == col_report.unused_allocations
-    assert obj_report.unused_transfers == col_report.unused_transfers
+    stream_report = analyze_stream(
+        as_event_stream(ColumnarTrace.from_trace(trace), shard_events)
+    )
+    for report in (col_report, stream_report):
+        assert obj_report.counts == report.counts
+        assert obj_report.potential == report.potential
+        assert obj_report.duplicate_groups == report.duplicate_groups
+        assert obj_report.round_trip_groups == report.round_trip_groups
+        assert obj_report.repeated_alloc_groups == report.repeated_alloc_groups
+        assert obj_report.unused_allocations == report.unused_allocations
+        assert obj_report.unused_transfers == report.unused_transfers

@@ -1,0 +1,276 @@
+"""Tests for the sharded trace store, the writer and the stream utilities."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events.columnar import ColumnarTrace
+from repro.events.records import DataOpKind, TargetKind
+from repro.events.store import (
+    MANIFEST_NAME,
+    ShardedTraceStore,
+    TraceWriter,
+    merge_shards,
+    shard_trace,
+)
+from repro.events.stream import (
+    SlicedTraceStream,
+    as_event_stream,
+    iter_trace_slices,
+    materialize_data_op_events,
+    merge_stream,
+    trace_like_view,
+)
+from repro.events.backends import available_backends, load_trace
+from repro.events.validation import TraceValidationError, validate_stream
+
+from tests.conftest import TraceBuilder
+
+
+def _sample_trace(cycles: int = 9, num_devices: int = 2) -> ColumnarTrace:
+    b = TraceBuilder(num_devices=num_devices)
+    for i in range(cycles):
+        dev = i % num_devices
+        host, daddr = 0x100 + i * 0x10, 0xA000 + i * 0x100
+        b.alloc(host, daddr, device=dev)
+        b.h2d(host, daddr, content_hash=1 + (i % 3), device=dev)
+        b.kernel(device=dev, name=f"k{i}")
+        b.d2h(host, daddr, content_hash=100 + i, device=dev)
+        b.delete(host, daddr, device=dev)
+    return ColumnarTrace.from_trace(b.build())
+
+
+def _dicts_equal(a: ColumnarTrace, b: ColumnarTrace) -> bool:
+    return a.to_trace().to_dict() == b.to_trace().to_dict()
+
+
+# --------------------------------------------------------------------- #
+# Store round-tripping
+# --------------------------------------------------------------------- #
+def test_shard_and_merge_round_trip(tmp_path):
+    ct = _sample_trace()
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=7)
+    assert store.num_shards == -(-len(ct) // 7)
+    assert _dicts_equal(merge_shards(store), ct)
+
+
+def test_store_is_sniffed_by_load_trace(tmp_path):
+    ct = _sample_trace()
+    shard_trace(ct, tmp_path / "t.store", shard_events=10)
+    loaded = load_trace(tmp_path / "t.store")
+    assert isinstance(loaded, ShardedTraceStore)
+    assert "sharded" in available_backends()
+
+
+def test_store_summary_needs_no_shard_reads(tmp_path, monkeypatch):
+    ct = _sample_trace()
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=10)
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("summary() must not read shards")
+
+    monkeypatch.setattr(ColumnarTrace, "load_binary", _boom)
+    reopened = ShardedTraceStore.open(tmp_path / "t.store")
+    assert reopened.summary() == ct.summary()
+    assert reopened.data_op_kind_counts()["alloc"] == 9
+    assert reopened.target_kind_counts()["target"] == 9
+    assert reopened.on_disk_bytes() > 0
+    assert len(reopened) == len(ct)
+
+
+def test_store_rejects_unknown_manifest_version(tmp_path):
+    ct = _sample_trace()
+    shard_trace(ct, tmp_path / "t.store", shard_events=10)
+    manifest_path = tmp_path / "t.store" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["format_version"] = 999
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported store format version"):
+        ShardedTraceStore.open(tmp_path / "t.store")
+
+
+def test_writer_refuses_non_empty_directory(tmp_path):
+    (tmp_path / "occupied").mkdir()
+    (tmp_path / "occupied" / "junk").write_text("x")
+    with pytest.raises(ValueError, match="non-empty"):
+        TraceWriter(tmp_path / "occupied")
+
+
+def test_writer_bounds_buffer_and_cuts_shards(tmp_path):
+    writer = TraceWriter(tmp_path / "w.store", shard_events=4, num_devices=1)
+    for i in range(11):
+        writer.append_data_op(
+            seq=i, kind=DataOpKind.ALLOC, src_device_num=1, dest_device_num=0,
+            src_addr=i, dest_addr=0x1000 + i, nbytes=64,
+            start_time=float(i), end_time=i + 0.5,
+        )
+        assert writer.buffered_events <= 4
+    store = writer.close(total_runtime=20.0)
+    assert store.num_shards == 3
+    assert [s.num_events for s in store.shards] == [4, 4, 3]
+    assert store.total_runtime == 20.0
+    validate_stream(store)
+
+
+def test_writer_close_is_idempotent_guard(tmp_path):
+    writer = TraceWriter(tmp_path / "w.store", shard_events=4)
+    writer.close()
+    with pytest.raises(ValueError, match="closed"):
+        writer.append_target(
+            seq=0, kind=TargetKind.TARGET, device_num=0,
+            start_time=0.0, end_time=1.0,
+        )
+
+
+def test_late_device_count_is_manifest_authoritative(tmp_path):
+    # Devices can initialise after the first shards were flushed: the
+    # writer stamps early shards with a stale count, but close() records
+    # the true one in the manifest, which loaded batches and validation
+    # must follow.
+    writer = TraceWriter(tmp_path / "w.store", shard_events=2, num_devices=1)
+    for i in range(5):
+        writer.append_data_op(
+            seq=i, kind=DataOpKind.ALLOC, src_device_num=2, dest_device_num=i % 2,
+            src_addr=i, dest_addr=0x1000 + i, nbytes=64,
+            start_time=float(i), end_time=i + 0.5,
+        )
+    store = writer.close(num_devices=2)
+    assert store.num_devices == 2
+    for batch in store.batches():
+        assert batch.num_devices == 2
+    validate_stream(store)  # must not flag stale per-shard device counts
+
+
+def test_resharding_coalesces_small_shards(tmp_path):
+    ct = _sample_trace()
+    fine = shard_trace(ct, tmp_path / "fine.store", shard_events=2)
+    assert fine.num_shards > 1
+    coarse = shard_trace(fine, tmp_path / "coarse.store", shard_events=1000)
+    assert coarse.num_shards == 1  # small input batches merged into one shard
+    assert _dicts_equal(merge_shards(coarse), ct)
+    again = shard_trace(fine, tmp_path / "mid.store", shard_events=7)
+    assert [s.num_events for s in again.shards][:-1] == [7] * (again.num_shards - 1)
+    assert _dicts_equal(merge_shards(again), ct)
+
+
+def test_compressed_shards_round_trip(tmp_path):
+    ct = _sample_trace()
+    plain = shard_trace(ct, tmp_path / "plain.store", shard_events=10)
+    packed = shard_trace(ct, tmp_path / "packed.store", shard_events=10, compress=True)
+    assert _dicts_equal(merge_shards(packed), merge_shards(plain))
+
+
+def test_validate_stream_flags_boundary_disorder(tmp_path):
+    b = TraceBuilder()
+    for i in range(4):
+        b.alloc(0x100 + i, 0xA000 + i * 0x100)
+    trace = ColumnarTrace.from_trace(b.build())
+    store = shard_trace(trace, tmp_path / "t.store", shard_events=2)
+    # Corrupt the second shard: shift its events before the first shard's.
+    shard = store.load_batch(1)
+    bad = ColumnarTrace(num_devices=shard.num_devices)
+    for event in shard.data_op_events:
+        bad.append_data_op_event(event.with_times(0.0, 0.0))
+    bad.save_binary(store.path / store.shards[1].file, compress=False)
+    problems = validate_stream(ShardedTraceStore.open(store.path), strict=False)
+    assert any("across the shard boundary" in p for p in problems)
+    with pytest.raises(TraceValidationError):
+        validate_stream(ShardedTraceStore.open(store.path))
+
+
+# --------------------------------------------------------------------- #
+# Stream utilities
+# --------------------------------------------------------------------- #
+def test_sliced_stream_is_reiterable():
+    ct = _sample_trace()
+    stream = SlicedTraceStream(ct, shard_events=6)
+    first = [len(batch) for batch in stream.batches()]
+    second = [len(batch) for batch in stream.batches()]
+    assert first == second
+    assert sum(first) == len(ct)
+
+
+def test_materialize_data_op_events_targeted(tmp_path):
+    ct = _sample_trace()
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=8)
+    gpos = np.array([0, 5, ct.num_data_op_events - 1], dtype=np.int64)
+    events = materialize_data_op_events(store, gpos)
+    for pos in gpos:
+        assert events[int(pos)] == ct.data_op_event_at(int(pos))
+
+
+def test_materialize_rejects_out_of_range(tmp_path):
+    ct = _sample_trace()
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=8)
+    with pytest.raises(IndexError):
+        materialize_data_op_events(store, np.array([ct.num_data_op_events + 7]))
+
+
+def test_trace_like_view_folds_stats():
+    ct = _sample_trace()
+    view = trace_like_view(as_event_stream(ct, 5))
+    assert view.summary() == ct.summary()
+    assert view.runtime == ct.runtime
+    # Stores and plain traces pass through unchanged.
+    assert trace_like_view(ct) is ct
+
+
+# --------------------------------------------------------------------- #
+# Property: merge(shard(trace, k)) is lossless
+# --------------------------------------------------------------------- #
+def test_empty_trace_round_trips(tmp_path):
+    empty = ColumnarTrace(num_devices=3, program_name="empty")
+    store = shard_trace(empty, tmp_path / "e.store", shard_events=4)
+    assert store.num_shards == 0
+    assert store.is_empty()
+    merged = merge_shards(store)
+    assert _dicts_equal(merged, empty)
+    assert merged.num_devices == 3 and merged.program_name == "empty"
+
+
+def test_single_event_trace_round_trips(tmp_path):
+    b = TraceBuilder()
+    b.kernel(name="only")
+    ct = ColumnarTrace.from_trace(b.build())
+    store = shard_trace(ct, tmp_path / "s.store", shard_events=1)
+    assert store.num_shards == 1
+    assert _dicts_equal(merge_shards(store), ct)
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(st.integers(0, 2), st.sampled_from(["alloc", "h2d", "d2h", "kernel"])),
+        min_size=0,
+        max_size=30,
+    ),
+    shard_events=st.integers(min_value=1, max_value=40),
+)
+def test_shard_merge_lossless_property(tmp_path_factory, steps, shard_events):
+    b = TraceBuilder(num_devices=2)
+    mapped: dict[int, int] = {}
+    for var, step in steps:
+        dev = var % 2
+        host, daddr = 0x100 + var * 0x10, 0xA000 + var * 0x100
+        if step == "kernel":
+            b.kernel(device=dev)
+            continue
+        if var not in mapped:
+            mapped[var] = daddr
+            b.alloc(host, daddr, device=dev)
+        if step == "h2d":
+            b.h2d(host, daddr, content_hash=var + 1, device=dev)
+        elif step == "d2h":
+            b.d2h(host, daddr, content_hash=var + 50, device=dev)
+    ct = ColumnarTrace.from_trace(b.build())
+
+    # In-memory slicing and the on-disk store must both reassemble losslessly.
+    assert _dicts_equal(merge_stream(as_event_stream(ct, shard_events)), ct)
+    path = tmp_path_factory.mktemp("prop") / "t.store"
+    store = shard_trace(ct, path, shard_events=shard_events)
+    assert _dicts_equal(merge_shards(store), ct)

@@ -97,6 +97,68 @@ def test_trace_subcommand_info(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "num_data_op_events" in out
     assert "rsbench" in out
+    assert "data_op_kind.transfer_to_device:" in out
+    assert "on_disk_bytes:" in out
+
+
+def test_trace_shard_info_merge_round_trip(tmp_path, capsys):
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    capsys.readouterr()
+
+    store_path = tmp_path / "trace.store"
+    assert main(["trace", "shard", str(npz_path), str(store_path),
+                 "--shard-events", "4"]) == 0
+    assert (store_path / "manifest.json").is_file()
+    capsys.readouterr()
+
+    # info on the store comes from the manifest (per-kind counts included).
+    assert main(["trace", "info", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "num_shards:" in out
+    assert "data_op_kind.alloc:" in out
+
+    back_path = tmp_path / "back.npz"
+    assert main(["trace", "merge", str(store_path), str(back_path)]) == 0
+    from repro.events.columnar import ColumnarTrace
+
+    original = ColumnarTrace.load_binary(npz_path)
+    restored = ColumnarTrace.load_binary(back_path)
+    assert restored.to_trace().to_dict() == original.to_trace().to_dict()
+
+
+def test_trace_merge_rejects_single_file(tmp_path, capsys):
+    json_path = tmp_path / "trace.json"
+    assert main(["rsbench", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["trace", "merge", str(json_path), str(tmp_path / "out.npz")])
+
+
+def test_stream_mode_matches_in_memory_report(tmp_path, capsys):
+    assert main(["hotspot", "--size", "small", "-q"]) == 0
+    in_memory = capsys.readouterr().out
+
+    store_path = tmp_path / "hotspot.store"
+    assert main(["hotspot", "--size", "small", "-q", "--stream", "--jobs", "2",
+                 "--shard-events", "8", "--trace-out", str(store_path)]) == 0
+    streamed = capsys.readouterr().out
+    streamed = "\n".join(
+        line for line in streamed.splitlines() if not line.startswith("info:")
+    )
+    assert streamed.strip() == in_memory.strip()
+    assert (store_path / "manifest.json").is_file()
+
+    # The store left behind is analyzable offline.
+    from repro.events.backends import load_trace
+    from repro.events.store import ShardedTraceStore
+
+    assert isinstance(load_trace(store_path), ShardedTraceStore)
+
+
+def test_stream_rejects_bad_shard_events():
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream", "--shard-events", "0"])
 
 
 def test_trace_subcommand_rejects_missing_file(tmp_path):
