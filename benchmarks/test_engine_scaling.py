@@ -1,0 +1,157 @@
+"""Execution-engine scaling on the million-event synthetic trace.
+
+Analyzes the same sharded store with every execution engine — the serial
+single-scan pipeline, thread-partitioned folds, and process-partitioned
+folds — at 1, 2 and 4 workers, verifies the findings stay bit-identical to
+the serial path, and writes a machine-readable record to
+``BENCH_engine.json`` in the repo root.
+
+The headline claim is the process engine's: the detector folds are
+GIL-bound Python/NumPy, so only process workers can scale them across
+cores.  On hardware with at least ``MIN_CORES_FOR_SPEEDUP`` cores the
+benchmark *enforces* a ``MIN_PROCESS_SPEEDUP``× speedup over the serial
+streaming analysis at 4 process workers; on smaller machines (including
+single-core CI containers, where no parallel speedup is physically
+possible) the measurement is still recorded, with ``speedup_enforced:
+false`` in the record, mirroring how the other benchmarks relax their
+bars through the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.analysis import analyze_stream
+from repro.events.store import shard_trace
+from repro.events.stream import DEFAULT_SHARD_EVENTS
+from repro.events.synth import make_synthetic_columnar_trace
+
+pytestmark = pytest.mark.slow  # 1M-event benchmark: skipped by -m "not slow"
+
+NUM_EVENTS = 1_000_000
+WORKER_COUNTS = (1, 2, 4)
+ENGINES = ("serial", "thread", "process")
+
+#: Acceptance bar for the process engine at 4 workers, relaxable on shared
+#: runners via the environment like the other benchmark bars.
+MIN_PROCESS_SPEEDUP = float(
+    os.environ.get("OMPDATAPERF_BENCH_MIN_PROCESS_SPEEDUP", "1.5")
+)
+
+#: The speedup bar only binds where the hardware can deliver one.
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+_RECORD: dict = {}
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    trace = make_synthetic_columnar_trace(NUM_EVENTS)
+    path = tmp_path_factory.mktemp("engine-bench") / "trace.store"
+    return shard_trace(trace, path, shard_events=DEFAULT_SHARD_EVENTS)
+
+
+def _findings(report):
+    return (
+        report.counts,
+        report.duplicate_groups,
+        report.round_trip_groups,
+        report.repeated_alloc_groups,
+        report.unused_allocations,
+        report.unused_transfers,
+    )
+
+
+def test_engine_scaling_and_write_record(store):
+    t0 = time.perf_counter()
+    serial_report = analyze_stream(store)
+    serial_seconds = time.perf_counter() - t0
+    expected = _findings(serial_report)
+
+    results: dict[str, dict[str, dict]] = {}
+    for engine in ENGINES:
+        if engine == "serial":
+            continue  # the baseline above IS the serial measurement
+        per_jobs: dict[str, dict] = {}
+        for jobs in WORKER_COUNTS:
+            t0 = time.perf_counter()
+            report = analyze_stream(store, engine=engine, jobs=jobs)
+            seconds = time.perf_counter() - t0
+            assert _findings(report) == expected, (
+                f"{engine} engine at {jobs} workers diverged from the "
+                f"serial streaming findings"
+            )
+            per_jobs[str(jobs)] = {
+                "seconds": seconds,
+                "events_per_sec": NUM_EVENTS / seconds,
+                "speedup_vs_serial": serial_seconds / seconds,
+            }
+        results[engine] = per_jobs
+    results["serial"] = {
+        "1": {
+            "seconds": serial_seconds,
+            "events_per_sec": NUM_EVENTS / serial_seconds,
+            "speedup_vs_serial": 1.0,
+        }
+    }
+
+    cores = _available_cores()
+    enforce = cores >= MIN_CORES_FOR_SPEEDUP
+    record = {
+        "benchmark": "engine_scaling",
+        "num_events": NUM_EVENTS,
+        "num_shards": store.num_shards,
+        "shard_events": DEFAULT_SHARD_EVENTS,
+        "worker_counts": list(WORKER_COUNTS),
+        "available_cores": cores,
+        "min_process_speedup": MIN_PROCESS_SPEEDUP,
+        "speedup_enforced": enforce,
+        "engines": results,
+    }
+    _RECORD.update(record)
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    process_at_4 = results["process"]["4"]["speedup_vs_serial"]
+    if enforce:
+        assert process_at_4 >= MIN_PROCESS_SPEEDUP, (
+            f"process engine at 4 workers reaches only {process_at_4:.2f}x "
+            f"of serial streaming analysis (need >= {MIN_PROCESS_SPEEDUP}x "
+            f"on {cores} cores); see {out_path}"
+        )
+    else:
+        # Not enough cores for a parallel speedup: the record documents
+        # the measurement, and correctness was asserted above regardless.
+        assert process_at_4 > 0
+
+
+def test_process_engine_beats_thread_engine_on_folds(store):
+    """Sanity on the GIL story: given cores, processes beat threads.
+
+    Thread folds serialize on the GIL (only shard decode overlaps), so at
+    4 workers the process engine should never be meaningfully slower than
+    the thread engine on fold-dominated work.  Only enforced where the
+    hardware can show it; everywhere else the comparison is recorded by
+    the scaling test above.
+    """
+    if _available_cores() < MIN_CORES_FOR_SPEEDUP:
+        pytest.skip("needs >= 4 cores to compare parallel fold throughput")
+    assert "engines" in _RECORD, "scaling benchmark must run first"
+    thread_4 = _RECORD["engines"]["thread"]["4"]["seconds"]
+    process_4 = _RECORD["engines"]["process"]["4"]["seconds"]
+    assert process_4 <= thread_4 * 1.25, (
+        f"process folds ({process_4:.2f}s) should not trail thread folds "
+        f"({thread_4:.2f}s) at 4 workers"
+    )

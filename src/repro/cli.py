@@ -15,6 +15,8 @@ the CLI takes an application name plus options::
     ompdataperf trace shard bfs.npz bfs.store    # cut into a sharded store
     ompdataperf trace merge bfs.store bfs.npz    # merge a store back
     ompdataperf trace info bfs.store             # summarise without loading
+    ompdataperf trace compact bfs.store          # re-shard a store in place
+    ompdataperf bfs --stream --engine process --jobs 4   # shard-parallel analysis
 """
 
 from __future__ import annotations
@@ -29,11 +31,29 @@ from typing import Optional, Sequence
 from repro._version import __version__
 from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import all_apps, get_app
+from repro.core.engine import available_engines
 from repro.core.profiler import OMPDataPerf
 from repro.events.columnar import ColumnarTrace, as_columnar, as_object_trace, load_trace
 from repro.events.store import ShardedTraceStore, shard_trace
 from repro.events.stream import DEFAULT_SHARD_EVENTS
 from repro.experiments.runner import available_experiments, run_experiments
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for counts that must be at least 1.
+
+    Range errors surface at parse time with a uniform message instead of
+    as ``ValueError`` from deep inside the analysis layers.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,17 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
                              f"available: {', '.join(available_experiments())}")
     parser.add_argument("--quick", action="store_true",
                         help="with --experiments: restrict sweeps to the small problem size")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=positive_int, default=1, metavar="N",
                         help="with --experiments: run independent experiments on N worker "
-                             "threads; with --stream: pipeline the analysis scan (prefetch "
-                             "the next shard while detectors fold the current one, finalize "
-                             "concurrently) (default: 1; output is identical regardless of N)")
+                             "threads; with --stream: number of analysis workers for the "
+                             "chosen --engine (default: 1; output is identical regardless "
+                             "of N)")
     parser.add_argument("--stream", action="store_true",
                         help="record into an on-disk sharded store (O(shard) ingest memory) "
                              "and analyze it with the incremental streaming detectors; "
                              "--trace-out names the store directory (default: a temp dir)")
-    parser.add_argument("--shard-events", type=int, default=DEFAULT_SHARD_EVENTS, metavar="N",
+    parser.add_argument("--shard-events", type=positive_int, default=DEFAULT_SHARD_EVENTS,
+                        metavar="N",
                         help=f"with --stream: events per shard (default: {DEFAULT_SHARD_EVENTS})")
+    parser.add_argument("--engine", choices=available_engines(), default="serial",
+                        help="with --stream: execution engine for the detector passes — "
+                             "'serial' scans once on one thread, 'thread' folds "
+                             "event-balanced partitions on --jobs threads, 'process' folds "
+                             "them on --jobs worker processes (each opens the store and "
+                             "returns only its carry state); findings are identical for "
+                             "every engine (default: serial)")
     parser.add_argument("--version", action="version", version=f"ompdataperf {__version__}")
     return parser
 
@@ -101,11 +129,24 @@ def build_trace_parser() -> argparse.ArgumentParser:
     )
     shard.add_argument("input", help="path of the trace to read (format sniffed)")
     shard.add_argument("output", help="directory of the store to create")
-    shard.add_argument("--shard-events", type=int, default=DEFAULT_SHARD_EVENTS,
+    shard.add_argument("--shard-events", type=positive_int, default=DEFAULT_SHARD_EVENTS,
                        metavar="N", help="events per shard "
                        f"(default: {DEFAULT_SHARD_EVENTS})")
     shard.add_argument("--compress", action="store_true",
                        help="compress the shards (smaller, slower to scan)")
+
+    compact = sub.add_parser(
+        "compact",
+        help="re-shard a store in place to a target shard size, coalescing "
+             "small shards, dropping empty ones and rewriting the manifest",
+    )
+    compact.add_argument("input", help="directory of the store to compact")
+    compact.add_argument("--shard-events", type=positive_int,
+                         default=DEFAULT_SHARD_EVENTS, metavar="N",
+                         help="target events per shard "
+                         f"(default: {DEFAULT_SHARD_EVENTS})")
+    compact.add_argument("--compress", action="store_true",
+                         help="compress the rewritten shards")
 
     merge = sub.add_parser(
         "merge",
@@ -175,9 +216,24 @@ def _trace_main(argv: Sequence[str]) -> int:
         _print_trace_info(trace, Path(args.input))
         return 0
 
+    if args.command == "compact":
+        if not isinstance(trace, ShardedTraceStore):
+            parser.error(f"{args.input} is not a sharded trace store")
+        before = trace.num_shards
+        try:
+            store = trace.compact(
+                shard_events=args.shard_events, compress=args.compress
+            )
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot compact {args.input}: {exc}")
+            return 2  # unreachable; parser.error raises SystemExit
+        print(
+            f"info: compacted {args.input}: {before} -> {store.num_shards} "
+            f"shard(s), {len(store)} events"
+        )
+        return 0
+
     if args.command == "shard":
-        if args.shard_events < 1:
-            parser.error("--shard-events must be at least 1")
         try:
             store = shard_trace(
                 trace,
@@ -231,9 +287,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.jobs < 1:
-        parser.error("--jobs must be at least 1")
-
     if args.list:
         print(_list_programs())
         return 0
@@ -265,9 +318,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not app.supports_variant(variant):
         parser.error(f"{app.name} does not provide a {variant.value!r} variant")
 
-    if args.shard_events < 1:
-        parser.error("--shard-events must be at least 1")
-
     if not args.quiet:
         print(f"info: OpenMP OMPT interface version 5.1 (simulated)")
         print(f"info: analyzing {app.name} [{size.value}, {variant.value}] with OMPDataPerf {__version__}")
@@ -289,6 +339,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     shard_events=args.shard_events,
                     program_name=app.program_name(size, variant),
                     jobs=args.jobs,
+                    engine=args.engine,
                 )
             except (OSError, ValueError) as exc:
                 # e.g. the store directory already exists and is non-empty

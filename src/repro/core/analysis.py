@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.detectors._streaming import run_streaming_passes
 from repro.core.detectors.duplicates import (
     DuplicateTransferPass,
     count_redundant_transfers,
@@ -41,6 +40,7 @@ from repro.core.detectors.unused_transfers import (
     find_unused_transfers,
     find_unused_transfers_columnar,
 )
+from repro.core.engine import PassSpec, resolve_engine
 from repro.core.potential import OptimizationPotential, estimate_potential
 from repro.dwarf.debuginfo import DebugInfoRegistry
 from repro.events.columnar import ColumnarTrace
@@ -165,32 +165,45 @@ def analyze_stream(
     *,
     debug_info: Optional[DebugInfoRegistry] = None,
     jobs: int = 1,
+    engine: str = "serial",
 ) -> AnalysisReport:
     """Run Algorithms 1–5 incrementally over an event stream.
 
     Each detector is one fold/finalize pass in O(carry) memory, so a trace
     never has to fit in memory; findings are bit-identical to
-    :func:`analyze_trace` over the merged trace (the three-way differential
-    property test enforces this).  The stream is scanned ONCE — every shard
-    is loaded one time and handed to all five folds.  With ``jobs > 1`` the
-    scan becomes a pipeline: a prefetch thread decodes the next shard while
-    the folds consume the current one, and the five finalizes run
-    concurrently; output is identical regardless of ``jobs``, and the gain
-    materialises when shard decode dominates (compressed stores, cold
-    storage) — the folds themselves stay on the calling thread.
+    :func:`analyze_trace` over the merged trace (the differential property
+    tests enforce this).  ``engine`` picks how the folds execute (see
+    :mod:`repro.core.engine`):
+
+    * ``"serial"`` (default) — ONE sequential scan; every shard is loaded
+      once and handed to all five folds.  With ``jobs > 1`` a prefetch
+      thread decodes the next shard while the folds consume the current
+      one, and the five finalizes run concurrently — the gain materialises
+      when shard decode dominates (compressed stores, cold storage), but
+      the folds themselves stay on the calling thread.
+    * ``"thread"`` — ``jobs`` worker threads each fold a contiguous,
+      event-balanced partition of the stream; the partition carries merge
+      left to right.  Decode parallelises, folds stay GIL-bound.
+    * ``"process"`` — the same partitioned shape with process workers that
+      re-open the on-disk store by path and return only their carries,
+      which is what lets the GIL-bound fold work scale across cores
+      (requires a :class:`~repro.events.store.ShardedTraceStore`).
+
+    Output is identical for every engine and every ``jobs`` value.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    eng = resolve_engine(engine)
     num_devices = max(stream.num_devices, 1)
 
-    passes = (
-        DuplicateTransferPass(),
-        RoundTripPass(),
-        RepeatedAllocationPass(),
-        UnusedAllocationPass(num_devices),
-        UnusedTransferPass(num_devices),
+    specs = (
+        PassSpec(DuplicateTransferPass),
+        PassSpec(RoundTripPass),
+        PassSpec(RepeatedAllocationPass),
+        PassSpec(UnusedAllocationPass, {"num_devices": num_devices}),
+        PassSpec(UnusedTransferPass, {"num_devices": num_devices}),
     )
-    results = run_streaming_passes(passes, stream, jobs=jobs)
+    results = eng.run(specs, stream, jobs=jobs)
     duplicate_groups, round_trip_groups, repeated_alloc_groups, unused_allocs, unused_txs = results
 
     return _assemble_report(

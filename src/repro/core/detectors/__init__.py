@@ -16,8 +16,11 @@ Every algorithm ships in three equivalent implementations: the object-based
 reference oracle (``find_*``), the vectorised columnar fast path
 (``find_*_columnar``) and the incremental streaming variant
 (``find_*_streaming``) that folds an event stream shard by shard in
-O(carry) memory.  The three-way differential property test holds them to
-bit-identical findings.
+O(carry) memory.  The streaming passes are additionally
+partition-mergeable — independent workers fold disjoint shard ranges and
+the carries combine losslessly (see :mod:`repro.core.engine`).  The
+four-way differential property test holds every path, on every execution
+engine, to bit-identical findings.
 """
 
 from repro.core.detectors.findings import (

@@ -25,6 +25,17 @@ small carry state and never hold a whole trace.  The carries they share:
 Positions are "gpos": the row index an event would have in the
 concatenation of every batch's data-op columns (see
 :mod:`repro.events.stream`).
+
+Every carry here is additionally *partition-mergeable*: two instances
+folded over adjacent gpos ranges combine losslessly into the instance a
+single sequential fold would have produced (``CompositeKeyCounter.merge``
+unions key tables and reports threshold promotions,
+``StreamingAllocPairer.merge`` stitches open allocations to the pending
+deletes of the later partition, ``DeviceKernels.merge`` rebases the later
+partition's running-max cursor base).  The :class:`StreamingPass` subclasses
+build their own ``merge`` on these, which is what lets the execution
+engines (:mod:`repro.core.engine`) fold disjoint shard ranges on
+independent workers and combine only small carry states.
 """
 
 from __future__ import annotations
@@ -86,6 +97,21 @@ class DeviceKernels:
         self.start.extend(starts)
         self.runmax.extend(run)
 
+    def merge(self, other: "DeviceKernels") -> None:
+        """Append ``other``'s kernels (a later contiguous time range).
+
+        ``other`` folded its running maximum from scratch, so its cursor
+        base is rebased onto this carry: every ``runmax`` entry is lifted
+        to at least this partition's final running maximum, exactly what a
+        sequential fold over both ranges would have produced.
+        """
+        if other.count == 0:
+            return
+        rebased = np.maximum(other.runmax.view(), self.last)
+        self.start.extend(other.start.view())
+        self.runmax.extend(rebased)
+        self.last = float(rebased[-1])
+
     @property
     def count(self) -> int:
         return self.start.size
@@ -102,6 +128,11 @@ class ColumnBuffer:
         if len(values):
             self._chunks.append(values)
             self.size += len(values)
+
+    def absorb(self, other: "ColumnBuffer") -> None:
+        """Append every chunk of ``other`` (which must not be reused)."""
+        self._chunks.extend(other._chunks)
+        self.size += other.size
 
     def concat(self, dtype=None) -> np.ndarray:
         if not self._chunks:
@@ -136,6 +167,30 @@ class KeyFold:
     prior_first_gpos: np.ndarray
     #: payload of the row at ``prior_first_gpos``
     prior_payload: np.ndarray
+
+
+@dataclass
+class KeyMerge:
+    """Result of merging two counters (:meth:`CompositeKeyCounter.merge`).
+
+    Merging reassigns dense uids; the two maps translate each side's old
+    uids (indexed by old uid, ``-1`` where unassigned) so member buffers
+    keyed on uids can be remapped with one vectorised lookup.  The
+    ``promoted_*`` arrays are the *retained singletons that crossed the
+    group threshold because of the merge*: a key counted once on a side
+    records no members (its single member lives in the table as
+    ``first``/``payload``); when the union reaches two members, those
+    retained rows must join the member set, exactly like the ``crossed``
+    recovery inside :meth:`CompositeKeyCounter.fold`.
+    """
+
+    uid_map_self: np.ndarray
+    uid_map_other: np.ndarray
+    promoted_gpos: np.ndarray
+    promoted_payload: np.ndarray
+    promoted_uid: np.ndarray
+    #: key columns of the promoted rows (``()`` when nothing promoted)
+    promoted_keys: tuple[np.ndarray, ...]
 
 
 class CompositeKeyCounter:
@@ -295,6 +350,134 @@ class CompositeKeyCounter:
             prior_payload[batch_runs],
         )
 
+    def _empty_merge(self, num_other_uids: int) -> KeyMerge:
+        empty = np.empty(0, dtype=np.int64)
+        return KeyMerge(
+            uid_map_self=np.arange(self._next_uid, dtype=np.int64),
+            uid_map_other=np.arange(num_other_uids, dtype=np.int64),
+            promoted_gpos=empty,
+            promoted_payload=empty,
+            promoted_uid=empty,
+            promoted_keys=(),
+        )
+
+    def merge(self, other: "CompositeKeyCounter") -> KeyMerge:
+        """Union ``other``'s key table into this one (both keep gpos global).
+
+        The two counters must have folded *disjoint* row sets; which side
+        folded the earlier range does not matter — counts add, first
+        positions take the minimum, and the payload follows the entry with
+        the smaller first, so the merged table equals the sequential fold
+        of both row sets in any order.  Returns the uid translation maps
+        and the threshold promotions (see :class:`KeyMerge`).
+        """
+        if other._keys is None:
+            return self._empty_merge(other._next_uid)
+        if self._keys is None:
+            self._keys = other._keys
+            self._count = other._count
+            self._first = other._first
+            self._uid = other._uid
+            self._next_uid = other._next_uid
+            self._payload = other._payload
+            return self._empty_merge(other._next_uid)
+
+        track = self._payload is not None or other._payload is not None
+        n_s, n_o = self._count.size, other._count.size
+        m_cols = tuple(np.concatenate([a, b]) for a, b in zip(self._keys, other._keys))
+        tag = np.concatenate([
+            np.zeros(n_s, dtype=np.int8), np.ones(n_o, dtype=np.int8),
+        ])
+        m_count = np.concatenate([self._count, other._count])
+        m_first = np.concatenate([self._first, other._first])
+        s_payload = (
+            self._payload if self._payload is not None
+            else np.zeros(n_s, dtype=np.int64)
+        )
+        o_payload = (
+            other._payload if other._payload is not None
+            else np.zeros(n_o, dtype=np.int64)
+        )
+        m_payload = np.concatenate([s_payload, o_payload])
+        m_uid = np.concatenate([self._uid, other._uid])
+
+        morder = np.lexsort((tag, *reversed(m_cols)))
+        boundary = self._group_boundaries(m_cols, morder)
+        run_starts = np.flatnonzero(boundary)
+        run_id = np.cumsum(boundary) - 1
+        m = morder.size
+
+        count_sorted = m_count[morder]
+        first_sorted = m_first[morder]
+        payload_sorted = m_payload[morder]
+        new_count = np.add.reduceat(count_sorted, run_starts).astype(np.int64)
+        new_first = np.minimum.reduceat(first_sorted, run_starts)
+
+        # Runs have at most two entries (one per side); the payload follows
+        # whichever entry holds the smaller first-gpos, as in fold().
+        run_len = np.diff(np.append(run_starts, m))
+        second = run_starts + 1
+        two = run_len == 2
+        pick = run_starts.copy()
+        pick[two] = np.where(
+            first_sorted[np.minimum(second, m - 1)][two] < first_sorted[run_starts][two],
+            second[two],
+            run_starts[two],
+        )
+        new_payload = payload_sorted[pick]
+
+        # Dense fresh uids (the run ids); translate each side's old uids.
+        uid_sorted = m_uid[morder]
+        tag_sorted = tag[morder]
+        uid_map_self = np.full(self._next_uid, -1, dtype=np.int64)
+        uid_map_other = np.full(other._next_uid, -1, dtype=np.int64)
+        from_self = tag_sorted == 0
+        uid_map_self[uid_sorted[from_self]] = run_id[from_self]
+        uid_map_other[uid_sorted[~from_self]] = run_id[~from_self]
+
+        # Retained singletons whose run now has two or more members.
+        promote = (count_sorted == 1) & (new_count[run_id] >= 2)
+        promoted_keys = (
+            tuple(col[morder][promote] for col in m_cols) if promote.any() else ()
+        )
+        promoted = KeyMerge(
+            uid_map_self=uid_map_self,
+            uid_map_other=uid_map_other,
+            promoted_gpos=first_sorted[promote],
+            promoted_payload=payload_sorted[promote],
+            promoted_uid=run_id[promote],
+            promoted_keys=promoted_keys,
+        )
+
+        self._keys = tuple(col[morder][run_starts] for col in m_cols)
+        self._count = new_count
+        self._first = new_first
+        self._uid = np.arange(run_starts.size, dtype=np.int64)
+        self._next_uid = run_starts.size
+        self._payload = new_payload if track else None
+        return promoted
+
+
+def merge_uid_buffers(
+    km: KeyMerge, mine: ColumnBuffer, theirs: ColumnBuffer
+) -> ColumnBuffer:
+    """Combine two member-uid buffers through a merge's translation maps.
+
+    Used by the counter-based passes: members recorded on each side
+    reference that side's old uids, which the :class:`KeyMerge` maps to the
+    merged table's dense uids; the promoted retained singletons join with
+    their (already merged) uids.
+    """
+    out = ColumnBuffer()
+    own = mine.concat()
+    if own.size:
+        out.append(km.uid_map_self[own])
+    other = theirs.concat()
+    if other.size:
+        out.append(km.uid_map_other[other])
+    out.append(km.promoted_uid)
+    return out
+
 
 # --------------------------------------------------------------------- #
 # Streaming alloc/delete pairing
@@ -317,7 +500,15 @@ class PairBatch:
 
 
 class StreamingAllocPairer:
-    """Pairs ALLOC/DELETE events across batches with O(open allocs) carry."""
+    """Pairs ALLOC/DELETE events across batches with O(open allocs) carry.
+
+    Deletes that match no open allocation are retained as *pending deletes*
+    (gpos, key and captured delete columns, in chronological order).  A
+    pairer folding from the start of the trace never completes them — the
+    sequential oracle drops such deletes — but a pairer folding a later
+    partition sees one for every allocation opened before its range, and
+    :meth:`merge` stitches them to the earlier partition's open stack.
+    """
 
     def __init__(
         self,
@@ -328,12 +519,18 @@ class StreamingAllocPairer:
         self.delete_cols = tuple(delete_cols)
         #: (device, address) -> stack of (gpos, {col: value}) for open allocs
         self._open: dict[tuple[int, int], list[tuple[int, dict]]] = {}
+        #: chronological (gpos, key, {col: value}) of unmatched deletes
+        self._pending_deletes: list[tuple[int, tuple[int, int], dict]] = []
         self._vectorized = True
         self._dtypes: dict[str, np.dtype] = {}
 
     @property
     def num_open(self) -> int:
         return sum(len(stack) for stack in self._open.values())
+
+    @property
+    def num_pending_deletes(self) -> int:
+        return len(self._pending_deletes)
 
     def _empty_batch(self) -> PairBatch:
         return PairBatch(
@@ -414,12 +611,15 @@ class StreamingAllocPairer:
             alloc_values[col] = np.concatenate([carried, batch_col])
         delete_local = c_pos[delete_side]  # always >= 0: deletes are batch rows
 
+        delete_batch_cols = {
+            col: batch.do_column(col)[sel] for col in self.delete_cols
+        }
         result = PairBatch(
             alloc_gpos=c_gpos[alloc_side],
             delete_gpos=gpos[delete_local],
             alloc={col: alloc_values[col][alloc_side] for col in self.alloc_cols},
             delete={
-                col: batch.do_column(col)[sel][delete_local]
+                col: delete_batch_cols[col][delete_local]
                 for col in self.delete_cols
             },
         )
@@ -435,6 +635,18 @@ class StreamingAllocPairer:
                 col: alloc_values[col][entry_index] for col in self.alloc_cols
             }
             self._open[key] = [(int(c_gpos[entry_index]), values)]
+
+        # Deletes that matched nothing stay pending for a possible merge
+        # with an earlier partition (flatnonzero ascends in entry index,
+        # and batch entries are gpos-ordered, so order stays chronological).
+        paired[delete_side] = True
+        for entry_index in np.flatnonzero(~c_alloc & ~paired).tolist():
+            local = int(c_pos[entry_index])
+            key = (int(c_dev[entry_index]), int(c_addr[entry_index]))
+            values = {
+                col: delete_batch_cols[col][local] for col in self.delete_cols
+            }
+            self._pending_deletes.append((int(c_gpos[entry_index]), key, values))
         return result
 
     # -- exact stack semantics (nested allocations) ---------------------- #
@@ -455,6 +667,11 @@ class StreamingAllocPairer:
             else:
                 stack = self._open.get(key)
                 if not stack:
+                    self._pending_deletes.append((
+                        gpos_l[i],
+                        key,
+                        {c: delete_cols[c][i] for c in self.delete_cols},
+                    ))
                     continue
                 a_gpos, values = stack.pop()
                 out_alloc_gpos.append(a_gpos)
@@ -472,6 +689,56 @@ class StreamingAllocPairer:
             },
             delete={
                 c: np.array(out_delete_vals[c], dtype=self._dtypes[c])
+                for c in self.delete_cols
+            },
+        )
+
+    def merge(self, other: "StreamingAllocPairer") -> PairBatch:
+        """Stitch ``other`` (folded over a strictly later gpos range) in.
+
+        ``other``'s pending deletes are matched, chronologically, against
+        this carry's open stacks (LIFO, exactly the sequential pop order);
+        the completed pairs are returned so the caller can count them.
+        What remains open or pending in either side carries over —
+        ``other``'s opens are pushed *on top* of this side's stacks, since
+        they are more recent.  ``other`` must not be reused afterwards.
+        """
+        self._dtypes.update(other._dtypes)
+        out_alloc_gpos: list[int] = []
+        out_delete_gpos: list[int] = []
+        out_alloc_vals: dict[str, list] = {c: [] for c in self.alloc_cols}
+        out_delete_vals: dict[str, list] = {c: [] for c in self.delete_cols}
+        still_pending: list[tuple[int, tuple[int, int], dict]] = []
+        for d_gpos, key, d_values in other._pending_deletes:
+            stack = self._open.get(key)
+            if not stack:
+                still_pending.append((d_gpos, key, d_values))
+                continue
+            a_gpos, a_values = stack.pop()
+            out_alloc_gpos.append(a_gpos)
+            out_delete_gpos.append(d_gpos)
+            for c in self.alloc_cols:
+                out_alloc_vals[c].append(a_values[c])
+            for c in self.delete_cols:
+                out_delete_vals[c].append(d_values[c])
+        for key, stack in other._open.items():
+            if stack:
+                self._open.setdefault(key, []).extend(stack)
+        self._pending_deletes.extend(still_pending)
+        self._vectorized = (
+            self._vectorized
+            and other._vectorized
+            and all(len(stack) <= 1 for stack in self._open.values())
+        )
+        return PairBatch(
+            alloc_gpos=np.array(out_alloc_gpos, dtype=np.int64),
+            delete_gpos=np.array(out_delete_gpos, dtype=np.int64),
+            alloc={
+                c: np.array(out_alloc_vals[c], dtype=self._dtypes.get(c))
+                for c in self.alloc_cols
+            },
+            delete={
+                c: np.array(out_delete_vals[c], dtype=self._dtypes.get(c))
                 for c in self.delete_cols
             },
         )
@@ -497,15 +764,37 @@ class StreamingAllocPairer:
 
 
 class StreamingPass:
-    """One detector's incremental half: fold batches, then finalize.
+    """One detector's incremental half: fold batches, merge, finalize.
 
     ``fold`` consumes one columnar batch (with the global data-op row
     offset of its first row) and updates the carry; ``finalize`` closes the
     carry and materialises findings — it may re-scan the stream, but only
     the shards that contain finding rows.  A pass instance is single-use.
+
+    Passes are *partition-mergeable*: ``a.merge(b)``, where ``a`` folded an
+    earlier contiguous batch range and ``b`` the immediately following one,
+    leaves ``a`` holding the carry a single sequential fold over both
+    ranges would have produced (``b`` must not be reused).  The execution
+    engines fold disjoint shard ranges on independent workers and merge
+    the carries left to right.
+
+    ``eager`` controls whether a pass may *classify* events against carry
+    state that is only correct from the start of the stream (the
+    kernel-cursor verdicts of the two unused-pattern passes).  The default
+    ``True`` is right for a sequential fold over the whole stream; a pass
+    folding a partition that does not start at the stream head MUST run
+    with ``eager=False`` — it defers classification by buffering, and the
+    deferred work happens when the carry is merged into an earlier one (or
+    at finalize).  Order-insensitive passes ignore the flag.
     """
 
+    #: classify eagerly during folds (only valid from the stream head)
+    eager: bool = True
+
     def fold(self, batch: ColumnarTrace, offset: int) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "StreamingPass") -> None:
         raise NotImplementedError
 
     def finalize(self, stream):

@@ -22,6 +22,7 @@ from repro.core.detectors._streaming import (
     CompositeKeyCounter,
     StreamingAllocPairer,
     StreamingPass,
+    merge_uid_buffers,
     run_streaming_pass,
 )
 from repro.core.detectors.findings import RepeatedAllocationGroup
@@ -201,6 +202,32 @@ class RepeatedAllocationPass(StreamingPass):
 
     def fold(self, batch, offset: int) -> None:
         self._count(self._pairer.fold(batch, offset))
+
+    def merge(self, other: "RepeatedAllocationPass") -> None:
+        """Absorb a pass folded over the immediately following row range.
+
+        Allocations left open by this partition stitch to ``other``'s
+        pending deletes first; the key tables then union (with uid
+        remapping and retained-singleton promotion, as in the duplicate
+        pass), and finally the stitched pairs — invisible to both sides'
+        folds — are counted against the merged table, reusing the exact
+        qualification/crossing logic of a normal fold.
+        """
+        stitched = self._pairer.merge(other._pairer)
+        km = self._counter.merge(other._counter)
+        self._group = merge_uid_buffers(km, self._group, other._group)
+        self._alloc.absorb(other._alloc)
+        self._delete.absorb(other._delete)
+        self._host.absorb(other._host)
+        self._dev.absorb(other._dev)
+        self._nbytes.absorb(other._nbytes)
+        if km.promoted_gpos.size:
+            self._alloc.append(km.promoted_gpos)
+            self._delete.append(km.promoted_payload)
+            self._host.append(km.promoted_keys[0])
+            self._dev.append(km.promoted_keys[1])
+            self._nbytes.append(km.promoted_keys[2])
+        self._count(stitched)
 
     def finalize(self, stream) -> list[RepeatedAllocationGroup]:
         if not self.require_deletion:

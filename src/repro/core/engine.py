@@ -1,0 +1,258 @@
+"""Pluggable execution engines for the streaming detector passes.
+
+:func:`repro.core.analysis.analyze_stream` runs five
+:class:`~repro.core.detectors._streaming.StreamingPass` folds over one
+stream.  How those folds execute is this module's job, behind one
+:class:`ExecutionEngine` protocol with three backends:
+
+* :class:`SerialEngine` — the sequential single-scan pipeline: every shard
+  is loaded once and handed to all five folds on the calling thread
+  (``jobs > 1`` adds the prefetch thread and concurrent finalizes).
+* :class:`ThreadEngine` — the stream is cut into ``jobs`` contiguous,
+  event-balanced partitions (:func:`~repro.events.stream.partition_stream`)
+  and each worker thread folds all five passes over its partition; the
+  per-partition carries then merge left to right.  Shard decode releases
+  the GIL, so load overlaps fold — but the folds themselves stay
+  GIL-bound, which is the ceiling this backend cannot pass.
+* :class:`ProcessEngine` — the same partition/fold/merge/finalize shape
+  with *process* workers, which is what lets the fold work scale past one
+  core.  Workers receive shard **paths**, not events: each opens the
+  :class:`~repro.events.store.ShardedTraceStore` and folds its shard range
+  locally, so only the spawn arguments (a path, two indices, the pass
+  specs) and the folded carry states — small, picklable — ever cross the
+  process boundary.
+
+All three produce bit-identical findings: partition workers fold with
+``eager=False`` (classification deferred until the carries merge), and the
+per-detector ``merge`` contracts reconstruct exactly the carry a
+sequential fold would have built (see ``docs/architecture.md`` for the
+contract table).  Engines are resolved by name through :data:`ENGINES` /
+:func:`resolve_engine`, which is what the ``--engine`` CLI flag and the
+``engine=`` keyword of ``analyze_stream`` speak.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.core.detectors._streaming import StreamingPass, run_streaming_passes
+from repro.events.protocol import EventStream
+from repro.events.stream import StreamPartition, partition_stream
+
+
+@dataclass(frozen=True)
+class PassSpec:
+    """A picklable recipe for one streaming pass.
+
+    Engines instantiate passes per partition (a pass instance is
+    single-use and carries fold state), so they are handed recipes instead
+    of instances; ``cls`` must be a module-level class for the spec to
+    cross a process boundary by reference.
+    """
+
+    cls: type
+    kwargs: Mapping = field(default_factory=dict)
+
+    def build(self, *, eager: bool = True) -> StreamingPass:
+        pass_ = self.cls(**dict(self.kwargs))
+        pass_.eager = eager
+        return pass_
+
+
+@runtime_checkable
+class ExecutionEngine(Protocol):
+    """How a set of streaming passes executes over one stream."""
+
+    name: str
+
+    def run(
+        self, specs: Sequence[PassSpec], stream: EventStream, *, jobs: int = 1
+    ) -> list:
+        """Fold every spec's pass over ``stream`` and return the finalized
+        findings, one entry per spec, identical to a sequential fold."""
+        ...
+
+
+def _check_jobs(jobs: int) -> None:
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+
+
+def _fold_partition(
+    specs: Sequence[PassSpec], partition: StreamPartition
+) -> list[StreamingPass]:
+    """Fold fresh deferred-mode passes over one partition's batches."""
+    passes = [spec.build(eager=False) for spec in specs]
+    offset = partition.data_op_offset
+    for batch in partition.batches():
+        for pass_ in passes:
+            pass_.fold(batch, offset)
+        offset += batch.num_data_op_events
+    return passes
+
+
+def _merge_partition_carries(chains: list[list[StreamingPass]]) -> list[StreamingPass]:
+    """Left-fold the per-partition carries into the first partition's."""
+    head = chains[0]
+    for tail in chains[1:]:
+        for target, source in zip(head, tail):
+            target.merge(source)
+    return head
+
+
+def _finalize_all(
+    passes: Sequence[StreamingPass], stream: EventStream, jobs: int
+) -> list:
+    """Finalize every pass; concurrently when jobs allow.
+
+    Finalizes are independent (each may re-scan only the shards holding
+    its finding rows), exactly like the serial pipeline's parallel
+    finalize stage.
+    """
+    if jobs <= 1 or len(passes) <= 1:
+        return [pass_.finalize(stream) for pass_ in passes]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(passes))) as pool:
+        futures = [pool.submit(pass_.finalize, stream) for pass_ in passes]
+        return [future.result() for future in futures]
+
+
+class SerialEngine:
+    """One sequential scan, all folds on the calling thread (the default)."""
+
+    name = "serial"
+
+    def run(self, specs, stream, *, jobs: int = 1) -> list:
+        _check_jobs(jobs)
+        passes = [spec.build() for spec in specs]
+        return run_streaming_passes(passes, stream, jobs=jobs)
+
+
+class ThreadEngine:
+    """Partitioned folds on worker threads, merged left to right."""
+
+    name = "thread"
+
+    def run(self, specs, stream, *, jobs: int = 1) -> list:
+        _check_jobs(jobs)
+        parts = partition_stream(stream, jobs)
+        if len(parts) <= 1:
+            return SerialEngine().run(specs, stream, jobs=jobs)
+        with ThreadPoolExecutor(max_workers=len(parts)) as pool:
+            futures = [pool.submit(_fold_partition, specs, part) for part in parts]
+            chains = [future.result() for future in futures]
+        merged = _merge_partition_carries(chains)
+        return _finalize_all(merged, stream, jobs)
+
+
+def _fold_store_partition(
+    path: str, lo: int, hi: int, data_op_offset: int, specs: tuple
+) -> list[StreamingPass]:
+    """Process-worker entry point: open the store, fold one shard range.
+
+    Runs in the worker process — everything it touches beyond the
+    arguments is read from disk, and only the folded carries return.
+    """
+    from repro.events.store import ShardedTraceStore
+
+    store = ShardedTraceStore.open(path)
+    num_events = sum(shard.num_events for shard in store.shards[lo:hi])
+    return _fold_partition(
+        specs, StreamPartition(store, lo, hi, data_op_offset, num_events)
+    )
+
+
+def _process_context():
+    # fork keeps worker start-up (and the numpy import) off the critical
+    # path, but it is only dependable on Linux — forked children crash in
+    # Apple frameworks on macOS (why CPython dropped it as the default
+    # there) — so elsewhere prefer forkserver, then portable spawn.
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform.startswith("linux") and "fork" in methods:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+class ProcessEngine:
+    """Partitioned folds on worker *processes*: shard paths in, carries out.
+
+    The only backend whose fold work scales past one core — and the only
+    one with a requirement on the stream: it must be an on-disk
+    :class:`~repro.events.store.ShardedTraceStore`, because workers
+    re-open it by path rather than receive events.
+    """
+
+    name = "process"
+
+    def run(self, specs, stream, *, jobs: int = 1) -> list:
+        _check_jobs(jobs)
+        from repro.events.store import ShardedTraceStore
+
+        if not isinstance(stream, ShardedTraceStore):
+            raise TypeError(
+                "the process engine sends shard paths to its workers and "
+                "requires an on-disk ShardedTraceStore; shard the trace "
+                "first (shard_trace / `ompdataperf trace shard`) or use "
+                "the serial or thread engine"
+            )
+        parts = stream.partitions(jobs)
+        if len(parts) <= 1:
+            return SerialEngine().run(specs, stream, jobs=jobs)
+        specs = tuple(specs)
+        path = str(stream.path)
+        with ProcessPoolExecutor(
+            max_workers=len(parts), mp_context=_process_context()
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _fold_store_partition,
+                    path,
+                    part.lo,
+                    part.hi,
+                    part.data_op_offset,
+                    specs,
+                )
+                for part in parts
+            ]
+            chains = [future.result() for future in futures]
+        merged = _merge_partition_carries(chains)
+        return _finalize_all(merged, stream, jobs)
+
+
+#: Engine registry, keyed by the names the CLI exposes.
+ENGINES: dict[str, type] = {
+    SerialEngine.name: SerialEngine,
+    ThreadEngine.name: ThreadEngine,
+    ProcessEngine.name: ProcessEngine,
+}
+
+
+def available_engines() -> list[str]:
+    return sorted(ENGINES)
+
+
+def resolve_engine(engine) -> ExecutionEngine:
+    """Resolve an engine name (or pass an instance through).
+
+    Accepts a registry name (``"serial"``, ``"thread"``, ``"process"``),
+    an :class:`ExecutionEngine` instance, or ``None`` for the default
+    serial engine.
+    """
+    if engine is None:
+        return SerialEngine()
+    if isinstance(engine, str):
+        try:
+            return ENGINES[engine]()
+        except KeyError:
+            raise ValueError(
+                f"unknown execution engine {engine!r}; "
+                f"available: {', '.join(available_engines())}"
+            ) from None
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    raise TypeError(f"cannot use {type(engine).__name__} as an execution engine")

@@ -173,13 +173,16 @@ class OMPDataPerf:
         device_memory_capacity: int = 40 * (1 << 30),
         program_name: Optional[str] = None,
         jobs: int = 1,
+        engine: str = "serial",
     ) -> "StreamingProfileResult":
         """Run ``program`` with the collector flushing shards to disk.
 
         Ingest memory stays O(``shard_events``) regardless of trace length;
         the analysis then runs the incremental detectors over the resulting
-        :class:`~repro.events.store.ShardedTraceStore` (``jobs > 1`` runs
-        the five detector passes shard-parallel).
+        :class:`~repro.events.store.ShardedTraceStore` on the chosen
+        execution engine (``engine="process"`` with ``jobs > 1`` folds
+        disjoint shard ranges on worker processes — see
+        :mod:`repro.core.engine`).
         """
         writer = TraceWriter(
             store_path,
@@ -209,7 +212,9 @@ class OMPDataPerf:
         )
         if self.validate:
             validate_stream(store)
-        analysis = analyze_stream(store, debug_info=runtime.debug_info, jobs=jobs)
+        analysis = analyze_stream(
+            store, debug_info=runtime.debug_info, jobs=jobs, engine=engine
+        )
         return StreamingProfileResult(
             store=store,
             analysis=analysis,
@@ -236,11 +241,14 @@ class OMPDataPerf:
         *,
         debug_info: Optional[DebugInfoRegistry] = None,
         jobs: int = 1,
+        engine: str = "serial",
     ) -> AnalysisReport:
         """Offline incremental analysis of an event stream (sharded store)."""
         if self.validate:
             validate_stream(stream)
-        return analyze_stream(stream, debug_info=debug_info, jobs=jobs)
+        return analyze_stream(
+            stream, debug_info=debug_info, jobs=jobs, engine=engine
+        )
 
 
 def run_uninstrumented(

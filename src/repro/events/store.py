@@ -32,6 +32,7 @@ them repeatedly, so decode speed matters more than density (pass
 from __future__ import annotations
 
 import json
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
@@ -40,8 +41,10 @@ from repro.events.columnar import ColumnarTrace
 from repro.events.protocol import EventStream
 from repro.events.stream import (
     DEFAULT_SHARD_EVENTS,
+    StreamPartition,
     StreamStats,
     merge_stream,
+    partition_stream,
     slice_bounds,
 )
 
@@ -151,6 +154,99 @@ class ShardedTraceStore:
     def batches(self) -> Iterator[ColumnarTrace]:
         for shard in self.shards:
             yield self._stamp(ColumnarTrace.load_binary(self.path / shard.file))
+
+    def partitions(self, n: int) -> list[EventStream]:
+        """Cut the store into at most ``n`` balanced contiguous shard ranges.
+
+        Each partition is an :class:`~repro.events.stream.StreamPartition`
+        carrying its shard index range and global data-op offset — what a
+        parallel worker needs to fold its share of the store in global
+        coordinates.  Balancing follows the manifest's per-shard event
+        counts, so no shard is read.  Degenerate case: a single-shard (or
+        ``n == 1``) store yields ``[self]``, the unsplit store itself —
+        callers treat a single-element result as "run serially".
+        """
+        return partition_stream(self, n)
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+    def compact(
+        self,
+        *,
+        shard_events: int = DEFAULT_SHARD_EVENTS,
+        compress: bool = False,
+    ) -> "ShardedTraceStore":
+        """Re-shard the store in place to ``shard_events`` events per shard.
+
+        Consecutive small shards coalesce (and oversized ones split) into
+        uniform shards of the target size, empty shards are dropped, and
+        the manifest is rewritten.  Statistics are refolded during the
+        rewrite, so a compacted store answers the same aggregate queries
+        as the original.
+
+        The swap is crash-safe: the new shards are staged in a scratch
+        subdirectory, moved into the store under generation-tagged names
+        that never collide with the live ones, and become visible through
+        one atomic manifest replace — at every instant the on-disk
+        manifest references only complete shards.  The superseded shards
+        are removed last (a crash can leave orphaned shard files, never a
+        manifest pointing at missing ones).
+        """
+        scratch = self.path / ".compact.tmp"
+        if scratch.exists():
+            shutil.rmtree(scratch)
+        old_files = [shard.file for shard in self.shards]
+        try:
+            writer = TraceWriter(
+                scratch,
+                shard_events=shard_events,
+                num_devices=self.num_devices,
+                program_name=self.program_name,
+                compress=compress,
+            )
+            for batch in self.batches():
+                writer.write_batch(batch)
+            staged = writer.close(total_runtime=self.total_runtime)
+
+            # Move the staged shards in under names no live shard uses
+            # (repeated compactions bump the generation tag).
+            generation = 0
+            while any(
+                (self.path / f"shard-g{generation}-{i:05d}.npz").exists()
+                for i in range(len(staged.shards))
+            ):
+                generation += 1
+            renamed: list[ShardInfo] = []
+            for i, shard in enumerate(staged.shards):
+                name = f"shard-g{generation}-{i:05d}.npz"
+                (scratch / shard.file).rename(self.path / name)
+                renamed.append(
+                    ShardInfo(
+                        file=name,
+                        num_data_op_events=shard.num_data_op_events,
+                        num_target_events=shard.num_target_events,
+                        end_time=shard.end_time,
+                    )
+                )
+
+            # Atomic cut-over: stage the rewritten manifest next to the
+            # live one and replace() it (atomic on POSIX).
+            manifest = json.loads(
+                (scratch / MANIFEST_NAME).read_text(encoding="utf-8")
+            )
+            manifest["shards"] = [shard.to_dict() for shard in renamed]
+            staged_manifest = self.path / (MANIFEST_NAME + ".staged")
+            staged_manifest.write_text(
+                json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+            )
+            staged_manifest.replace(self.path / MANIFEST_NAME)
+
+            for file in old_files:
+                (self.path / file).unlink(missing_ok=True)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return ShardedTraceStore.open(self.path)
 
     # ------------------------------------------------------------------ #
     # TraceLike aggregate surface (manifest only)

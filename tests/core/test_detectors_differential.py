@@ -1,16 +1,24 @@
-"""Differential property test: object vs columnar vs streaming detectors.
+"""Differential property test: object vs columnar vs streaming vs engines.
 
 Every detector has three implementations — the object-based reference
 oracle, the vectorised columnar fast path, and the incremental streaming
-variant that folds an event stream shard by shard.  For any well-formed
-trace the three must return *identical* findings (same finding objects, in
-the same order, holding equal events), for every shard size.  Hypothesis
-generates random multi-device mapping histories plus a shard size and the
-test asserts equality detector by detector, plus at the aggregated
-analysis level.
+variant that folds an event stream shard by shard — and the streaming
+variant additionally runs on three execution engines (serial scan,
+thread-partitioned, process-partitioned over an on-disk store).  For any
+well-formed trace every path must return *identical* findings (same
+finding objects, in the same order, holding equal events), for every shard
+size and partition count.  Hypothesis generates random multi-device
+mapping histories plus a shard size (and worker count) and the tests
+assert equality detector by detector, plus at the aggregated analysis
+level, four ways: object, columnar, streaming, and partition-merged
+engine execution.
 """
 
 from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -42,6 +50,7 @@ from repro.core.detectors.unused_transfers import (
     find_unused_transfers_streaming,
 )
 from repro.events.columnar import ColumnarTrace
+from repro.events.store import shard_trace
 from repro.events.stream import as_event_stream
 
 from tests.conftest import TraceBuilder
@@ -54,6 +63,10 @@ _STEP = st.sampled_from(["h2d", "d2h", "kernel", "remap", "idle", "double_h2d"])
 # Shard sizes for the streaming variants: exercise one-event shards, shards
 # cutting through the middle of a trace, and single-batch streams.
 _SHARDS = st.integers(min_value=1, max_value=40)
+
+# Worker counts for the partitioned engines: serial degenerate case up to
+# more workers than most generated traces have shards.
+_WORKERS = st.integers(min_value=1, max_value=4)
 
 
 @st.composite
@@ -161,19 +174,46 @@ def test_repeated_allocs_keep_undeleted_mode_identical(trace, shard_events):
     )
 
 
+def _assert_reports_equal(obj_report, report):
+    assert obj_report.counts == report.counts
+    assert obj_report.potential == report.potential
+    assert obj_report.duplicate_groups == report.duplicate_groups
+    assert obj_report.round_trip_groups == report.round_trip_groups
+    assert obj_report.repeated_alloc_groups == report.repeated_alloc_groups
+    assert obj_report.unused_allocations == report.unused_allocations
+    assert obj_report.unused_transfers == report.unused_transfers
+
+
 @settings(max_examples=40, deadline=None)
-@given(mapping_traces(), _SHARDS)
-def test_full_analysis_identical_across_representations(trace, shard_events):
+@given(mapping_traces(), _SHARDS, _WORKERS)
+def test_full_analysis_identical_across_representations(trace, shard_events, workers):
     obj_report = analyze_trace(trace)
     col_report = analyze_trace(ColumnarTrace.from_trace(trace))
-    stream_report = analyze_stream(
-        as_event_stream(ColumnarTrace.from_trace(trace), shard_events)
-    )
-    for report in (col_report, stream_report):
-        assert obj_report.counts == report.counts
-        assert obj_report.potential == report.potential
-        assert obj_report.duplicate_groups == report.duplicate_groups
-        assert obj_report.round_trip_groups == report.round_trip_groups
-        assert obj_report.repeated_alloc_groups == report.repeated_alloc_groups
-        assert obj_report.unused_allocations == report.unused_allocations
-        assert obj_report.unused_transfers == report.unused_transfers
+    stream = as_event_stream(ColumnarTrace.from_trace(trace), shard_events)
+    stream_report = analyze_stream(stream)
+    thread_report = analyze_stream(stream, engine="thread", jobs=workers)
+    for report in (col_report, stream_report, thread_report):
+        _assert_reports_equal(obj_report, report)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mapping_traces(), _SHARDS, _WORKERS)
+def test_process_engine_identical_over_stores(trace, shard_events, workers):
+    """The fourth way: process workers folding shard ranges of a real store.
+
+    The trace goes to disk as a sharded store, the process engine folds
+    partitions on worker processes (only carries cross the boundary), and
+    the merged result must equal the object oracle bit for bit.
+    """
+    obj_report = analyze_trace(trace)
+    scratch = tempfile.mkdtemp(prefix="ompdataperf-diff-")
+    try:
+        store = shard_trace(
+            ColumnarTrace.from_trace(trace),
+            Path(scratch) / "t.store",
+            shard_events=shard_events,
+        )
+        process_report = analyze_stream(store, engine="process", jobs=workers)
+        _assert_reports_equal(obj_report, process_report)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

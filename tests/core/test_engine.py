@@ -1,0 +1,184 @@
+"""Tests for the pluggable execution engines and stream partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import analyze_stream, analyze_trace
+from repro.core.detectors.duplicates import DuplicateTransferPass
+from repro.core.detectors.unused_allocs import UnusedAllocationPass
+from repro.core.engine import (
+    ENGINES,
+    PassSpec,
+    ProcessEngine,
+    SerialEngine,
+    ThreadEngine,
+    available_engines,
+    resolve_engine,
+)
+from repro.events.columnar import ColumnarTrace
+from repro.events.store import shard_trace
+from repro.events.stream import (
+    SlicedTraceStream,
+    as_event_stream,
+    partition_ranges,
+    partition_stream,
+)
+from repro.events.synth import make_synthetic_columnar_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_synthetic_columnar_trace(4_000)
+
+
+@pytest.fixture(scope="module")
+def store(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("engine-store") / "trace.store"
+    return shard_trace(trace, path, shard_events=512)
+
+
+def _findings(report):
+    return (
+        report.counts,
+        report.duplicate_groups,
+        report.round_trip_groups,
+        report.repeated_alloc_groups,
+        report.unused_allocations,
+        report.unused_transfers,
+        report.potential,
+    )
+
+
+# --------------------------------------------------------------------- #
+# partition_ranges / partition_stream
+# --------------------------------------------------------------------- #
+def test_partition_ranges_balances_events():
+    assert partition_ranges([10, 10, 10, 10], 2) == [(0, 2), (2, 4)]
+    assert partition_ranges([10, 10, 10, 10], 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    # A dominant batch takes a partition of its own.
+    assert partition_ranges([100, 1, 1, 1], 2) == [(0, 1), (1, 4)]
+
+
+def test_partition_ranges_edge_cases():
+    assert partition_ranges([], 3) == []
+    assert partition_ranges([5], 4) == [(0, 1)]
+    assert partition_ranges([5, 5], 1) == [(0, 2)]
+    # More workers than batches: one batch per partition, none empty.
+    assert partition_ranges([3, 3], 8) == [(0, 1), (1, 2)]
+    with pytest.raises(ValueError):
+        partition_ranges([1, 2], 0)
+
+
+def test_partition_ranges_cover_everything():
+    counts = [7, 1, 1, 9, 2, 40, 3, 3, 5, 1]
+    for n in range(1, 14):
+        ranges = partition_ranges(counts, n)
+        assert ranges[0][0] == 0 and ranges[-1][1] == len(counts)
+        for (_, a_hi), (b_lo, _) in zip(ranges[:-1], ranges[1:]):
+            assert a_hi == b_lo
+        assert all(hi > lo for lo, hi in ranges)
+        assert len(ranges) <= min(n, len(counts))
+
+
+def test_partition_stream_offsets_and_events(store):
+    parts = store.partitions(3)
+    assert len(parts) == 3
+    counts = store.batch_row_counts()
+    offset = 0
+    lo = 0
+    for part in parts:
+        assert part.lo == lo
+        assert part.data_op_offset == offset
+        batch_events = [
+            batch.num_data_op_events + batch.num_target_events
+            for batch in part.batches()
+        ]
+        assert sum(batch_events) == part.num_events
+        offset += sum(do for do, _ in counts[part.lo : part.hi])
+        lo = part.hi
+    assert lo == store.num_shards
+    assert sum(p.num_events for p in parts) == len(store)
+
+
+def test_partition_stream_degrades_gracefully(trace, store):
+    # n=1 and single-batch streams come back unsplit.
+    assert partition_stream(store, 1) == [store]
+    single = SlicedTraceStream(trace, shard_events=10**9)
+    assert partition_stream(single, 4) == [single]
+    # Streams without random access pass through too.
+    class Opaque:
+        num_devices = 1
+        program_name = None
+        total_runtime = None
+
+        def batches(self):
+            return iter(())
+
+    opaque = Opaque()
+    assert partition_stream(opaque, 4) == [opaque]
+
+
+# --------------------------------------------------------------------- #
+# Engines
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_engines_match_the_columnar_oracle(trace, store, engine, jobs):
+    expected = _findings(analyze_trace(trace))
+    report = analyze_stream(store, engine=engine, jobs=jobs)
+    assert _findings(report) == expected
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_engines_on_in_memory_slices(trace, engine):
+    """Thread/serial engines also partition the in-memory slicer."""
+    stream = as_event_stream(trace, 512)
+    if engine == "process":
+        with pytest.raises(TypeError, match="ShardedTraceStore"):
+            analyze_stream(stream, engine=engine, jobs=2)
+        return
+    expected = _findings(analyze_trace(trace))
+    assert _findings(analyze_stream(stream, engine=engine, jobs=3)) == expected
+
+
+def test_more_jobs_than_shards(store):
+    expected = _findings(analyze_stream(store))
+    report = analyze_stream(store, engine="process", jobs=64)
+    assert _findings(report) == expected
+
+
+def test_engine_resolution():
+    assert available_engines() == ["process", "serial", "thread"]
+    assert isinstance(resolve_engine("serial"), SerialEngine)
+    assert isinstance(resolve_engine("thread"), ThreadEngine)
+    assert isinstance(resolve_engine("process"), ProcessEngine)
+    assert isinstance(resolve_engine(None), SerialEngine)
+    custom = ThreadEngine()
+    assert resolve_engine(custom) is custom
+    with pytest.raises(ValueError, match="unknown execution engine"):
+        resolve_engine("quantum")
+    with pytest.raises(TypeError):
+        resolve_engine(42)
+    with pytest.raises(ValueError, match="unknown execution engine"):
+        analyze_stream(as_event_stream(ColumnarTrace(num_devices=1)), engine="nope")
+
+
+def test_jobs_validated(store):
+    for engine in sorted(ENGINES):
+        with pytest.raises(ValueError, match="jobs"):
+            analyze_stream(store, engine=engine, jobs=0)
+
+
+def test_pass_spec_builds_with_eager_flag():
+    spec = PassSpec(DuplicateTransferPass, {"min_bytes": 16})
+    eager = spec.build()
+    deferred = spec.build(eager=False)
+    assert eager.eager is True
+    assert deferred.eager is False
+    assert eager.min_bytes == deferred.min_bytes == 16
+    # Specs are reusable: every build is a fresh single-use pass.
+    assert eager is not spec.build()
+
+    alloc_spec = PassSpec(UnusedAllocationPass, {"num_devices": 2})
+    assert alloc_spec.build(eager=False).num_devices == 2

@@ -49,6 +49,106 @@ def _dicts_equal(a: ColumnarTrace, b: ColumnarTrace) -> bool:
 
 
 # --------------------------------------------------------------------- #
+# Partitioning and compaction
+# --------------------------------------------------------------------- #
+def test_store_partitions_are_contiguous_and_balanced(tmp_path):
+    ct = _sample_trace(cycles=24)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=8)
+    parts = store.partitions(4)
+    assert len(parts) == 4
+    assert parts[0].lo == 0 and parts[-1].hi == store.num_shards
+    # Contiguous cover, correct data-op offsets, events accounted for.
+    do_offset = 0
+    for part in parts:
+        assert part.data_op_offset == do_offset
+        for batch in part.batches():
+            do_offset += batch.num_data_op_events
+    assert do_offset == store.num_data_op_events
+    assert sum(p.num_events for p in parts) == len(store)
+
+    # Reassembling the partitions in order reproduces the trace.
+    merged = ColumnarTrace(
+        num_devices=store.num_devices,
+        program_name=store.program_name,
+        total_runtime=store.total_runtime,
+    )
+    for part in parts:
+        for batch in part.batches():
+            merged.extend_from(batch)
+    assert _dicts_equal(merged, ct)
+
+    assert store.partitions(1) == [store]
+
+
+def test_compact_coalesces_and_rewrites_manifest(tmp_path):
+    ct = _sample_trace(cycles=20)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=3)
+    fine_shards = store.num_shards
+    summary = store.summary()
+
+    compacted = store.compact(shard_events=25)
+    assert compacted.path == store.path
+    assert compacted.num_shards < fine_shards
+    assert compacted.summary() == summary
+    assert _dicts_equal(merge_shards(compacted), ct)
+
+    # The directory holds exactly the new shards plus the manifest —
+    # stale fine shards and the scratch directory are gone.
+    on_disk = sorted(p.name for p in (tmp_path / "t.store").iterdir())
+    assert on_disk == sorted(
+        [MANIFEST_NAME] + [s.file for s in compacted.shards]
+    )
+
+    # Re-opening from disk sees the rewritten manifest.
+    reopened = ShardedTraceStore.open(tmp_path / "t.store")
+    assert reopened.num_shards == compacted.num_shards
+    assert reopened.summary() == summary
+
+
+def test_compact_can_split_oversized_shards(tmp_path):
+    ct = _sample_trace(cycles=20)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=10**6)
+    assert store.num_shards == 1
+    split = store.compact(shard_events=16)
+    assert split.num_shards > 1
+    assert _dicts_equal(merge_shards(split), ct)
+
+
+def test_compact_drops_empty_shards(tmp_path):
+    ct = _sample_trace(cycles=6)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=5)
+    # Forge an empty shard in the middle of the manifest, as a damaged or
+    # hand-built store might contain.
+    empty = ColumnarTrace(num_devices=store.num_devices)
+    empty.save_binary(tmp_path / "t.store" / "shard-empty.npz")
+    manifest_path = tmp_path / "t.store" / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["shards"].insert(1, {
+        "file": "shard-empty.npz",
+        "num_data_op_events": 0,
+        "num_target_events": 0,
+        "end_time": 0.0,
+    })
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+    store = ShardedTraceStore.open(tmp_path / "t.store")
+    with_empty = store.num_shards
+    compacted = store.compact(shard_events=5)
+    assert compacted.num_shards < with_empty
+    assert all(s.num_events > 0 for s in compacted.shards)
+    assert _dicts_equal(merge_shards(compacted), ct)
+
+
+def test_compact_empty_store(tmp_path):
+    store = shard_trace(
+        ColumnarTrace(num_devices=1), tmp_path / "empty.store", shard_events=4
+    )
+    compacted = store.compact(shard_events=8)
+    assert compacted.num_shards == 0
+    assert len(compacted) == 0
+
+
+# --------------------------------------------------------------------- #
 # Store round-tripping
 # --------------------------------------------------------------------- #
 def test_shard_and_merge_round_trip(tmp_path):

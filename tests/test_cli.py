@@ -161,6 +161,82 @@ def test_stream_rejects_bad_shard_events():
         main(["hotspot", "--size", "small", "-q", "--stream", "--shard-events", "0"])
 
 
+@pytest.mark.parametrize("flag", ["--jobs", "--shard-events"])
+@pytest.mark.parametrize("value", ["0", "-2", "three"])
+def test_count_flags_validated_at_parse_time(flag, value, capsys):
+    """--jobs/--shard-events are range-checked by argparse, uniformly."""
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream", flag, value])
+    err = capsys.readouterr().err
+    assert f"expected a positive integer, got '{value}'" in err
+
+
+def test_trace_shard_rejects_bad_shard_events(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "shard", "in.npz", str(tmp_path / "out.store"),
+              "--shard-events", "0"])
+    assert "expected a positive integer" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("engine", ["thread", "process"])
+def test_stream_engines_match_in_memory_report(tmp_path, capsys, engine):
+    assert main(["hotspot", "--size", "small", "-q"]) == 0
+    in_memory = capsys.readouterr().out
+
+    store_path = tmp_path / f"hotspot-{engine}.store"
+    assert main(["hotspot", "--size", "small", "-q", "--stream",
+                 "--engine", engine, "--jobs", "2", "--shard-events", "4",
+                 "--trace-out", str(store_path)]) == 0
+    streamed = capsys.readouterr().out
+    streamed = "\n".join(
+        line for line in streamed.splitlines() if not line.startswith("info:")
+    )
+    assert streamed.strip() == in_memory.strip()
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream",
+              "--engine", "quantum"])
+
+
+def test_trace_compact_reshards_in_place(tmp_path, capsys):
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    capsys.readouterr()
+
+    store_path = tmp_path / "trace.store"
+    assert main(["trace", "shard", str(npz_path), str(store_path),
+                 "--shard-events", "2"]) == 0
+    capsys.readouterr()
+
+    from repro.events.columnar import ColumnarTrace
+    from repro.events.store import ShardedTraceStore
+
+    before = ShardedTraceStore.open(store_path)
+    num_before = before.num_shards
+    assert num_before > 1
+
+    assert main(["trace", "compact", str(store_path), "--shard-events", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert f"{num_before} -> 1 shard(s)" in out
+
+    after = ShardedTraceStore.open(store_path)
+    assert after.num_shards == 1
+    assert not (store_path / f"shard-{num_before - 1:05d}.npz").exists()
+    original = ColumnarTrace.load_binary(npz_path)
+    assert after.load().to_trace().to_dict() == original.to_trace().to_dict()
+
+
+def test_trace_compact_rejects_single_file(tmp_path, capsys):
+    json_path = tmp_path / "trace.json"
+    assert main(["rsbench", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["trace", "compact", str(json_path)])
+    assert "not a sharded trace store" in capsys.readouterr().err
+
+
 def test_trace_subcommand_rejects_missing_file(tmp_path):
     with pytest.raises(SystemExit):
         main(["trace", "info", str(tmp_path / "nope.json")])
