@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json throughput records across two runs.
+
+Every benchmark in this repo writes a machine-readable ``BENCH_*.json``
+record containing one or more ``events_per_sec`` measurements (nested at
+arbitrary depth).  This script pairs the records of a *baseline* run (the
+previous successful CI run, or any saved snapshot) with the records of the
+*current* run by file name, extracts every ``events_per_sec`` metric by
+its dotted path, and fails when any metric regressed by more than the
+tolerance band::
+
+    python benchmarks/compare_bench.py --baseline prev/ --current .
+    python benchmarks/compare_bench.py --baseline prev/ --current . --tolerance 0.25
+
+Exit status: ``0`` when every paired metric is within tolerance (or when
+there is no baseline yet — the first run of a new benchmark must not fail
+CI), ``1`` when at least one metric regressed, ``2`` on usage errors.
+
+Shared CI runners are noisy, so the default tolerance is generous (25%);
+the point is catching order-of-magnitude cliffs (an accidentally
+quadratic path, a lost fast path) rather than chasing single-digit noise.
+Metrics present only in the baseline (a renamed or removed benchmark) are
+reported but never fail the comparison; metrics present only in the
+current run are new and pass by definition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metric leaves compared between runs (higher is better).
+METRIC_KEY = "events_per_sec"
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def extract_metrics(record, prefix: str = "") -> dict[str, float]:
+    """Every ``events_per_sec`` leaf in a record, keyed by dotted path."""
+    out: dict[str, float] = {}
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key == METRIC_KEY and isinstance(value, (int, float)):
+                out[path] = float(value)
+            else:
+                out.update(extract_metrics(value, path))
+    elif isinstance(record, list):
+        for index, value in enumerate(record):
+            out.update(extract_metrics(value, f"{prefix}[{index}]"))
+    return out
+
+
+def load_bench_files(directory: Path) -> dict[str, dict[str, float]]:
+    """``{file name: {metric path: value}}`` for every BENCH_*.json present."""
+    out: dict[str, dict[str, float]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        out[path.name] = extract_metrics(record)
+    return out
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    current: dict[str, dict[str, float]],
+    tolerance: float,
+) -> list[str]:
+    """Return one message per regressed metric (empty = within tolerance)."""
+    regressions: list[str] = []
+    for name, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(name)
+        if cur_metrics is None:
+            print(f"note: {name}: present in baseline only (benchmark removed?)")
+            continue
+        for path, base_value in sorted(base_metrics.items()):
+            cur_value = cur_metrics.get(path)
+            if cur_value is None:
+                print(f"note: {name}: {path} present in baseline only")
+                continue
+            if base_value <= 0:
+                continue  # a zero/negative baseline rate carries no signal
+            ratio = cur_value / base_value
+            status = "ok"
+            if ratio < 1.0 - tolerance:
+                status = "REGRESSION"
+                regressions.append(
+                    f"{name}: {path} fell to {ratio:.2f}x of baseline "
+                    f"({base_value:,.0f} -> {cur_value:,.0f} events/s, "
+                    f"tolerance {1.0 - tolerance:.2f}x)"
+                )
+            print(
+                f"{status:>10}  {name}  {path}  "
+                f"{base_value:>14,.0f} -> {cur_value:>14,.0f}  ({ratio:.2f}x)"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name}: new benchmark (no baseline), passing")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any BENCH_*.json events_per_sec metric "
+        "regressed past the tolerance band."
+    )
+    parser.add_argument(
+        "--baseline", required=True, metavar="DIR",
+        help="directory holding the baseline BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--current", required=True, metavar="DIR",
+        help="directory holding the current run's BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="FRACTION",
+        help="allowed fractional slowdown before failing "
+        f"(default: {DEFAULT_TOLERANCE:.2f} = fail below "
+        f"{1 - DEFAULT_TOLERANCE:.0%} of baseline)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline_dir, current_dir = Path(args.baseline), Path(args.current)
+    if not current_dir.is_dir():
+        parser.error(f"{current_dir}: no such directory")
+    current = load_bench_files(current_dir)
+    if not current:
+        print(f"warning: no BENCH_*.json records under {current_dir}", file=sys.stderr)
+
+    if not baseline_dir.is_dir():
+        print(f"note: no baseline directory at {baseline_dir}; first run, passing")
+        return 0
+    baseline = load_bench_files(baseline_dir)
+    if not baseline:
+        print(f"note: no baseline records under {baseline_dir}; first run, passing")
+        return 0
+
+    regressions = compare(baseline, current, args.tolerance)
+    if regressions:
+        print(f"\n{len(regressions)} benchmark regression(s):", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print("\nall benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,8 +33,13 @@ from repro.events.synth import make_synthetic_columnar_trace
 
 pytestmark = pytest.mark.slow  # 1M-event benchmark: skipped by -m "not slow"
 
-NUM_EVENTS = 1_000_000
-WORKER_COUNTS = (1, 2, 4)
+#: Trace size and worker sweep are environment-tunable so the nightly CI
+#: can run a larger sweep than the per-push gate without a code change.
+NUM_EVENTS = int(os.environ.get("OMPDATAPERF_BENCH_ENGINE_EVENTS", 1_000_000))
+WORKER_COUNTS = tuple(
+    int(n)
+    for n in os.environ.get("OMPDATAPERF_BENCH_WORKER_COUNTS", "1,2,4").split(",")
+)
 ENGINES = ("serial", "thread", "process")
 
 #: Acceptance bar for the process engine at 4 workers, relaxable on shared
@@ -124,12 +129,13 @@ def test_engine_scaling_and_write_record(store):
     out_path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     out_path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
-    process_at_4 = results["process"]["4"]["speedup_vs_serial"]
+    peak_workers = max(WORKER_COUNTS)
+    process_at_4 = results["process"][str(peak_workers)]["speedup_vs_serial"]
     if enforce:
         assert process_at_4 >= MIN_PROCESS_SPEEDUP, (
-            f"process engine at 4 workers reaches only {process_at_4:.2f}x "
-            f"of serial streaming analysis (need >= {MIN_PROCESS_SPEEDUP}x "
-            f"on {cores} cores); see {out_path}"
+            f"process engine at {peak_workers} workers reaches only "
+            f"{process_at_4:.2f}x of serial streaming analysis (need >= "
+            f"{MIN_PROCESS_SPEEDUP}x on {cores} cores); see {out_path}"
         )
     else:
         # Not enough cores for a parallel speedup: the record documents
@@ -149,8 +155,9 @@ def test_process_engine_beats_thread_engine_on_folds(store):
     if _available_cores() < MIN_CORES_FOR_SPEEDUP:
         pytest.skip("needs >= 4 cores to compare parallel fold throughput")
     assert "engines" in _RECORD, "scaling benchmark must run first"
-    thread_4 = _RECORD["engines"]["thread"]["4"]["seconds"]
-    process_4 = _RECORD["engines"]["process"]["4"]["seconds"]
+    peak = str(max(WORKER_COUNTS))
+    thread_4 = _RECORD["engines"]["thread"][peak]["seconds"]
+    process_4 = _RECORD["engines"]["process"][peak]["seconds"]
     assert process_4 <= thread_4 * 1.25, (
         f"process folds ({process_4:.2f}s) should not trail thread folds "
         f"({thread_4:.2f}s) at 4 workers"

@@ -36,7 +36,7 @@ from repro.core.detectors.repeated_allocs import find_repeated_allocations_colum
 from repro.core.detectors.roundtrips import find_round_trips_columnar
 from repro.core.detectors.unused_allocs import find_unused_allocations_columnar
 from repro.core.detectors.unused_transfers import find_unused_transfers_columnar
-from repro.events.store import ShardedTraceStore, TraceWriter, shard_trace
+from repro.events.store import TraceWriter, shard_trace
 from repro.events.stream import DEFAULT_SHARD_EVENTS, iter_trace_slices
 from repro.events.synth import make_synthetic_columnar_trace
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize, Program, unsupported_variant
 from repro.apps import synthetic
-from repro.omp.mapping import alloc, from_, to
+from repro.omp.mapping import from_, to
 from repro.omp.runtime import OffloadRuntime
 from repro.util.rng import make_rng
 

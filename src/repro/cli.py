@@ -16,6 +16,8 @@ the CLI takes an application name plus options::
     ompdataperf trace merge bfs.store bfs.npz    # merge a store back
     ompdataperf trace info bfs.store             # summarise without loading
     ompdataperf trace compact bfs.store          # re-shard a store in place
+    ompdataperf trace compact bfs.store --retain-max-age 5.0   # drop old events
+    ompdataperf trace shard bfs.npz bfs.zip      # single-file zip-archived store
     ompdataperf bfs --stream --engine process --jobs 4   # shard-parallel analysis
 """
 
@@ -25,16 +27,22 @@ import argparse
 import shutil
 import sys
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import all_apps, get_app
-from repro.core.engine import available_engines
+from repro.core.engine import available_engines, resolve_engine
 from repro.core.profiler import OMPDataPerf
-from repro.events.columnar import ColumnarTrace, as_columnar, as_object_trace, load_trace
-from repro.events.store import ShardedTraceStore, shard_trace
+from repro.events.columnar import as_columnar, as_object_trace, load_trace
+from repro.events.store import (
+    RETAINABLE_KINDS,
+    RetentionPolicy,
+    ShardedTraceStore,
+    shard_trace,
+)
 from repro.events.stream import DEFAULT_SHARD_EVENTS
 from repro.experiments.runner import available_experiments, run_experiments
 
@@ -53,6 +61,19 @@ def positive_int(text: str) -> int:
         ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def nonnegative_number(text: str) -> float:
+    """Argparse type for limits that must be zero or more (the --retain-* flags)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {text!r}")
     return value
 
 
@@ -138,15 +159,33 @@ def build_trace_parser() -> argparse.ArgumentParser:
     compact = sub.add_parser(
         "compact",
         help="re-shard a store in place to a target shard size, coalescing "
-             "small shards, dropping empty ones and rewriting the manifest",
+             "small shards, dropping empty ones and rewriting the manifest; "
+             "--retain-* flags additionally apply a retention policy "
+             "(newest events survive, folded statistics are recomputed "
+             "from what is kept)",
     )
-    compact.add_argument("input", help="directory of the store to compact")
+    compact.add_argument("input", help="directory (or zip archive) of the store to compact")
     compact.add_argument("--shard-events", type=positive_int,
                          default=DEFAULT_SHARD_EVENTS, metavar="N",
                          help="target events per shard "
                          f"(default: {DEFAULT_SHARD_EVENTS})")
     compact.add_argument("--compress", action="store_true",
                          help="compress the rewritten shards")
+    compact.add_argument("--retain-max-age", type=nonnegative_number,
+                         metavar="SECONDS", default=None,
+                         help="drop events whose end time is more than SECONDS "
+                              "of event time before the end of the trace")
+    compact.add_argument("--retain-max-bytes", type=positive_int,
+                         metavar="BYTES", default=None,
+                         help="keep only the newest rewritten shards whose "
+                              "stored sizes fit BYTES")
+    compact.add_argument("--retain-max-shards", type=positive_int,
+                         metavar="N", default=None,
+                         help="keep at most the N newest rewritten shards")
+    compact.add_argument("--retain-keep-kinds", metavar="KIND[,KIND...]",
+                         default=None,
+                         help="keep only events of these kinds; known kinds: "
+                              f"{', '.join(RETAINABLE_KINDS)}")
 
     merge = sub.add_parser(
         "merge",
@@ -219,17 +258,34 @@ def _trace_main(argv: Sequence[str]) -> int:
     if args.command == "compact":
         if not isinstance(trace, ShardedTraceStore):
             parser.error(f"{args.input} is not a sharded trace store")
-        before = trace.num_shards
+        keep_kinds = None
+        if args.retain_keep_kinds is not None:
+            keep_kinds = frozenset(
+                kind.strip() for kind in args.retain_keep_kinds.split(",") if kind.strip()
+            )
+        before_shards, before_events = trace.num_shards, len(trace)
         try:
+            retention = RetentionPolicy(
+                max_age=args.retain_max_age,
+                max_total_bytes=args.retain_max_bytes,
+                max_shards=args.retain_max_shards,
+                keep_kinds=keep_kinds,
+            )
             store = trace.compact(
-                shard_events=args.shard_events, compress=args.compress
+                shard_events=args.shard_events,
+                compress=args.compress,
+                retention=retention,
             )
         except (OSError, ValueError) as exc:
             parser.error(f"cannot compact {args.input}: {exc}")
             return 2  # unreachable; parser.error raises SystemExit
+        dropped = before_events - len(store)
+        retained = "" if retention.is_null() else (
+            f" (retention dropped {dropped} event(s))"
+        )
         print(
-            f"info: compacted {args.input}: {before} -> {store.num_shards} "
-            f"shard(s), {len(store)} events"
+            f"info: compacted {args.input}: {before_shards} -> {store.num_shards} "
+            f"shard(s), {len(store)} events{retained}"
         )
         return 0
 
@@ -327,6 +383,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         audit_collisions=args.audit_collisions,
     )
     if args.stream:
+        # Resolve the engine up front with degradation enabled: asking for
+        # process workers on a machine that cannot profit from them (one
+        # usable core, or no way to start workers) falls back to serial
+        # with a visible warning instead of oversubscribing.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = resolve_engine(args.engine, jobs=args.jobs, degrade=True)
+        if not args.quiet:
+            for warning in caught:
+                print(f"warning: {warning.message}")
         # Without --trace-out the store only exists to bound the run's
         # memory: put it in a scratch directory and remove it afterwards.
         scratch = None if args.trace_out else tempfile.mkdtemp(prefix="ompdataperf-")
@@ -339,7 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     shard_events=args.shard_events,
                     program_name=app.program_name(size, variant),
                     jobs=args.jobs,
-                    engine=args.engine,
+                    engine=engine,
                 )
             except (OSError, ValueError) as exc:
                 # e.g. the store directory already exists and is non-empty

@@ -185,10 +185,13 @@ def analyze_stream(
       event-balanced partition of the stream; the partition carries merge
       left to right.  Decode parallelises, folds stay GIL-bound.
     * ``"process"`` — the same partitioned shape with process workers that
-      re-open the on-disk store by path and return only their carries,
-      which is what lets the GIL-bound fold work scale across cores
-      (requires a :class:`~repro.events.store.ShardedTraceStore`).
+      re-open the store from its picklable transport spec and return only
+      their carries (folds *and* finalizes run on the worker pool), which
+      is what lets the GIL-bound work scale across cores (requires a
+      :class:`~repro.events.store.ShardedTraceStore`, over any transport).
 
+    ``engine`` may also be an :class:`~repro.core.engine.ExecutionEngine`
+    instance (what the CLI passes after resolving with degradation).
     Output is identical for every engine and every ``jobs`` value.
     """
     if jobs < 1:

@@ -16,11 +16,16 @@ stream.  How those folds execute is this module's job, behind one
   GIL-bound, which is the ceiling this backend cannot pass.
 * :class:`ProcessEngine` — the same partition/fold/merge/finalize shape
   with *process* workers, which is what lets the fold work scale past one
-  core.  Workers receive shard **paths**, not events: each opens the
-  :class:`~repro.events.store.ShardedTraceStore` and folds its shard range
-  locally, so only the spawn arguments (a path, two indices, the pass
-  specs) and the folded carry states — small, picklable — ever cross the
-  process boundary.
+  core.  Workers receive a picklable **transport spec**, not events: each
+  rebuilds the shard transport
+  (:func:`~repro.events.transport.transport_from_spec`), opens the
+  :class:`~repro.events.store.ShardedTraceStore` through it and folds its
+  shard range locally, so only the spawn arguments (a spec, two indices,
+  the pass specs) and the folded carry states — small, picklable — ever
+  cross the process boundary.  The store can therefore live behind *any*
+  transport (a local directory, a zip archive, an object store), and the
+  finalize-side materialisation scans run on the same worker pool, so a
+  process-engine run stays off the parent's GIL end to end.
 
 All three produce bit-identical findings: partition workers fold with
 ``eager=False`` (classification deferred until the carries merge), and the
@@ -34,10 +39,12 @@ contract table).  Engines are resolved by name through :data:`ENGINES` /
 from __future__ import annotations
 
 import multiprocessing
+import os
 import sys
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Mapping, Protocol, Sequence, runtime_checkable
+from typing import Mapping, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.detectors._streaming import StreamingPass, run_streaming_passes
 from repro.events.protocol import EventStream
@@ -148,21 +155,38 @@ class ThreadEngine:
         return _finalize_all(merged, stream, jobs)
 
 
+def _open_store_from_spec(spec: dict):
+    from repro.events.store import ShardedTraceStore
+    from repro.events.transport import transport_from_spec
+
+    return ShardedTraceStore.open(transport_from_spec(spec))
+
+
 def _fold_store_partition(
-    path: str, lo: int, hi: int, data_op_offset: int, specs: tuple
+    spec: dict, lo: int, hi: int, data_op_offset: int, pass_specs: tuple
 ) -> list[StreamingPass]:
     """Process-worker entry point: open the store, fold one shard range.
 
     Runs in the worker process — everything it touches beyond the
-    arguments is read from disk, and only the folded carries return.
+    arguments is read through the rebuilt transport, and only the folded
+    carries return.
     """
-    from repro.events.store import ShardedTraceStore
-
-    store = ShardedTraceStore.open(path)
+    store = _open_store_from_spec(spec)
     num_events = sum(shard.num_events for shard in store.shards[lo:hi])
     return _fold_partition(
-        specs, StreamPartition(store, lo, hi, data_op_offset, num_events)
+        pass_specs, StreamPartition(store, lo, hi, data_op_offset, num_events)
     )
+
+
+def _finalize_store_pass(spec: dict, pass_: StreamingPass):
+    """Process-worker entry point: run one pass's finalize against the store.
+
+    Finalize may re-scan the shards holding finding rows (targeted
+    materialisation); running it here keeps that scan — the last
+    GIL-bound stage of an analysis — off the parent process.  The merged
+    carry travels in, the finished findings travel out.
+    """
+    return pass_.finalize(_open_store_from_spec(spec))
 
 
 def _process_context():
@@ -179,12 +203,15 @@ def _process_context():
 
 
 class ProcessEngine:
-    """Partitioned folds on worker *processes*: shard paths in, carries out.
+    """Partitioned folds on worker *processes*: transport specs in, carries out.
 
     The only backend whose fold work scales past one core — and the only
-    one with a requirement on the stream: it must be an on-disk
-    :class:`~repro.events.store.ShardedTraceStore`, because workers
-    re-open it by path rather than receive events.
+    one with a requirement on the stream: it must be a
+    :class:`~repro.events.store.ShardedTraceStore` (over any transport),
+    because workers re-open it from its transport spec rather than
+    receive events.  Finalize also runs on the worker pool: the merged
+    carries are shipped out once more and the materialisation scans —
+    the last GIL-bound stage — happen off the parent process.
     """
 
     name = "process"
@@ -195,23 +222,23 @@ class ProcessEngine:
 
         if not isinstance(stream, ShardedTraceStore):
             raise TypeError(
-                "the process engine sends shard paths to its workers and "
-                "requires an on-disk ShardedTraceStore; shard the trace "
-                "first (shard_trace / `ompdataperf trace shard`) or use "
-                "the serial or thread engine"
+                "the process engine sends transport specs to its workers "
+                "and requires a ShardedTraceStore; shard the trace first "
+                "(shard_trace / `ompdataperf trace shard`) or use the "
+                "serial or thread engine"
             )
         parts = stream.partitions(jobs)
         if len(parts) <= 1:
             return SerialEngine().run(specs, stream, jobs=jobs)
         specs = tuple(specs)
-        path = str(stream.path)
+        spec = stream.transport.spec()
         with ProcessPoolExecutor(
             max_workers=len(parts), mp_context=_process_context()
         ) as pool:
             futures = [
                 pool.submit(
                     _fold_store_partition,
-                    path,
+                    spec,
                     part.lo,
                     part.hi,
                     part.data_op_offset,
@@ -220,8 +247,15 @@ class ProcessEngine:
                 for part in parts
             ]
             chains = [future.result() for future in futures]
-        merged = _merge_partition_carries(chains)
-        return _finalize_all(merged, stream, jobs)
+            merged = _merge_partition_carries(chains)
+            # Finalize on the same pool: each pass's targeted
+            # materialisation scan is independent, so they parallelise
+            # across workers exactly like the fold partitions did.
+            finalize_futures = [
+                pool.submit(_finalize_store_pass, spec, pass_)
+                for pass_ in merged
+            ]
+            return [future.result() for future in finalize_futures]
 
 
 #: Engine registry, keyed by the names the CLI exposes.
@@ -236,16 +270,67 @@ def available_engines() -> list[str]:
     return sorted(ENGINES)
 
 
-def resolve_engine(engine) -> ExecutionEngine:
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def process_engine_fallback_reason(jobs: Optional[int] = None) -> Optional[str]:
+    """Why the process engine would not help here, or ``None`` if it can.
+
+    The process engine exists to scale GIL-bound folds across cores; on a
+    single-core machine its workers only add fork/pickle overhead (the
+    BENCH_engine record shows thread *and* process slower than serial at
+    one core), and on a platform where multiprocessing cannot start
+    workers at all it simply fails.  Callers that prefer degradation over
+    surprises (the CLI) check this before resolving ``"process"``.
+    """
+    if jobs is not None and jobs < 2:
+        return "a single analysis worker was requested (--jobs 1)"
+    cores = _usable_cores()
+    if cores < 2:
+        return (
+            f"only {cores} usable core{'s' if cores != 1 else ''}: process "
+            "workers would oversubscribe the machine"
+        )
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - broken multiprocessing backend
+        methods = []
+    if not methods:
+        return "this platform has no multiprocessing start method (no fork or spawn)"
+    return None
+
+
+def resolve_engine(engine, *, jobs: Optional[int] = None, degrade: bool = False) -> ExecutionEngine:
     """Resolve an engine name (or pass an instance through).
 
     Accepts a registry name (``"serial"``, ``"thread"``, ``"process"``),
     an :class:`ExecutionEngine` instance, or ``None`` for the default
-    serial engine.
+    serial engine.  With ``degrade=True`` a ``"process"`` request on a
+    machine where it cannot help — a single usable core, one worker, or a
+    platform without a multiprocessing start method — emits a
+    :class:`RuntimeWarning` and falls back to the serial engine instead
+    of oversubscribing (findings are identical on every engine, so only
+    throughput is at stake).
     """
     if engine is None:
         return SerialEngine()
     if isinstance(engine, str):
+        if engine == ProcessEngine.name and degrade:
+            reason = process_engine_fallback_reason(jobs)
+            if reason is not None:
+                warnings.warn(
+                    f"the process engine cannot speed this machine up "
+                    f"({reason}); falling back to the serial engine",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return SerialEngine()
         try:
             return ENGINES[engine]()
         except KeyError:

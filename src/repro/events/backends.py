@@ -9,7 +9,10 @@ time —
 backend               sniff                       loads as
 ====================  ==========================  ==========================
 ``sharded``           directory with a manifest   ``ShardedTraceStore``
-``columnar-binary``   zip archive (``PK`` magic)  ``ColumnarTrace``
+``sharded-zip``       zip archive holding a       ``ShardedTraceStore`` (over
+                      store manifest member       a ``ZipArchiveTransport``)
+``columnar-binary``   any other zip archive       ``ColumnarTrace``
+                      (``PK`` magic)
 ``json``              anything else               ``Trace``
 ====================  ==========================  ==========================
 
@@ -78,6 +81,21 @@ def _load_sharded(path: Path):
     return ShardedTraceStore.open(path)
 
 
+def _sniff_sharded_zip(path: Path) -> bool:
+    # A zip-archived store is also a zip archive, so this must sniff
+    # before ``columnar-binary``: only a store carries a manifest member.
+    from repro.events.transport import zip_contains_manifest
+
+    return zip_contains_manifest(path)
+
+
+def _load_sharded_zip(path: Path):
+    from repro.events.store import ShardedTraceStore
+    from repro.events.transport import ZipArchiveTransport
+
+    return ShardedTraceStore.open(ZipArchiveTransport(path))
+
+
 def _sniff_columnar_binary(path: Path) -> bool:
     if not path.is_file():
         return False
@@ -102,6 +120,9 @@ def _load_json(path: Path):
 
 
 register_trace_backend(TraceBackend("sharded", _sniff_sharded, _load_sharded))
+register_trace_backend(
+    TraceBackend("sharded-zip", _sniff_sharded_zip, _load_sharded_zip)
+)
 register_trace_backend(
     TraceBackend("columnar-binary", _sniff_columnar_binary, _load_columnar_binary)
 )

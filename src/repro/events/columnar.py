@@ -332,6 +332,29 @@ class ColumnarTrace:
         out._tgt_names = self._tgt_names[tgt_lo:tgt_hi]
         return out
 
+    def select_rows(self, do_rows, tgt_rows) -> "ColumnarTrace":
+        """Copy an arbitrary (ascending) row subset into a new trace.
+
+        The non-contiguous sibling of :meth:`slice_rows`: row indices are
+        fancy-indexed out of both column groups.  Used by retention-aware
+        compaction, which drops individual events (by age or kind) while
+        rewriting shards.
+        """
+        do_rows = np.asarray(do_rows, dtype=np.int64)
+        tgt_rows = np.asarray(tgt_rows, dtype=np.int64)
+        out = ColumnarTrace(num_devices=self.num_devices, program_name=self.program_name)
+        out._data_ops.extend_columns(
+            do_rows.size,
+            **{name: self._data_ops.view(name)[do_rows] for name, _ in _DATA_OP_COLUMNS},
+        )
+        out._targets.extend_columns(
+            tgt_rows.size,
+            **{name: self._targets.view(name)[tgt_rows] for name, _ in _TARGET_COLUMNS},
+        )
+        out._do_variables = [self._do_variables[i] for i in do_rows.tolist()]
+        out._tgt_names = [self._tgt_names[i] for i in tgt_rows.tolist()]
+        return out
+
     # ------------------------------------------------------------------ #
     # Appends (the collector's hot path)
     # ------------------------------------------------------------------ #
@@ -789,6 +812,10 @@ class ColumnarTrace:
         what the sharded store uses — shards are scanned repeatedly by the
         streaming detectors, so decode speed beats density there.
         """
+        Path(path).write_bytes(self.to_binary_bytes(compress=compress))
+
+    def to_binary_bytes(self, *, compress: bool = True) -> bytes:
+        """The binary columnar format as one blob (what shard transports store)."""
         meta = {
             "format_version": COLUMNAR_FORMAT_VERSION,
             "program_name": self.program_name,
@@ -811,13 +838,19 @@ class ColumnarTrace:
             np.savez_compressed(buffer, **arrays)
         else:
             np.savez(buffer, **arrays)
-        Path(path).write_bytes(buffer.getvalue())
+        return buffer.getvalue()
 
     @classmethod
     def load_binary(cls, path: str | Path) -> "ColumnarTrace":
         """Read the versioned binary columnar format."""
+        return cls.from_binary_bytes(Path(path).read_bytes(), source=str(path))
+
+    @classmethod
+    def from_binary_bytes(cls, data: bytes, *, source: str = "<bytes>") -> "ColumnarTrace":
+        """Decode one binary columnar blob (the transports' read path)."""
+        path = source  # keep the historical error-message wording
         try:
-            archive_file = np.load(Path(path), allow_pickle=False)
+            archive_file = np.load(io.BytesIO(data), allow_pickle=False)
         except zipfile.BadZipFile as exc:
             raise ValueError(f"{path}: not a valid columnar trace archive ({exc})") from exc
         with archive_file as archive:

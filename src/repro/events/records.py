@@ -9,7 +9,7 @@ for transferred payloads.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
 #: Bytes allocated by the collector for every recorded data-op event

@@ -1,21 +1,26 @@
-"""Sharded on-disk trace storage: bounded-memory ingest and replay.
+"""Sharded trace storage: bounded-memory ingest and replay over transports.
 
-A sharded trace store is a directory of versioned binary columnar shards
+A sharded trace store is a set of versioned binary columnar shard blobs
 (the ``.npz`` format of :meth:`ColumnarTrace.save_binary`) plus a JSON
 manifest describing the whole trace::
 
-    trace.store/
+    trace.store/                  # LocalDirTransport (the default layout)
         manifest.json
         shard-00000.npz
         shard-00001.npz
         ...
 
-Two actors produce and consume it:
+*Where* the blobs live is pluggable: the same manifest + shards layout can
+sit in a local directory, inside a single zip archive (cold storage), or
+in an object store — see :mod:`repro.events.transport`.  Every entry point
+here accepts a path (sniffed to a transport) or a transport instance.
+
+Two actors produce and consume a store:
 
 * :class:`TraceWriter` is the ingest half.  The collector (or
   :func:`shard_trace`) appends events into a bounded columnar buffer; every
-  time the buffer reaches ``shard_events`` events it is flushed to disk as
-  one shard and reset, so recording a trace of any length needs O(shard)
+  time the buffer reaches ``shard_events`` events it is flushed out as one
+  shard blob and reset, so recording a trace of any length needs O(shard)
   memory instead of O(trace).  ``close()`` writes the manifest — per-shard
   row counts plus the folded aggregate statistics — and returns the store.
 * :class:`ShardedTraceStore` is the replay half: an
@@ -23,6 +28,12 @@ Two actors produce and consume it:
   shard at a time, plus the ``TraceLike`` aggregate surface (``summary()``,
   ``runtime``, event counts) answered straight from the manifest without
   touching a single shard.
+
+:meth:`ShardedTraceStore.compact` re-shards a store in place, optionally
+applying a :class:`RetentionPolicy` (drop events older than a horizon,
+keep only some event kinds, cap the store's shard count or byte budget)
+with the same crash-safety as plain compaction: scratch staging, a single
+atomic manifest publish, superseded shards removed last.
 
 Shards are written uncompressed by default: the streaming detectors scan
 them repeatedly, so decode speed matters more than density (pass
@@ -33,19 +44,31 @@ from __future__ import annotations
 
 import json
 import shutil
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
 
-from repro.events.columnar import ColumnarTrace
+import numpy as np
+
+from repro.events.columnar import (
+    DATA_OP_KIND_CODES,
+    TARGET_KIND_CODES,
+    ColumnarTrace,
+)
 from repro.events.protocol import EventStream
 from repro.events.stream import (
     DEFAULT_SHARD_EVENTS,
-    StreamPartition,
     StreamStats,
     merge_stream,
     partition_stream,
     slice_bounds,
+)
+from repro.events.transport import (
+    LocalDirTransport,
+    PrefixTransport,
+    ShardTransport,
+    open_transport,
 )
 
 #: Version tag of the sharded-store manifest format.
@@ -55,6 +78,14 @@ STORE_FORMAT_VERSION = 1
 STORE_KIND = "ompdataperf-sharded-trace"
 
 MANIFEST_NAME = "manifest.json"
+
+#: Scratch namespace compaction stages rewritten shards under.
+COMPACT_SCRATCH_PREFIX = ".compact.tmp"
+
+#: Every kind name a :class:`RetentionPolicy` keep-kinds filter may use.
+RETAINABLE_KINDS = tuple(k.value for k in DATA_OP_KIND_CODES) + tuple(
+    k.value for k in TARGET_KIND_CODES
+)
 
 
 @dataclass(frozen=True)
@@ -88,18 +119,111 @@ class ShardInfo:
         )
 
 
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What compaction is allowed to drop, newest data always kept first.
+
+    All limits are optional and compose (every one that is set applies):
+
+    * ``max_age`` — horizon in *event time*: only events whose end time is
+      within ``max_age`` of the trace's final end time survive.  Applied
+      per event while shards are rewritten, so a shard whose events all
+      predate the horizon disappears entirely.
+    * ``keep_kinds`` — event kinds (data-op and target kind names, e.g.
+      ``{"to_device", "from_device", "target"}``) to retain; everything
+      else is dropped.  Applied per event during the rewrite.
+    * ``max_shards`` — keep at most this many of the *newest* rewritten
+      shards.
+    * ``max_total_bytes`` — keep the newest rewritten shards whose on-disk
+      blob sizes fit the budget (at least the newest shard always
+      survives a positive budget only if it fits; a budget smaller than
+      every shard empties the store).
+
+    The manifest's folded statistics are recomputed from what is actually
+    kept, so every aggregate query on the compacted store matches a fresh
+    scan of its surviving events.
+    """
+
+    max_age: Optional[float] = None
+    max_total_bytes: Optional[int] = None
+    max_shards: Optional[int] = None
+    keep_kinds: Optional[frozenset[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_age is not None and self.max_age < 0:
+            raise ValueError("max_age must be non-negative")
+        if self.max_total_bytes is not None and self.max_total_bytes < 0:
+            raise ValueError("max_total_bytes must be non-negative")
+        if self.max_shards is not None and self.max_shards < 0:
+            raise ValueError("max_shards must be non-negative")
+        if self.keep_kinds is not None:
+            object.__setattr__(self, "keep_kinds", frozenset(self.keep_kinds))
+            unknown = self.keep_kinds - set(RETAINABLE_KINDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown event kind(s) {sorted(unknown)}; "
+                    f"known kinds: {', '.join(RETAINABLE_KINDS)}"
+                )
+
+    def is_null(self) -> bool:
+        return (
+            self.max_age is None
+            and self.max_total_bytes is None
+            and self.max_shards is None
+            and self.keep_kinds is None
+        )
+
+    def filters_events(self) -> bool:
+        """True when the policy drops individual events during the rewrite."""
+        return self.max_age is not None or self.keep_kinds is not None
+
+    def filter_batch(self, batch: ColumnarTrace, cutoff: Optional[float]) -> ColumnarTrace:
+        """Return ``batch`` with the dropped events removed (or unchanged)."""
+        do_mask = np.ones(batch.num_data_op_events, dtype=bool)
+        tgt_mask = np.ones(batch.num_target_events, dtype=bool)
+        if cutoff is not None:
+            do_mask &= batch.do_end_time >= cutoff
+            tgt_mask &= batch.tgt_end_time >= cutoff
+        if self.keep_kinds is not None:
+            do_codes = np.array(
+                [
+                    code
+                    for code, kind in enumerate(DATA_OP_KIND_CODES)
+                    if kind.value in self.keep_kinds
+                ],
+                dtype=batch.do_kind.dtype if batch.num_data_op_events else np.int64,
+            )
+            tgt_codes = np.array(
+                [
+                    code
+                    for code, kind in enumerate(TARGET_KIND_CODES)
+                    if kind.value in self.keep_kinds
+                ],
+                dtype=batch.tgt_kind.dtype if batch.num_target_events else np.int64,
+            )
+            do_mask &= np.isin(batch.do_kind, do_codes)
+            tgt_mask &= np.isin(batch.tgt_kind, tgt_codes)
+        if bool(do_mask.all()) and bool(tgt_mask.all()):
+            return batch
+        return batch.select_rows(np.flatnonzero(do_mask), np.flatnonzero(tgt_mask))
+
+
 class ShardedTraceStore:
-    """A directory of columnar shards behaving as stream *and* summary.
+    """A set of columnar shard blobs behaving as stream *and* summary.
 
     Iterating ``batches()`` yields each shard as a :class:`ColumnarTrace`
     in chronological order; every aggregate query (``summary()``,
     ``num_data_op_events``, per-kind counts, ``space_overhead_bytes``) is
     answered from the manifest alone, so inspecting a multi-gigabyte store
-    costs one small JSON read.
+    costs one small manifest read — for any transport.
     """
 
-    def __init__(self, path: Path, manifest: dict) -> None:
-        self.path = Path(path)
+    def __init__(self, transport: ShardTransport, manifest: dict) -> None:
+        self.transport = transport
+        #: Filesystem location when the transport has one (local directory
+        #: or zip archive), ``None`` for purely remote transports.
+        path = getattr(transport, "path", None)
+        self.path: Optional[Path] = Path(path) if path is not None else None
         self._manifest = manifest
         self.num_devices: int = int(manifest["num_devices"])
         self.program_name: Optional[str] = manifest.get("program_name")
@@ -111,18 +235,22 @@ class ShardedTraceStore:
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def open(cls, path: str | Path) -> "ShardedTraceStore":
-        path = Path(path)
-        manifest_path = path / MANIFEST_NAME
-        if not manifest_path.is_file():
-            raise ValueError(f"{path}: not a sharded trace store (no {MANIFEST_NAME})")
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    def open(cls, source) -> "ShardedTraceStore":
+        """Open a store from a path (directory or zip archive) or transport."""
+        transport = open_transport(source)
+        if not transport.blob_exists(MANIFEST_NAME):
+            raise ValueError(
+                f"{transport.describe()}: not a sharded trace store (no {MANIFEST_NAME})"
+            )
+        manifest = json.loads(transport.read_blob(MANIFEST_NAME).decode("utf-8"))
         if manifest.get("kind") != STORE_KIND:
-            raise ValueError(f"{path}: not a sharded trace store manifest")
+            raise ValueError(f"{transport.describe()}: not a sharded trace store manifest")
         version = manifest.get("format_version")
         if version != STORE_FORMAT_VERSION:
-            raise ValueError(f"{path}: unsupported store format version {version}")
-        return cls(path, manifest)
+            raise ValueError(
+                f"{transport.describe()}: unsupported store format version {version}"
+            )
+        return cls(transport, manifest)
 
     @staticmethod
     def is_store_dir(path: str | Path) -> bool:
@@ -142,18 +270,24 @@ class ShardedTraceStore:
         batch.program_name = self.program_name
         return batch
 
+    def _load_shard(self, file: str) -> ColumnarTrace:
+        return self._stamp(
+            ColumnarTrace.from_binary_bytes(
+                self.transport.read_blob(file),
+                source=f"{self.transport.describe()}:{file}",
+            )
+        )
+
     def load_batch(self, index: int) -> ColumnarTrace:
         """Load one shard (random access for targeted materialisation)."""
-        return self._stamp(
-            ColumnarTrace.load_binary(self.path / self.shards[index].file)
-        )
+        return self._load_shard(self.shards[index].file)
 
     def batch_row_counts(self) -> list[tuple[int, int]]:
         return [(s.num_data_op_events, s.num_target_events) for s in self.shards]
 
     def batches(self) -> Iterator[ColumnarTrace]:
         for shard in self.shards:
-            yield self._stamp(ColumnarTrace.load_binary(self.path / shard.file))
+            yield self._load_shard(shard.file)
 
     def partitions(self, n: int) -> list[EventStream]:
         """Cut the store into at most ``n`` balanced contiguous shard ranges.
@@ -176,77 +310,174 @@ class ShardedTraceStore:
         *,
         shard_events: int = DEFAULT_SHARD_EVENTS,
         compress: bool = False,
+        retention: Optional[RetentionPolicy] = None,
     ) -> "ShardedTraceStore":
-        """Re-shard the store in place to ``shard_events`` events per shard.
+        """Re-shard the store in place, optionally applying retention.
 
         Consecutive small shards coalesce (and oversized ones split) into
         uniform shards of the target size, empty shards are dropped, and
-        the manifest is rewritten.  Statistics are refolded during the
-        rewrite, so a compacted store answers the same aggregate queries
-        as the original.
+        the manifest is rewritten.  With a :class:`RetentionPolicy`, the
+        rewrite additionally drops events past the age horizon or outside
+        the keep-kinds set, then drops the *oldest* rewritten shards until
+        the shard-count and byte budgets hold.  Statistics are refolded
+        from exactly what is kept, so a compacted store answers the same
+        aggregate queries as a fresh scan of its surviving events.
 
-        The swap is crash-safe: the new shards are staged in a scratch
-        subdirectory, moved into the store under generation-tagged names
-        that never collide with the live ones, and become visible through
-        one atomic manifest replace — at every instant the on-disk
-        manifest references only complete shards.  The superseded shards
-        are removed last (a crash can leave orphaned shard files, never a
-        manifest pointing at missing ones).
+        The swap is crash-safe on every transport: new shards are staged
+        under a scratch namespace, promoted into the store under
+        generation-tagged names that never collide with the live ones, and
+        become visible through one atomic manifest publish — at every
+        instant the live manifest references only complete shards.  The
+        superseded shards are removed last (a crash can leave orphaned
+        shard or scratch blobs, never a manifest pointing at missing
+        ones); a failed compaction leaves same-transport scratch blobs in
+        place for inspection, and the next compaction clears them.
+
+        Transports with a bulk mutation (:meth:`ZipArchiveTransport.
+        apply_batch`, where every single operation costs a full-archive
+        pass) stage in a local temp directory instead and take the whole
+        cut-over — promotions, manifest publish, old-shard removal — in
+        ONE atomic swap.
         """
-        scratch = self.path / ".compact.tmp"
-        if scratch.exists():
-            shutil.rmtree(scratch)
+        retention = retention or RetentionPolicy()
+        cutoff: Optional[float] = None
+        if retention.max_age is not None:
+            cutoff = self.end_time - retention.max_age
+
+        apply_batch = getattr(self.transport, "apply_batch", None)
+        staging_dir: Optional[str] = None
+        if apply_batch is not None:
+            # Per-blob mutations are whole-archive passes on this
+            # transport: stage on the local filesystem and swap once.
+            staging_dir = tempfile.mkdtemp(prefix="ompdataperf-compact-")
+            scratch: ShardTransport = LocalDirTransport(
+                Path(staging_dir) / "scratch", create=True
+            )
+        else:
+            scratch = PrefixTransport(self.transport, COMPACT_SCRATCH_PREFIX)
+            scratch.clear()  # stale staging from an earlier failed compaction
         old_files = [shard.file for shard in self.shards]
+
         try:
-            writer = TraceWriter(
+            return self._compact_into(
                 scratch,
+                old_files,
                 shard_events=shard_events,
-                num_devices=self.num_devices,
-                program_name=self.program_name,
                 compress=compress,
+                retention=retention,
+                cutoff=cutoff,
+                apply_batch=apply_batch,
             )
-            for batch in self.batches():
-                writer.write_batch(batch)
-            staged = writer.close(total_runtime=self.total_runtime)
-
-            # Move the staged shards in under names no live shard uses
-            # (repeated compactions bump the generation tag).
-            generation = 0
-            while any(
-                (self.path / f"shard-g{generation}-{i:05d}.npz").exists()
-                for i in range(len(staged.shards))
-            ):
-                generation += 1
-            renamed: list[ShardInfo] = []
-            for i, shard in enumerate(staged.shards):
-                name = f"shard-g{generation}-{i:05d}.npz"
-                (scratch / shard.file).rename(self.path / name)
-                renamed.append(
-                    ShardInfo(
-                        file=name,
-                        num_data_op_events=shard.num_data_op_events,
-                        num_target_events=shard.num_target_events,
-                        end_time=shard.end_time,
-                    )
-                )
-
-            # Atomic cut-over: stage the rewritten manifest next to the
-            # live one and replace() it (atomic on POSIX).
-            manifest = json.loads(
-                (scratch / MANIFEST_NAME).read_text(encoding="utf-8")
-            )
-            manifest["shards"] = [shard.to_dict() for shard in renamed]
-            staged_manifest = self.path / (MANIFEST_NAME + ".staged")
-            staged_manifest.write_text(
-                json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
-            )
-            staged_manifest.replace(self.path / MANIFEST_NAME)
-
-            for file in old_files:
-                (self.path / file).unlink(missing_ok=True)
         finally:
-            shutil.rmtree(scratch, ignore_errors=True)
-        return ShardedTraceStore.open(self.path)
+            if staging_dir is not None:
+                shutil.rmtree(staging_dir, ignore_errors=True)
+
+    def _compact_into(
+        self,
+        scratch,
+        old_files: list[str],
+        *,
+        shard_events: int,
+        compress: bool,
+        retention: "RetentionPolicy",
+        cutoff: Optional[float],
+        apply_batch,
+    ) -> "ShardedTraceStore":
+        writer = TraceWriter(
+            scratch,
+            shard_events=shard_events,
+            num_devices=self.num_devices,
+            program_name=self.program_name,
+            compress=compress,
+        )
+        for batch in self.batches():
+            writer.write_batch(retention.filter_batch(batch, cutoff))
+        staged = writer.close(total_runtime=self.total_runtime)
+
+        # Shard-count and byte budgets: keep the newest staged suffix.
+        kept_lo = 0
+        if retention.max_shards is not None:
+            kept_lo = max(kept_lo, len(staged.shards) - retention.max_shards)
+        if retention.max_total_bytes is not None:
+            budget = retention.max_total_bytes
+            lo = len(staged.shards)
+            for shard in reversed(staged.shards[kept_lo:]):
+                budget -= scratch.blob_size(shard.file)
+                if budget < 0:
+                    break
+                lo -= 1
+            kept_lo = max(kept_lo, lo)
+        kept = staged.shards[kept_lo:]
+        for shard in staged.shards[:kept_lo]:
+            scratch.delete_blob(shard.file)
+
+        if kept_lo > 0:
+            stats = StreamStats()
+            for shard_stats in writer.shard_stats[kept_lo:]:
+                stats.merge(shard_stats)
+        else:
+            stats = writer.stats
+
+        # Promote the staged shards under names no live shard uses
+        # (repeated compactions bump the generation tag).
+        generation = 0
+        while any(
+            self.transport.blob_exists(f"shard-g{generation}-{i:05d}.npz")
+            for i in range(len(kept))
+        ):
+            generation += 1
+        promotions: list[tuple[str, str]] = []  # (scratch file, live name)
+        renamed: list[ShardInfo] = []
+        for i, shard in enumerate(kept):
+            name = f"shard-g{generation}-{i:05d}.npz"
+            promotions.append((shard.file, name))
+            renamed.append(
+                ShardInfo(
+                    file=name,
+                    num_data_op_events=shard.num_data_op_events,
+                    num_target_events=shard.num_target_events,
+                    end_time=shard.end_time,
+                )
+            )
+
+        manifest = _build_manifest(
+            num_devices=self.num_devices,
+            program_name=self.program_name,
+            total_runtime=self.total_runtime,
+            shards=renamed,
+            stats=stats,
+        )
+        manifest_blob = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+
+        if apply_batch is not None:
+            # The staged shards live in the local scratch directory; the
+            # cut-over writes them in lazily (one blob in memory at a
+            # time), publishes the manifest, removes the old shards and
+            # any stale same-transport scratch from older failed runs —
+            # all in ONE atomic swap.
+            stale_scratch = [
+                name
+                for name in self.transport.list_blobs()
+                if name.startswith(COMPACT_SCRATCH_PREFIX + "/")
+            ]
+            writes: dict = {MANIFEST_NAME: manifest_blob}
+            for src, dst in promotions:
+                writes[dst] = (lambda file=src: scratch.read_blob(file))
+            apply_batch(writes=writes, deletes=old_files + stale_scratch)
+        else:
+            # Same-transport staging: promote with per-blob renames …
+            for src, dst in promotions:
+                self.transport.rename_blob(f"{COMPACT_SCRATCH_PREFIX}/{src}", dst)
+            # … then the atomic cut-over: one manifest publish flips the
+            # store to the new shard set (write_blob is an atomic replace
+            # on every transport).
+            self.transport.write_blob(MANIFEST_NAME, manifest_blob)
+            # Old shards and scratch leftovers go last: a crash before
+            # this point orphans blobs, never dangles a manifest reference.
+            for file in old_files:
+                self.transport.delete_blob(file)
+            scratch.clear()
+        return ShardedTraceStore.open(self.transport)
 
     # ------------------------------------------------------------------ #
     # TraceLike aggregate surface (manifest only)
@@ -296,10 +527,10 @@ class ShardedTraceStore:
         return dict(self._stats["target_kind_counts"])
 
     def on_disk_bytes(self) -> int:
-        """Total size of the store on disk (shards + manifest)."""
-        total = (self.path / MANIFEST_NAME).stat().st_size
+        """Total stored size of the store (shards + manifest)."""
+        total = self.transport.blob_size(MANIFEST_NAME)
         for shard in self.shards:
-            total += (self.path / shard.file).stat().st_size
+            total += self.transport.blob_size(shard.file)
         return total
 
     def summary(self) -> dict:
@@ -336,6 +567,38 @@ class ShardedTraceStore:
         return self.load().target_events
 
 
+def _build_manifest(
+    *,
+    num_devices: int,
+    program_name: Optional[str],
+    total_runtime: Optional[float],
+    shards: list[ShardInfo],
+    stats: StreamStats,
+) -> dict:
+    return {
+        "kind": STORE_KIND,
+        "format_version": STORE_FORMAT_VERSION,
+        "num_devices": num_devices,
+        "program_name": program_name,
+        "total_runtime": total_runtime,
+        "shards": [s.to_dict() for s in shards],
+        "stats": {
+            "num_data_op_events": stats.num_data_op_events,
+            "num_target_events": stats.num_target_events,
+            "num_kernel_events": stats.num_kernel_events,
+            "num_transfers": stats.num_transfers,
+            "num_allocations": stats.num_allocations,
+            "bytes_transferred": stats.bytes_transferred,
+            "transfer_time": stats.transfer_time,
+            "alloc_time": stats.alloc_time,
+            "kernel_time": stats.kernel_time,
+            "end_time": stats.end_time,
+            "data_op_kind_counts": stats.data_op_kind_counts,
+            "target_kind_counts": stats.target_kind_counts,
+        },
+    }
+
+
 class TraceWriter:
     """Bounded-memory trace ingest: buffer, flush shards, write manifest.
 
@@ -343,12 +606,14 @@ class TraceWriter:
     surface as :class:`ColumnarTrace`, so the collector can use either as
     its sink.  Whenever the buffer reaches ``shard_events`` events it is
     written out as one shard and reset — ingest memory is O(shard_events)
-    no matter how long the monitored program runs.
+    no matter how long the monitored program runs.  The destination is a
+    path (local directory, or ``*.zip`` for a single-file archive) or any
+    :class:`~repro.events.transport.ShardTransport`.
     """
 
     def __init__(
         self,
-        path: str | Path,
+        destination,
         *,
         shard_events: int = DEFAULT_SHARD_EVENTS,
         num_devices: int = 1,
@@ -357,19 +622,23 @@ class TraceWriter:
     ) -> None:
         if shard_events < 1:
             raise ValueError("shard_events must be at least 1")
-        self.path = Path(path)
-        if self.path.exists():
-            if not self.path.is_dir():
-                raise ValueError(f"{self.path}: exists and is not a directory")
-            if any(self.path.iterdir()):
-                raise ValueError(f"{self.path}: refusing to write into a non-empty directory")
-        self.path.mkdir(parents=True, exist_ok=True)
+        self.transport = open_transport(destination, create=True)
+        if self.transport.list_blobs():
+            raise ValueError(
+                f"{self.transport.describe()}: refusing to write into a "
+                f"non-empty store location"
+            )
+        path = getattr(self.transport, "path", None)
+        self.path: Optional[Path] = Path(path) if path is not None else None
         self.shard_events = shard_events
         self.num_devices = num_devices
         self.program_name = program_name
         self.compress = compress
         self.shards: list[ShardInfo] = []
         self.stats = StreamStats()
+        #: per-shard folded statistics, aligned with ``shards`` (what lets
+        #: retention-aware compaction re-derive the aggregate of any suffix)
+        self.shard_stats: list[StreamStats] = []
         self.closed = False
         self._buffer = self._fresh_buffer()
 
@@ -443,8 +712,13 @@ class TraceWriter:
         shard.num_devices = self.num_devices
         shard.program_name = self.program_name
         shard.total_runtime = None  # a shard has no runtime of its own
-        shard.save_binary(self.path / name, compress=self.compress)
-        self.stats.fold(shard)
+        self.transport.write_blob(
+            name, shard.to_binary_bytes(compress=self.compress)
+        )
+        shard_stats = StreamStats()
+        shard_stats.fold(shard)
+        self.stats.merge(shard_stats)
+        self.shard_stats.append(shard_stats)
         self.shards.append(
             ShardInfo(
                 file=name,
@@ -469,48 +743,36 @@ class TraceWriter:
             self.program_name = program_name
         self.flush()
         self.closed = True
-        stats = self.stats
-        manifest = {
-            "kind": STORE_KIND,
-            "format_version": STORE_FORMAT_VERSION,
-            "num_devices": self.num_devices,
-            "program_name": self.program_name,
-            "total_runtime": total_runtime,
-            "shards": [s.to_dict() for s in self.shards],
-            "stats": {
-                "num_data_op_events": stats.num_data_op_events,
-                "num_target_events": stats.num_target_events,
-                "num_kernel_events": stats.num_kernel_events,
-                "num_transfers": stats.num_transfers,
-                "num_allocations": stats.num_allocations,
-                "bytes_transferred": stats.bytes_transferred,
-                "transfer_time": stats.transfer_time,
-                "alloc_time": stats.alloc_time,
-                "kernel_time": stats.kernel_time,
-                "end_time": stats.end_time,
-                "data_op_kind_counts": stats.data_op_kind_counts,
-                "target_kind_counts": stats.target_kind_counts,
-            },
-        }
-        (self.path / MANIFEST_NAME).write_text(
-            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        manifest = _build_manifest(
+            num_devices=self.num_devices,
+            program_name=self.program_name,
+            total_runtime=total_runtime,
+            shards=self.shards,
+            stats=self.stats,
         )
-        return ShardedTraceStore.open(self.path)
+        self.transport.write_blob(
+            MANIFEST_NAME, (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+        )
+        return ShardedTraceStore.open(self.transport)
 
 
 def shard_trace(
     trace,
-    path: str | Path,
+    destination,
     *,
     shard_events: int = DEFAULT_SHARD_EVENTS,
     compress: bool = False,
 ) -> ShardedTraceStore:
-    """Write any trace representation (or stream) out as a sharded store."""
+    """Write any trace representation (or stream) out as a sharded store.
+
+    ``destination`` is a directory path, a ``*.zip`` archive path, or a
+    :class:`~repro.events.transport.ShardTransport`.
+    """
     from repro.events.stream import as_event_stream
 
     stream = as_event_stream(trace)
     writer = TraceWriter(
-        path,
+        destination,
         shard_events=shard_events,
         num_devices=stream.num_devices,
         program_name=stream.program_name,

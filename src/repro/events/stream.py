@@ -321,6 +321,34 @@ class StreamStats:
             self.target_kind_counts[kind.value] += int(count)
         self.num_allocations = self.data_op_kind_counts["alloc"]
 
+    def merge(self, other: "StreamStats") -> None:
+        """Fold another (disjoint) batch range's statistics into this one.
+
+        Counts and totals add, ``end_time`` takes the maximum — the result
+        equals a single fold over both ranges.  Used by the shard writer
+        (per-shard stats merged into the manifest aggregate) and by
+        retention-aware compaction, which re-derives the folded statistics
+        of whichever staged shards survive the byte/count budget.
+        """
+        self.num_data_op_events += other.num_data_op_events
+        self.num_target_events += other.num_target_events
+        self.num_kernel_events += other.num_kernel_events
+        self.num_transfers += other.num_transfers
+        self.bytes_transferred += other.bytes_transferred
+        self.transfer_time += other.transfer_time
+        self.alloc_time += other.alloc_time
+        self.kernel_time += other.kernel_time
+        self.end_time = max(self.end_time, other.end_time)
+        for kind, count in other.data_op_kind_counts.items():
+            self.data_op_kind_counts[kind] = (
+                self.data_op_kind_counts.get(kind, 0) + count
+            )
+        for kind, count in other.target_kind_counts.items():
+            self.target_kind_counts[kind] = (
+                self.target_kind_counts.get(kind, 0) + count
+            )
+        self.num_allocations = self.data_op_kind_counts["alloc"]
+
     @classmethod
     def of_stream(cls, stream: EventStream) -> "StreamStats":
         stats = cls()

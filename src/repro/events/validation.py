@@ -12,7 +12,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro.events.records import DataOpEvent, DataOpKind, TargetEvent
+from repro.events.records import DataOpKind, TargetEvent
 from repro.events.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only

@@ -13,7 +13,7 @@ import threading
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.apps.base import AppVariant, BenchmarkApp, ProblemSize
+from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import get_app
 from repro.core.profiler import OMPDataPerf, ProfileResult, run_uninstrumented
 

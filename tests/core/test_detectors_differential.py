@@ -52,6 +52,7 @@ from repro.core.detectors.unused_transfers import (
 from repro.events.columnar import ColumnarTrace
 from repro.events.store import shard_trace
 from repro.events.stream import as_event_stream
+from repro.events.transport import FakeObjectStoreTransport
 
 from tests.conftest import TraceBuilder
 
@@ -217,3 +218,23 @@ def test_process_engine_identical_over_stores(trace, shard_events, workers):
         _assert_reports_equal(obj_report, process_report)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mapping_traces(), _SHARDS, _WORKERS)
+def test_process_engine_identical_over_remote_transport(trace, shard_events, workers):
+    """The fourth way again, with the store behind a non-local transport.
+
+    The shards live in a fake object store (S3-like get/put/list), the
+    workers reopen it from its picklable transport spec, and both the
+    folds and the finalize-side materialisation scans run against the
+    remote blobs — findings must still equal the object oracle bit for
+    bit.
+    """
+    obj_report = analyze_trace(trace)
+    remote = FakeObjectStoreTransport()
+    store = shard_trace(
+        ColumnarTrace.from_trace(trace), remote, shard_events=shard_events
+    )
+    process_report = analyze_stream(store, engine="process", jobs=workers)
+    _assert_reports_equal(obj_report, process_report)

@@ -14,6 +14,7 @@ from repro.core.engine import (
     SerialEngine,
     ThreadEngine,
     available_engines,
+    process_engine_fallback_reason,
     resolve_engine,
 )
 from repro.events.columnar import ColumnarTrace
@@ -25,6 +26,7 @@ from repro.events.stream import (
     partition_stream,
 )
 from repro.events.synth import make_synthetic_columnar_trace
+from repro.events.transport import FakeObjectStoreTransport
 
 
 @pytest.fixture(scope="module")
@@ -146,6 +148,62 @@ def test_more_jobs_than_shards(store):
     expected = _findings(analyze_stream(store))
     report = analyze_stream(store, engine="process", jobs=64)
     assert _findings(report) == expected
+
+
+@pytest.mark.parametrize("destination", ["zip", "fake"])
+def test_process_engine_over_non_local_transports(trace, tmp_path, destination):
+    """Process workers reopen the store from its transport spec, so the
+    shards may live in a zip archive or an object store, not only a
+    directory — findings stay identical, and the finalize-side
+    materialisation scans run on the worker pool either way."""
+    target = tmp_path / "t.zip" if destination == "zip" else FakeObjectStoreTransport()
+    store = shard_trace(trace, target, shard_events=512)
+    expected = _findings(analyze_trace(trace))
+    report = analyze_stream(store, engine="process", jobs=2)
+    assert _findings(report) == expected
+
+
+def test_thread_engine_over_object_store_transport(trace):
+    remote = FakeObjectStoreTransport()
+    store = shard_trace(trace, remote, shard_events=512)
+    expected = _findings(analyze_trace(trace))
+    assert _findings(analyze_stream(store, engine="thread", jobs=3)) == expected
+
+
+# --------------------------------------------------------------------- #
+# Graceful degradation of --engine process
+# --------------------------------------------------------------------- #
+def test_process_fallback_reason_on_single_core(monkeypatch):
+    monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 1)
+    reason = process_engine_fallback_reason()
+    assert reason is not None and "core" in reason
+    monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 8)
+    assert process_engine_fallback_reason() is None
+    assert process_engine_fallback_reason(jobs=1) is not None
+
+
+def test_process_fallback_reason_without_start_methods(monkeypatch):
+    monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 8)
+    monkeypatch.setattr(
+        "repro.core.engine.multiprocessing.get_all_start_methods", lambda: []
+    )
+    reason = process_engine_fallback_reason()
+    assert reason is not None and "start method" in reason
+
+
+def test_resolve_engine_degrades_to_serial_with_warning(monkeypatch):
+    monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 1)
+    with pytest.warns(RuntimeWarning, match="falling back to the serial engine"):
+        engine = resolve_engine("process", jobs=4, degrade=True)
+    assert isinstance(engine, SerialEngine)
+    # Without degrade the caller gets exactly what it asked for (the
+    # differential suites rely on testing the real process engine).
+    assert isinstance(resolve_engine("process"), ProcessEngine)
+    # A capable machine resolves process requests normally.
+    monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 8)
+    assert isinstance(
+        resolve_engine("process", jobs=4, degrade=True), ProcessEngine
+    )
 
 
 def test_engine_resolution():

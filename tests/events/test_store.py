@@ -12,6 +12,7 @@ from repro.events.columnar import ColumnarTrace
 from repro.events.records import DataOpKind, TargetKind
 from repro.events.store import (
     MANIFEST_NAME,
+    RetentionPolicy,
     ShardedTraceStore,
     TraceWriter,
     merge_shards,
@@ -19,8 +20,8 @@ from repro.events.store import (
 )
 from repro.events.stream import (
     SlicedTraceStream,
+    StreamStats,
     as_event_stream,
-    iter_trace_slices,
     materialize_data_op_events,
     merge_stream,
     trace_like_view,
@@ -137,6 +138,141 @@ def test_compact_drops_empty_shards(tmp_path):
     assert compacted.num_shards < with_empty
     assert all(s.num_events > 0 for s in compacted.shards)
     assert _dicts_equal(merge_shards(compacted), ct)
+
+
+def _assert_manifest_matches_rescan(store: ShardedTraceStore) -> None:
+    """Folded manifest statistics must equal a recomputed scan of the shards."""
+    recomputed = StreamStats.of_stream(store)
+    assert store.num_data_op_events == recomputed.num_data_op_events
+    assert store.num_target_events == recomputed.num_target_events
+    assert store.end_time == recomputed.end_time
+    assert store.data_op_kind_counts() == recomputed.data_op_kind_counts
+    assert store.target_kind_counts() == recomputed.target_kind_counts
+    stats = store.summary()
+    assert stats["bytes_transferred"] == recomputed.bytes_transferred
+    assert stats["num_kernel_events"] == recomputed.num_kernel_events
+    assert stats["transfer_time"] == pytest.approx(recomputed.transfer_time)
+    assert stats["kernel_time"] == pytest.approx(recomputed.kernel_time)
+
+
+def test_retention_policy_validation():
+    with pytest.raises(ValueError, match="max_age"):
+        RetentionPolicy(max_age=-1.0)
+    with pytest.raises(ValueError, match="max_total_bytes"):
+        RetentionPolicy(max_total_bytes=-1)
+    with pytest.raises(ValueError, match="max_shards"):
+        RetentionPolicy(max_shards=-2)
+    with pytest.raises(ValueError, match="unknown event kind"):
+        RetentionPolicy(keep_kinds={"warp-drive"})
+    assert RetentionPolicy().is_null()
+    assert not RetentionPolicy(max_age=1.0).is_null()
+
+
+def test_compact_retain_max_age_drops_old_events(tmp_path):
+    ct = _sample_trace(cycles=12)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=5)
+    horizon = store.end_time * 0.4  # keep roughly the newest 40% of event time
+    cutoff = store.end_time - horizon
+
+    compacted = store.compact(
+        shard_events=5, retention=RetentionPolicy(max_age=horizon)
+    )
+    merged = merge_shards(compacted)
+    assert 0 < len(merged) < len(ct)
+    assert float(merged.do_end_time.min(initial=np.inf)) >= cutoff
+    assert float(merged.tgt_end_time.min(initial=np.inf)) >= cutoff
+    # Exactly the in-horizon events survive, in order.  (The recorded
+    # total_runtime is a property of the run, not of the retained subset,
+    # so retention preserves it.)
+    keep_do = np.flatnonzero(ct.do_end_time >= cutoff)
+    keep_tgt = np.flatnonzero(ct.tgt_end_time >= cutoff)
+    expected = ct.select_rows(keep_do, keep_tgt)
+    expected.total_runtime = compacted.total_runtime
+    assert compacted.total_runtime == ct.total_runtime
+    assert _dicts_equal(merged, expected)
+    _assert_manifest_matches_rescan(compacted)
+
+
+def test_compact_retain_keep_kinds(tmp_path):
+    ct = _sample_trace(cycles=8)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=6)
+    compacted = store.compact(
+        retention=RetentionPolicy(keep_kinds={"transfer_to_device", "transfer_from_device", "target"})
+    )
+    merged = merge_shards(compacted)
+    kinds = compacted.data_op_kind_counts()
+    assert kinds["alloc"] == 0 and kinds["delete"] == 0
+    assert kinds["transfer_to_device"] == 8 and kinds["transfer_from_device"] == 8
+    assert compacted.target_kind_counts()["target"] == 8
+    assert len(merged) == 24
+    _assert_manifest_matches_rescan(compacted)
+
+
+def test_compact_retain_max_shards_keeps_newest(tmp_path):
+    ct = _sample_trace(cycles=20)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=8)
+    original_end = store.end_time
+    compacted = store.compact(
+        shard_events=8, retention=RetentionPolicy(max_shards=2)
+    )
+    assert compacted.num_shards == 2
+    merged = merge_shards(compacted)
+    # The kept events are the newest contiguous suffix of the trace.
+    n_do, n_tgt = merged.num_data_op_events, merged.num_target_events
+    suffix = ct.slice_rows(
+        ct.num_data_op_events - n_do, ct.num_data_op_events,
+        ct.num_target_events - n_tgt, ct.num_target_events,
+    )
+    suffix.total_runtime = merged.total_runtime
+    assert _dicts_equal(merged, suffix)
+    assert compacted.end_time == original_end
+    _assert_manifest_matches_rescan(compacted)
+
+
+def test_compact_retain_max_bytes_budget(tmp_path):
+    ct = _sample_trace(cycles=24)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=8)
+    shard_bytes = [
+        (store.path / s.file).stat().st_size for s in store.shards
+    ]
+    # Budget for roughly two shards of the re-sharded store.
+    budget = 2 * max(shard_bytes) + 1
+    compacted = store.compact(
+        shard_events=8, retention=RetentionPolicy(max_total_bytes=budget)
+    )
+    assert 0 < compacted.num_shards < store.num_shards
+    kept_bytes = sum(
+        (compacted.path / s.file).stat().st_size for s in compacted.shards
+    )
+    assert kept_bytes <= budget
+    _assert_manifest_matches_rescan(compacted)
+
+    # A budget smaller than any single shard empties the store (newest
+    # data cannot be partially kept at sub-shard granularity).
+    emptied = compacted.compact(
+        shard_events=8, retention=RetentionPolicy(max_total_bytes=1)
+    )
+    assert emptied.num_shards == 0
+    assert len(emptied) == 0
+
+
+def test_compact_retention_composes(tmp_path):
+    ct = _sample_trace(cycles=16)
+    store = shard_trace(ct, tmp_path / "t.store", shard_events=4)
+    compacted = store.compact(
+        shard_events=4,
+        retention=RetentionPolicy(
+            max_age=store.end_time,  # everything in horizon
+            keep_kinds=frozenset({"transfer_to_device", "target"}),
+            max_shards=3,
+        ),
+    )
+    assert compacted.num_shards <= 3
+    merged = merge_shards(compacted)
+    assert set(np.unique(merged.do_kind)) <= {1}  # to_device code only
+    _assert_manifest_matches_rescan(compacted)
+    # Round-trips again after retention: still a perfectly valid store.
+    assert _dicts_equal(merge_shards(ShardedTraceStore.open(store.path)), merged)
 
 
 def test_compact_empty_store(tmp_path):

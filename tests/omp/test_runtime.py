@@ -7,7 +7,7 @@ from repro.core.collector import TraceCollector
 from repro.events.records import DataOpKind, TargetKind
 from repro.omp.costmodel import CostModel, TransferDirection
 from repro.omp.errors import MappingError, OutOfDeviceMemoryError, UnmappedAccessError
-from repro.omp.mapping import alloc, from_, release, to, tofrom
+from repro.omp.mapping import release, to, tofrom
 from repro.omp.runtime import OffloadRuntime
 from repro.ompt.interface import OmptInterface
 

@@ -228,6 +228,108 @@ def test_trace_compact_reshards_in_place(tmp_path, capsys):
     assert after.load().to_trace().to_dict() == original.to_trace().to_dict()
 
 
+def _small_store(tmp_path, capsys, shard_events=2):
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    store_path = tmp_path / "trace.store"
+    assert main(["trace", "shard", str(npz_path), str(store_path),
+                 "--shard-events", str(shard_events)]) == 0
+    capsys.readouterr()
+    return store_path
+
+
+def test_trace_compact_retain_max_shards(tmp_path, capsys):
+    store_path = _small_store(tmp_path, capsys)
+    from repro.events.store import ShardedTraceStore
+
+    before = ShardedTraceStore.open(store_path)
+    assert main(["trace", "compact", str(store_path), "--shard-events", "2",
+                 "--retain-max-shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "retention dropped" in out
+
+    after = ShardedTraceStore.open(store_path)
+    assert after.num_shards == 2
+    assert 0 < len(after) < len(before)
+
+
+def test_trace_compact_retain_keep_kinds(tmp_path, capsys):
+    store_path = _small_store(tmp_path, capsys)
+    assert main(["trace", "compact", str(store_path),
+                 "--retain-keep-kinds", "transfer_to_device,target"]) == 0
+    capsys.readouterr()
+    from repro.events.store import ShardedTraceStore
+
+    after = ShardedTraceStore.open(store_path)
+    kinds = after.data_op_kind_counts()
+    assert kinds["alloc"] == 0
+    assert kinds["transfer_to_device"] > 0
+
+
+def test_trace_compact_retain_max_age(tmp_path, capsys):
+    store_path = _small_store(tmp_path, capsys)
+    from repro.events.store import ShardedTraceStore
+
+    before = ShardedTraceStore.open(store_path)
+    horizon = before.end_time / 2
+    assert main(["trace", "compact", str(store_path),
+                 "--retain-max-age", str(horizon)]) == 0
+    capsys.readouterr()
+    after = ShardedTraceStore.open(store_path)
+    assert 0 < len(after) < len(before)
+    assert after.end_time == before.end_time
+
+
+def test_trace_compact_rejects_unknown_kind(tmp_path, capsys):
+    store_path = _small_store(tmp_path, capsys)
+    with pytest.raises(SystemExit):
+        main(["trace", "compact", str(store_path),
+              "--retain-keep-kinds", "warp-drive"])
+    assert "unknown event kind" in capsys.readouterr().err
+
+
+def test_trace_compact_rejects_negative_age(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "compact", "whatever.store", "--retain-max-age", "-1"])
+    assert "non-negative number" in capsys.readouterr().err
+
+
+def test_trace_shard_into_zip_archive(tmp_path, capsys):
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    zip_path = tmp_path / "trace.zip"
+    assert main(["trace", "shard", str(npz_path), str(zip_path),
+                 "--shard-events", "4"]) == 0
+    capsys.readouterr()
+    assert zip_path.is_file()
+
+    # Sniffed, summarised and compacted like any other store.
+    assert main(["trace", "info", str(zip_path)]) == 0
+    assert "num_shards:" in capsys.readouterr().out
+    assert main(["trace", "compact", str(zip_path), "--shard-events", "1024"]) == 0
+    assert "-> 1 shard(s)" in capsys.readouterr().out
+
+    back_path = tmp_path / "back.npz"
+    assert main(["trace", "merge", str(zip_path), str(back_path)]) == 0
+    from repro.events.columnar import ColumnarTrace
+
+    original = ColumnarTrace.load_binary(npz_path)
+    restored = ColumnarTrace.load_binary(back_path)
+    assert restored.to_trace().to_dict() == original.to_trace().to_dict()
+
+
+def test_stream_process_engine_degrades_on_one_core(monkeypatch, capsys):
+    monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 1)
+    assert main(["hotspot", "--size", "small", "--stream",
+                 "--engine", "process", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "warning:" in out and "falling back to the serial engine" in out
+    # -q suppresses the warning but the run still succeeds.
+    assert main(["hotspot", "--size", "small", "-q", "--stream",
+                 "--engine", "process", "--jobs", "2"]) == 0
+    assert "warning:" not in capsys.readouterr().out
+
+
 def test_trace_compact_rejects_single_file(tmp_path, capsys):
     json_path = tmp_path / "trace.json"
     assert main(["rsbench", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
