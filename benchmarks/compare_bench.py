@@ -12,9 +12,14 @@ tolerance band::
     python benchmarks/compare_bench.py --baseline prev/ --current .
     python benchmarks/compare_bench.py --baseline prev/ --current . --tolerance 0.25
 
-Exit status: ``0`` when every paired metric is within tolerance (or when
-there is no baseline yet — the first run of a new benchmark must not fail
-CI), ``1`` when at least one metric regressed, ``2`` on usage errors.
+Exit status: ``0`` when every paired metric is within tolerance, ``1``
+when at least one metric regressed, ``2`` on usage errors, and ``3`` —
+a distinct *neutral* status — when there is no baseline to compare
+against (the first run of a workflow, or a previous run that published
+no records).  CI maps ``3`` to a pass-with-notice; keeping it distinct
+from ``0`` means a gate that silently never compares anything (a broken
+artifact download, a path typo) cannot masquerade as "all metrics within
+tolerance".
 
 Shared CI runners are noisy, so the default tolerance is generous (25%);
 the point is catching order-of-magnitude cliffs (an accidentally
@@ -35,6 +40,10 @@ from pathlib import Path
 METRIC_KEY = "events_per_sec"
 
 DEFAULT_TOLERANCE = 0.25
+
+#: Neutral exit status: nothing to compare against (NOT a pass — the
+#: caller decides; CI converts it into a pass-with-notice).
+EXIT_NO_BASELINE = 3
 
 
 def extract_metrics(record, prefix: str = "") -> dict[str, float]:
@@ -134,12 +143,18 @@ def main(argv=None) -> int:
         print(f"warning: no BENCH_*.json records under {current_dir}", file=sys.stderr)
 
     if not baseline_dir.is_dir():
-        print(f"note: no baseline directory at {baseline_dir}; first run, passing")
-        return 0
+        print(
+            f"note: no baseline directory at {baseline_dir}; "
+            f"nothing to compare (neutral)"
+        )
+        return EXIT_NO_BASELINE
     baseline = load_bench_files(baseline_dir)
     if not baseline:
-        print(f"note: no baseline records under {baseline_dir}; first run, passing")
-        return 0
+        print(
+            f"note: no baseline records under {baseline_dir}; "
+            f"nothing to compare (neutral)"
+        )
+        return EXIT_NO_BASELINE
 
     regressions = compare(baseline, current, args.tolerance)
     if regressions:

@@ -1,10 +1,14 @@
 """Execution-engine scaling on the million-event synthetic trace.
 
 Analyzes the same sharded store with every execution engine — the serial
-single-scan pipeline, thread-partitioned folds, and process-partitioned
-folds — at 1, 2 and 4 workers, verifies the findings stay bit-identical to
-the serial path, and writes a machine-readable record to
-``BENCH_engine.json`` in the repo root.
+single-scan pipeline, thread-partitioned folds, process-partitioned
+folds, and the distributed coordinator/worker engine (loopback worker
+processes leasing tasks from a local-dir queue) — at 1, 2 and 4 workers,
+verifies the findings stay bit-identical to the serial path, and writes a
+machine-readable record to ``BENCH_engine.json`` in the repo root.  The
+distributed leg measures the queue protocol's overhead against the
+process pool it functionally supersedes: same partitions, same folds,
+plus blob leases, heartbeats and worker start-up.
 
 The headline claim is the process engine's: the detector folds are
 GIL-bound Python/NumPy, so only process workers can scale them across
@@ -40,7 +44,7 @@ WORKER_COUNTS = tuple(
     int(n)
     for n in os.environ.get("OMPDATAPERF_BENCH_WORKER_COUNTS", "1,2,4").split(",")
 )
-ENGINES = ("serial", "thread", "process")
+ENGINES = ("serial", "thread", "process", "distributed")
 
 #: Acceptance bar for the process engine at 4 workers, relaxable on shared
 #: runners via the environment like the other benchmark bars.

@@ -19,6 +19,9 @@ the CLI takes an application name plus options::
     ompdataperf trace compact bfs.store --retain-max-age 5.0   # drop old events
     ompdataperf trace shard bfs.npz bfs.zip      # single-file zip-archived store
     ompdataperf bfs --stream --engine process --jobs 4   # shard-parallel analysis
+    ompdataperf bfs --stream --engine distributed --jobs 4   # loopback cluster
+    ompdataperf worker --queue run.queue         # join a distributed run
+    ompdataperf bfs --stream --engine distributed --queue run.queue --jobs 4
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from typing import Optional, Sequence
 from repro._version import __version__
 from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import all_apps, get_app
+from repro.core.distributed import DistributedExecutionError
 from repro.core.engine import available_engines, resolve_engine
 from repro.core.profiler import OMPDataPerf
 from repro.events.columnar import as_columnar, as_object_trace, load_trace
@@ -74,6 +78,19 @@ def nonnegative_number(text: str) -> float:
         ) from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"expected a non-negative number, got {text!r}")
+    return value
+
+
+def positive_number(text: str) -> float:
+    """Argparse type for durations that must be strictly positive."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
     return value
 
 
@@ -118,8 +135,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "'serial' scans once on one thread, 'thread' folds "
                              "event-balanced partitions on --jobs threads, 'process' folds "
                              "them on --jobs worker processes (each opens the store and "
-                             "returns only its carry state); findings are identical for "
-                             "every engine (default: serial)")
+                             "returns only its carry state), 'distributed' leases "
+                             "partition tasks to workers from a transport-backed queue "
+                             "(loopback worker processes by default, or an external "
+                             "queue via --queue); findings are identical for every "
+                             "engine (default: serial)")
+    parser.add_argument("--queue", metavar="PATH", default=None,
+                        help="with --engine distributed: coordinate over the task queue "
+                             "at PATH instead of spawning loopback workers; start "
+                             "workers anywhere with `ompdataperf worker --queue PATH` "
+                             "(they may be waiting before PATH exists)")
+    parser.add_argument("--queue-timeout", type=positive_number, default=None,
+                        metavar="SECONDS",
+                        help="with --engine distributed: fail with a clear error if the "
+                             "run does not complete within SECONDS — e.g. no worker ever "
+                             "attaches to --queue (default: wait forever)")
     parser.add_argument("--version", action="version", version=f"ompdataperf {__version__}")
     return parser
 
@@ -206,6 +236,50 @@ def build_trace_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("input", help="path of the trace to read (format sniffed)")
     return parser
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdataperf worker",
+        description="Join a distributed analysis run: claim partition tasks "
+                    "from a transport-backed queue, fold them against the "
+                    "run's trace store, and publish the carries back. "
+                    "Workers may start before the queue exists; they exit "
+                    "when the coordinator publishes the done (or abort) "
+                    "marker.",
+    )
+    parser.add_argument("--queue", required=True, metavar="PATH",
+                        help="task queue location (the coordinator's --queue)")
+    parser.add_argument("--poll-interval", type=positive_number, default=0.5,
+                        metavar="SECONDS",
+                        help="how often to poll for new tasks (default: 0.5)")
+    parser.add_argument("--max-tasks", type=positive_int, default=None, metavar="N",
+                        help="exit after completing N tasks (default: run until done)")
+    parser.add_argument("--idle-timeout", type=positive_number, default=None,
+                        metavar="SECONDS",
+                        help="exit with an error if no run manifest appears within "
+                             "SECONDS (default: wait forever)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-task progress output")
+    return parser
+
+
+def _worker_main(argv: Sequence[str]) -> int:
+    from repro.core.distributed import run_worker
+
+    parser = build_worker_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run_worker(
+            args.queue,
+            poll_interval=args.poll_interval,
+            max_tasks=args.max_tasks,
+            idle_timeout=args.idle_timeout,
+            echo=None if args.quiet else print,
+            crash_hook=True,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        return 130
 
 
 def _on_disk_bytes(trace, path: Path) -> int:
@@ -339,9 +413,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.queue is not None and args.engine != "distributed":
+        parser.error("--queue only applies to --engine distributed")
+    if args.queue_timeout is not None and args.engine != "distributed":
+        parser.error("--queue-timeout only applies to --engine distributed")
 
     if args.list:
         print(_list_programs())
@@ -386,10 +467,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Resolve the engine up front with degradation enabled: asking for
         # process workers on a machine that cannot profit from them (one
         # usable core, or no way to start workers) falls back to serial
-        # with a visible warning instead of oversubscribing.
+        # with a visible warning instead of oversubscribing.  A distributed
+        # run against an external queue gets a configured engine instance
+        # (resolve_engine passes instances through): workers=0 because the
+        # queue's workers were started elsewhere.
+        engine_request = args.engine
+        if args.engine == "distributed" and (
+            args.queue is not None or args.queue_timeout is not None
+        ):
+            from repro.core.distributed import DistributedEngine
+
+            engine_request = DistributedEngine(
+                queue=args.queue,
+                workers=0 if args.queue is not None else None,
+                run_timeout=args.queue_timeout,
+            )
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            engine = resolve_engine(args.engine, jobs=args.jobs, degrade=True)
+            engine = resolve_engine(engine_request, jobs=args.jobs, degrade=True)
         if not args.quiet:
             for warning in caught:
                 print(f"warning: {warning.message}")
@@ -407,6 +502,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     jobs=args.jobs,
                     engine=engine,
                 )
+            except DistributedExecutionError as exc:
+                parser.error(f"distributed run failed: {exc}")
+                return 2  # unreachable; parser.error raises SystemExit
             except (OSError, ValueError) as exc:
                 # e.g. the store directory already exists and is non-empty
                 parser.error(f"cannot stream into {store_path}: {exc}")

@@ -11,6 +11,11 @@
 
 from repro.core.analysis import AnalysisReport, IssueCounts, analyze_trace
 from repro.core.collector import TraceCollector
+
+# Imported for its side effect: registers DistributedEngine in
+# repro.core.engine.ENGINES, so the registry (and with it the CLI's
+# --engine choices) is complete as soon as anything under repro.core is.
+from repro.core import distributed as _distributed  # noqa: F401  (registration)
 from repro.core.overhead import OverheadModel
 from repro.core.potential import OptimizationPotential, estimate_potential
 from repro.core.profiler import OMPDataPerf, ProfileResult

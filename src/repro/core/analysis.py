@@ -189,9 +189,17 @@ def analyze_stream(
       their carries (folds *and* finalizes run on the worker pool), which
       is what lets the GIL-bound work scale across cores (requires a
       :class:`~repro.events.store.ShardedTraceStore`, over any transport).
+    * ``"distributed"`` — the same shape again with workers fed from a
+      transport-backed task queue (:mod:`repro.core.distributed`), which
+      is what lets the fold work leave the machine entirely: by default
+      the coordinator spawns ``jobs`` loopback worker processes over a
+      scratch queue, or it attaches to an existing queue whose workers
+      were started anywhere with ``ompdataperf worker --queue`` (requires
+      a :class:`~repro.events.store.ShardedTraceStore`).
 
     ``engine`` may also be an :class:`~repro.core.engine.ExecutionEngine`
-    instance (what the CLI passes after resolving with degradation).
+    instance (what the CLI passes after resolving with degradation, or a
+    configured :class:`~repro.core.distributed.DistributedEngine`).
     Output is identical for every engine and every ``jobs`` value.
     """
     if jobs < 1:

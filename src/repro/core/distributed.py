@@ -1,0 +1,806 @@
+"""Distributed analysis: coordinator/worker execution over a task queue.
+
+:class:`DistributedEngine` is the fourth execution backend
+(``analyze_stream(engine="distributed")``, ``--engine distributed``) and
+the first whose workers need not share a machine with the coordinator.
+It speaks the exact partition→fold→merge→finalize shape of the process
+engine, but the partition tasks live as **leased blobs on a shard
+transport** (:mod:`repro.events.transport`) instead of in an in-process
+pool — a local directory for tests and loopback runs, an object store
+wherever a real deployment wants the queue to live.  (The *store* may
+additionally sit in a zip archive; the *queue* may not — a zip archive
+serializes every mutation through a whole-archive rewrite, so concurrent
+writers would erase each other's claims, and both the coordinator and
+the worker refuse one.)
+
+Queue layout (all names relative to the queue transport)::
+
+    run.pkl                        pickled run manifest: store transport
+                                   spec, pass specs, lease timeout
+    tasks/task-00002.a000          pending task, attempt 0 (pickled
+                                   PartitionTask); requeues bump the
+                                   attempt tag, so a blob name is unique
+                                   per (task, attempt) generation
+    claims/task-00002.a000.<wid>   leased task: the pending blob renamed
+                                   under the claiming worker's id
+    beats/task-00002.a000.<wid>    heartbeat counter, renewed on a timer
+                                   while the worker folds
+    results/task-00002.pkl         pickled folded carries
+    errors/task-00002.a000.<wid>   a worker-side failure report
+    done | abort                   terminal markers (abort carries the
+                                   reason)
+
+Lease lifecycle.  A worker claims a pending task with one
+generation-tagged rename (``tasks/…a000`` → ``claims/…a000.<wid>``):
+renames fail when the source is gone, so racing workers resolve to one
+winner on any transport with atomic rename, and the attempt tag
+guarantees a requeued task never collides with a stale claim of an
+earlier generation.  While folding, the worker renews a heartbeat blob
+on a timer (a quarter of the lease interval), so liveness is independent
+of how long any one shard's fold takes.  The coordinator polls the
+queue and tracks, per
+task, when its observable state last *changed* (a claim appeared, the
+heartbeat advanced, a result landed); comparing change-counters instead
+of wall clocks keeps the protocol immune to clock skew between machines.
+A task whose state freezes for longer than the lease timeout — a worker
+died mid-fold, or a claim rename was torn on a copy-then-delete
+transport — is requeued under the next attempt tag.  Worker-side
+exceptions short-circuit the wait: the worker publishes an error blob
+and releases the claim, and the coordinator requeues immediately.  After
+``max_attempts`` generations the coordinator publishes the ``abort``
+marker (so every worker exits) and raises
+:class:`DistributedExecutionError` naming the task and the last failure.
+
+Because folds are deterministic and results publish atomically, the
+protocol tolerates zombies: a worker presumed dead that later finishes
+simply publishes a bit-identical result blob.
+
+The coordinator merges the pickled carries in partition order and runs
+finalize locally — identical to every other engine, which is what keeps
+the differential suite's five legs bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.engine import (
+    ENGINES,
+    PartitionTask,
+    SerialEngine,
+    _check_jobs,
+    _finalize_all,
+    _merge_partition_carries,
+    fold_store_task,
+    partition_tasks,
+)
+from repro.events.transport import (
+    ShardTransport,
+    TransportError,
+    ZipArchiveTransport,
+    list_blobs_under,
+    open_transport,
+    try_claim_blob,
+    try_read_blob,
+)
+
+#: Version tag of the queue protocol; workers refuse manifests they do
+#: not speak rather than mis-folding them.
+QUEUE_FORMAT_VERSION = 1
+
+RUN_MANIFEST = "run.pkl"
+DONE_MARKER = "done"
+ABORT_MARKER = "abort"
+TASK_PREFIX = "tasks/"
+CLAIM_PREFIX = "claims/"
+BEAT_PREFIX = "beats/"
+RESULT_PREFIX = "results/"
+ERROR_PREFIX = "errors/"
+
+#: Test hook honoured only by the CLI ``worker`` entry point: the worker
+#: calls ``os._exit(3)`` immediately after its N-th successful claim,
+#: simulating a machine dying mid-fold with the lease left dangling.
+CRASH_ENV = "OMPDATAPERF_WORKER_CRASH_AFTER_CLAIM"
+
+#: Exit code of a crash-hook death (distinct from error exits).
+CRASH_EXIT_CODE = 3
+
+# Both patterns are end-anchored so that a transport's in-flight staging
+# files (LocalDirTransport publishes through `<name>.tmp-<pid>` +
+# os.replace) can never be mistaken for live queue blobs: a pending blob
+# ends with the bare task stem, a claim/beat/error blob with the stem
+# plus exactly one ".<worker-id>" segment (worker ids are sanitized to
+# [A-Za-z0-9_-], so they contain no further dots).
+_PENDING_NAME = re.compile(r"task-(\d{5})\.a(\d{3})$")
+_LEASED_NAME = re.compile(r"task-(\d{5})\.a(\d{3})\.[A-Za-z0-9_-]+$")
+
+
+class DistributedExecutionError(RuntimeError):
+    """A distributed run could not complete (task retries exhausted,
+    every worker lost, or the run timed out)."""
+
+
+def _task_stem(index: int, attempt: int) -> str:
+    return f"task-{index:05d}.a{attempt:03d}"
+
+
+def _parse_pending_name(name: str) -> Optional[tuple[int, int]]:
+    match = _PENDING_NAME.search(name)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+def _parse_leased_name(name: str) -> Optional[tuple[int, int]]:
+    match = _LEASED_NAME.search(name)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+def worker_id() -> str:
+    """A queue-safe identifier naming the host, process and instance."""
+    host = re.sub(r"[^A-Za-z0-9_-]", "-", socket.gethostname()) or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def _check_queue_transport(transport: ShardTransport) -> None:
+    """Reject queue backings that cannot take concurrent writers.
+
+    A zip archive rewrites the whole archive (snapshot + atomic replace)
+    on every mutation, so two workers heartbeating concurrently would
+    silently erase each other's blobs — fine for a single-writer *store*,
+    fatal for a *queue*.
+    """
+    if isinstance(transport, ZipArchiveTransport):
+        raise ValueError(
+            f"{transport.describe()}: a zip archive cannot back a task "
+            f"queue (every mutation is a whole-archive rewrite, so "
+            f"concurrent workers would overwrite each other); use a "
+            f"directory or an object store"
+        )
+
+
+@dataclass
+class ClaimedTask:
+    """A worker-held lease on one task (mutable heartbeat counter)."""
+
+    name: str  # full claim blob name
+    stem: str  # task-XXXXX.aYYY
+    index: int
+    attempt: int
+    task: PartitionTask
+    counter: int = 0
+
+
+class TaskQueue:
+    """The queue protocol over one transport — shared by both actors.
+
+    Every method is a small number of blob operations; nothing here holds
+    state beyond the transport, so coordinator and workers may live in
+    different processes or on different machines.
+    """
+
+    def __init__(self, transport: ShardTransport) -> None:
+        self.transport = transport
+
+    # -- run manifest --------------------------------------------------- #
+    def publish_run(self, manifest: dict) -> None:
+        self.transport.write_blob(RUN_MANIFEST, pickle.dumps(manifest))
+
+    def read_run(self) -> Optional[dict]:
+        data = try_read_blob(self.transport, RUN_MANIFEST)
+        if data is None:
+            return None
+        try:
+            return pickle.loads(data)
+        except Exception:  # noqa: BLE001 — not (yet) a readable manifest
+            # A torn or garbage manifest reads as "no run yet": workers
+            # keep polling (and honour --idle-timeout) instead of dying
+            # on an UnpicklingError.
+            return None
+
+    # -- tasks and leases ------------------------------------------------ #
+    def publish_task(self, task: PartitionTask, attempt: int = 0) -> None:
+        self.transport.write_blob(
+            TASK_PREFIX + _task_stem(task.index, attempt), pickle.dumps(task)
+        )
+
+    def pending_task_names(self) -> list[str]:
+        # The end-anchored parse skips anything that is not a live pending
+        # blob (staging files, stray debris) rather than claiming it.
+        return [
+            name
+            for name in list_blobs_under(self.transport, TASK_PREFIX)
+            if _parse_pending_name(name) is not None
+        ]
+
+    def claim(self, pending_name: str, worker: str) -> Optional[ClaimedTask]:
+        """Lease one pending task; ``None`` when the race was lost."""
+        parsed = _parse_pending_name(pending_name)
+        if parsed is None:
+            return None
+        index, attempt = parsed
+        stem = _task_stem(index, attempt)
+        claim_name = f"{CLAIM_PREFIX}{stem}.{worker}"
+        if not try_claim_blob(self.transport, pending_name, claim_name):
+            return None
+        data = try_read_blob(self.transport, claim_name)
+        if data is not None:
+            try:
+                task = pickle.loads(data)
+            except Exception:  # noqa: BLE001 — corrupt payload
+                data = None
+        if data is None:
+            # Torn copy-then-delete rename (missing or truncated payload);
+            # leave the claim dangling — the coordinator's freeze
+            # detection requeues the task under the next attempt.
+            return None
+        claim = ClaimedTask(
+            name=claim_name, stem=stem, index=index, attempt=attempt, task=task,
+        )
+        self.heartbeat(claim)
+        return claim
+
+    def heartbeat(self, claim: ClaimedTask) -> None:
+        claim.counter += 1
+        suffix = claim.name[len(CLAIM_PREFIX):]
+        self.transport.write_blob(BEAT_PREFIX + suffix, str(claim.counter).encode())
+
+    def release(self, claim: ClaimedTask) -> None:
+        suffix = claim.name[len(CLAIM_PREFIX):]
+        self.transport.delete_blob(claim.name)
+        self.transport.delete_blob(BEAT_PREFIX + suffix)
+
+    # -- results and failures -------------------------------------------- #
+    def publish_result(self, index: int, payload: bytes) -> None:
+        self.transport.write_blob(f"{RESULT_PREFIX}task-{index:05d}.pkl", payload)
+
+    def read_result(self, index: int) -> bytes:
+        return self.transport.read_blob(f"{RESULT_PREFIX}task-{index:05d}.pkl")
+
+    def publish_error(self, claim: ClaimedTask, message: str) -> None:
+        suffix = claim.name[len(CLAIM_PREFIX):]
+        self.transport.write_blob(ERROR_PREFIX + suffix, message.encode("utf-8"))
+
+    # -- terminal markers ------------------------------------------------- #
+    def mark_done(self) -> None:
+        self.transport.write_blob(DONE_MARKER, b"")
+
+    def is_done(self) -> bool:
+        return self.transport.blob_exists(DONE_MARKER)
+
+    def mark_abort(self, reason: str) -> None:
+        self.transport.write_blob(ABORT_MARKER, reason.encode("utf-8"))
+
+    def abort_reason(self) -> Optional[str]:
+        data = try_read_blob(self.transport, ABORT_MARKER)
+        if data is None:
+            return None
+        return data.decode("utf-8", errors="replace")
+
+
+# --------------------------------------------------------------------- #
+# Worker
+# --------------------------------------------------------------------- #
+def run_worker(
+    queue,
+    *,
+    poll_interval: float = 0.5,
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+    echo=None,
+    crash_hook: bool = False,
+) -> int:
+    """Claim, fold and publish tasks until the run terminates.
+
+    ``queue`` is a path or a :class:`~repro.events.transport.ShardTransport`;
+    a queue location that does not exist yet is polled into existence, so
+    workers may start before the coordinator (the CI smoke job does).
+    Returns a process exit code: ``0`` after a ``done`` marker (or
+    ``max_tasks`` processed), ``1`` on ``abort`` or a protocol mismatch,
+    and — only with ``idle_timeout`` — ``1`` when no run ever appeared.
+
+    This function is the whole worker: the CLI ``worker`` subcommand calls
+    it in a fresh process, the engine's thread mode calls it on a thread,
+    and both speak the identical blob protocol.
+    """
+    say = echo if echo is not None else (lambda message: None)
+    wid = worker_id()
+    crash_after = 0
+    if crash_hook:
+        try:
+            crash_after = int(os.environ.get(CRASH_ENV, "0"))
+        except ValueError:
+            crash_after = 0
+    started = time.monotonic()
+    transport: Optional[ShardTransport] = None
+    run: Optional[dict] = None
+    done_tasks = 0
+    state = {"claims": 0}  # successful claims, including ones that error
+    while True:
+        if transport is None:
+            try:
+                transport = open_transport(queue)
+            except (FileNotFoundError, ValueError, TransportError):
+                transport = None
+            if transport is not None:
+                try:
+                    _check_queue_transport(transport)
+                except ValueError as exc:
+                    say(f"error: worker {wid}: {exc}")
+                    return 1
+        if transport is not None:
+            tq = TaskQueue(transport)
+            try:
+                reason = tq.abort_reason()
+                if reason is not None:
+                    say(f"error: worker {wid}: run aborted by coordinator: {reason}")
+                    return 1
+                if tq.is_done():
+                    say(
+                        f"info: worker {wid}: run complete "
+                        f"({done_tasks} task(s) processed)"
+                    )
+                    return 0
+                if run is None:
+                    run = tq.read_run()
+                    if run is not None and run.get("version") != QUEUE_FORMAT_VERSION:
+                        say(
+                            f"error: worker {wid}: queue speaks protocol version "
+                            f"{run.get('version')!r}, this worker speaks "
+                            f"{QUEUE_FORMAT_VERSION}"
+                        )
+                        return 1
+                if run is not None and _drain_pending(
+                    tq, run, wid, say, crash_after, state
+                ):
+                    done_tasks += 1
+                    if max_tasks is not None and done_tasks >= max_tasks:
+                        say(f"info: worker {wid}: max tasks reached, exiting")
+                        return 0
+                    continue  # look for more work before sleeping
+            except OSError as exc:
+                # The queue went briefly unreadable (a TransportError, or a
+                # raw filesystem race with a listing mid-teardown); treat
+                # it like an empty poll and retry.
+                say(f"warning: worker {wid}: transient queue error: {exc}")
+        if (
+            idle_timeout is not None
+            and run is None
+            and time.monotonic() - started > idle_timeout
+        ):
+            say(f"error: worker {wid}: no run appeared within {idle_timeout:g}s")
+            return 1
+        time.sleep(poll_interval)
+
+
+def _drain_pending(
+    tq: TaskQueue, run: dict, wid: str, say, crash_after: int, state: dict
+) -> bool:
+    """Claim and complete at most one pending task; True when one was."""
+    for pending_name in tq.pending_task_names():
+        claim = tq.claim(pending_name, wid)
+        if claim is None:
+            continue
+        state["claims"] += 1
+        if crash_after and state["claims"] >= crash_after:
+            # Simulated machine death: lease and heartbeat stay behind
+            # exactly as a real mid-fold crash would leave them.
+            os._exit(CRASH_EXIT_CODE)
+        say(
+            f"info: worker {wid}: claimed task {claim.index} "
+            f"(attempt {claim.attempt})"
+        )
+        # Renew the lease on a timer, not per unit of work: the heartbeat
+        # answers "is this worker alive?", so it must keep ticking however
+        # long one shard's fold runs (a batch-granularity heartbeat would
+        # let a single slow shard outlive the lease and get requeued under
+        # a healthy worker).
+        lease = float(run.get("lease_timeout") or 30.0)
+        interval = max(min(lease / 4.0, 5.0), 0.02)
+        stop = threading.Event()
+
+        def renew() -> None:
+            while not stop.wait(interval):
+                try:
+                    tq.heartbeat(claim)
+                except OSError:
+                    return  # queue unreachable; the lease expires naturally
+
+        renewer = threading.Thread(target=renew, daemon=True)
+        renewer.start()
+        try:
+            try:
+                passes = fold_store_task(
+                    run["store_spec"], claim.task, run["pass_specs"]
+                )
+                payload = pickle.dumps(passes, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:  # noqa: BLE001 — report, release, move on
+                say(f"error: worker {wid}: task {claim.index} failed: {exc}")
+                tq.publish_error(claim, f"{type(exc).__name__}: {exc}")
+                tq.release(claim)
+                return False
+            tq.publish_result(claim.index, payload)
+            tq.release(claim)
+        finally:
+            stop.set()
+            renewer.join(timeout=5.0)
+        say(f"info: worker {wid}: published result for task {claim.index}")
+        return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------- #
+class _WorkerHandle:
+    """One coordinator-spawned worker: a subprocess or a thread."""
+
+    def __init__(self, proc=None, thread=None) -> None:
+        self.proc = proc
+        self.thread = thread
+
+    def alive(self) -> bool:
+        if self.proc is not None:
+            return self.proc.poll() is None
+        return self.thread.is_alive()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+        else:
+            self.thread.join(timeout=timeout)
+
+
+class DistributedEngine:
+    """Partitioned folds on queue-fed workers: task blobs in, carries out.
+
+    Two deployment shapes behind one engine:
+
+    * **self-hosted** (``queue=None``, what ``resolve_engine`` builds):
+      the coordinator stages the queue in a scratch directory
+      and spawns ``workers`` loopback worker processes (default:
+      ``jobs``), so ``--engine distributed`` works on one machine with no
+      setup — the distributed twin of the process engine, and the fifth
+      leg of the differential suite.
+    * **attach** (``queue=<path or transport>``, ``workers=0``): the
+      coordinator publishes into an existing queue location and real
+      workers — started anywhere with ``ompdataperf worker --queue`` —
+      lease the tasks.  The queue location must be empty (one queue is
+      one run); workers may be waiting before it exists.
+
+    ``worker_mode="thread"`` runs spawned workers as in-process threads
+    over the same blob protocol — cheap enough for property tests to spin
+    up a full coordinator/worker round per Hypothesis example.
+
+    Failure handling: a task whose queue state freezes longer than
+    ``lease_timeout`` (dead worker) or that reports a worker-side error
+    is requeued under the next attempt tag; after ``max_attempts``
+    attempts the run aborts with :class:`DistributedExecutionError`.
+    Spawned workers that die are replaced while the respawn budget lasts.
+    ``run_timeout`` bounds the whole run when set.  :attr:`stats` records
+    the last run's task, requeue and respawn counts.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        queue=None,
+        *,
+        workers: Optional[int] = None,
+        worker_mode: str = "process",
+        lease_timeout: float = 30.0,
+        poll_interval: float = 0.2,
+        max_attempts: int = 3,
+        run_timeout: Optional[float] = None,
+        worker_env: Optional[dict] = None,
+    ) -> None:
+        if worker_mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {worker_mode!r}")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.queue = queue
+        self.workers = workers
+        self.worker_mode = worker_mode
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self.run_timeout = run_timeout
+        self.worker_env = dict(worker_env) if worker_env else None
+        #: Observability for the last completed/failed run.
+        self.stats: dict = {}
+
+    # ------------------------------------------------------------------ #
+    def run(self, specs, stream, *, jobs: int = 1) -> list:
+        _check_jobs(jobs)
+        from repro.events.store import ShardedTraceStore
+
+        if not isinstance(stream, ShardedTraceStore):
+            raise TypeError(
+                "the distributed engine publishes transport specs to its "
+                "workers and requires a ShardedTraceStore; shard the trace "
+                "first (shard_trace / `ompdataperf trace shard`) or use "
+                "the serial or thread engine"
+            )
+        tasks = partition_tasks(stream, jobs)
+        if not tasks:
+            if self.queue is not None:
+                # Attach mode: external workers are watching this queue
+                # location, so even a degenerate (single-partition) run
+                # must create it and terminate them — otherwise they poll
+                # forever for a run that will never appear.
+                TaskQueue(self._open_queue()).mark_done()
+            return SerialEngine().run(specs, stream, jobs=jobs)
+
+        scratch_dir: Optional[str] = None
+        if self.queue is None:
+            scratch_dir = tempfile.mkdtemp(prefix="ompdataperf-queue-")
+            transport = open_transport(Path(scratch_dir) / "queue", create=True)
+            if transport.list_blobs():  # pragma: no cover - fresh tempdir
+                raise ValueError(f"{transport.describe()}: scratch queue not empty")
+        else:
+            transport = self._open_queue()
+        num_workers = self.workers if self.workers is not None else jobs
+        if (
+            num_workers > 0
+            and self.worker_mode == "process"
+            and getattr(transport, "path", None) is None
+        ):
+            raise ValueError(
+                "process-mode workers are launched with a queue path and "
+                f"{transport.describe()} has none; pass worker_mode='thread' "
+                "or a path-backed queue"
+            )
+
+        queue = TaskQueue(transport)
+        specs = tuple(specs)
+        queue.publish_run(
+            {
+                "version": QUEUE_FORMAT_VERSION,
+                "store_spec": stream.transport.spec(),
+                "pass_specs": specs,
+                "lease_timeout": self.lease_timeout,
+            }
+        )
+        for task in tasks:
+            queue.publish_task(task)
+
+        self.stats = {
+            "tasks": len(tasks),
+            "workers": num_workers,
+            "requeued": 0,
+            "respawned": 0,
+        }
+        handles = [
+            self._spawn_worker(transport) for _ in range(num_workers)
+        ]
+        respawn_budget = num_workers
+        try:
+            self._coordinate(queue, tasks, handles, respawn_budget, transport)
+            # Collect before the done marker releases the workers and the
+            # scratch queue is torn down.
+            chains = [
+                pickle.loads(queue.read_result(task.index)) for task in tasks
+            ]
+            queue.mark_done()
+        except BaseException:
+            # Whatever tore the run down (including KeyboardInterrupt in
+            # the coordinator), external workers must not wait forever.
+            if queue.abort_reason() is None and not queue.is_done():
+                try:
+                    queue.mark_abort("coordinator terminated")
+                except TransportError:
+                    pass
+            raise
+        finally:
+            for handle in handles:
+                handle.stop()
+            if scratch_dir is not None:
+                shutil.rmtree(scratch_dir, ignore_errors=True)
+
+        merged = _merge_partition_carries(chains)
+        return _finalize_all(merged, stream, jobs)
+
+    # ------------------------------------------------------------------ #
+    def _open_queue(self) -> ShardTransport:
+        """Open (creating if needed) the attach-mode queue location."""
+        transport = open_transport(self.queue, create=True)
+        _check_queue_transport(transport)
+        if transport.list_blobs():
+            raise ValueError(
+                f"{transport.describe()}: refusing to coordinate over a "
+                f"non-empty queue location (one queue is one run)"
+            )
+        return transport
+
+    def _spawn_worker(self, transport: ShardTransport) -> _WorkerHandle:
+        if self.worker_mode == "thread":
+            thread = threading.Thread(
+                target=run_worker,
+                kwargs={
+                    "queue": transport,
+                    "poll_interval": min(self.poll_interval, 0.1),
+                },
+                daemon=True,
+            )
+            thread.start()
+            return _WorkerHandle(thread=thread)
+        env = dict(os.environ)
+        # The spawned interpreter must find this package even when it is
+        # used from a source tree rather than an installed distribution.
+        package_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        if self.worker_env:
+            env.update(self.worker_env)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--queue",
+                str(transport.path),
+                "--poll-interval",
+                str(max(min(self.poll_interval, 0.2), 0.01)),
+                "-q",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        return _WorkerHandle(proc=proc)
+
+    def _coordinate(
+        self,
+        queue: TaskQueue,
+        tasks: Sequence[PartitionTask],
+        handles: list[_WorkerHandle],
+        respawn_budget: int,
+        transport: ShardTransport,
+    ) -> None:
+        """Poll until every task has a result; requeue frozen/failed leases."""
+        started = time.monotonic()
+        current_attempt = {task.index: 0 for task in tasks}
+        # index -> (state token, monotonic time the token last changed)
+        observed: dict[int, tuple[tuple, float]] = {}
+        task_by_index = {task.index: task for task in tasks}
+
+        def fail_task(index: int, reason: str) -> None:
+            attempt = current_attempt[index]
+            stem = _task_stem(index, attempt)
+            # Clear the dead generation's lease debris so the attempt tag
+            # alone distinguishes live state.
+            for name in list_blobs_under(transport, CLAIM_PREFIX + stem):
+                transport.delete_blob(name)
+            for name in list_blobs_under(transport, BEAT_PREFIX + stem):
+                transport.delete_blob(name)
+            next_attempt = attempt + 1
+            if next_attempt >= self.max_attempts:
+                message = (
+                    f"task {index} failed {next_attempt} attempt(s), last: "
+                    f"{reason} (max_attempts={self.max_attempts})"
+                )
+                queue.mark_abort(message)
+                raise DistributedExecutionError(message)
+            current_attempt[index] = next_attempt
+            observed.pop(index, None)
+            self.stats["requeued"] += 1
+            queue.publish_task(task_by_index[index], attempt=next_attempt)
+
+        while True:
+            now = time.monotonic()
+            names = transport.list_blobs()
+            results = set()
+            pending = set()
+            claims: dict[tuple[int, int], str] = {}
+            errors: dict[tuple[int, int], str] = {}
+            for name in names:
+                if name.startswith(RESULT_PREFIX):
+                    parsed = re.search(r"task-(\d{5})\.pkl$", name)
+                    if parsed:
+                        results.add(int(parsed.group(1)))
+                elif name.startswith(TASK_PREFIX):
+                    parsed = _parse_pending_name(name)
+                    if parsed:
+                        pending.add(parsed)
+                elif name.startswith(CLAIM_PREFIX):
+                    parsed = _parse_leased_name(name)
+                    if parsed:
+                        claims[parsed] = name
+                elif name.startswith(ERROR_PREFIX):
+                    parsed = _parse_leased_name(name)
+                    if parsed:
+                        errors[parsed] = name
+
+            if all(task.index in results for task in tasks):
+                return
+
+            for task in tasks:
+                index = task.index
+                if index in results:
+                    continue
+                attempt = current_attempt[index]
+                key = (index, attempt)
+                if key in errors:
+                    message = try_read_blob(transport, errors[key])
+                    reason = (
+                        message.decode("utf-8", errors="replace")
+                        if message
+                        else "worker reported an error"
+                    )
+                    fail_task(index, reason)
+                    continue
+                if key in pending:
+                    token: tuple = ("pending", attempt)
+                    frozen_means_dead = False
+                else:
+                    claim_name = claims.get(key)
+                    if claim_name is not None:
+                        beat_name = BEAT_PREFIX + claim_name[len(CLAIM_PREFIX):]
+                        beat = try_read_blob(transport, beat_name)
+                        token = ("claim", claim_name, beat)
+                    else:
+                        # Neither pending nor claimed nor resulted: a torn
+                        # claim rename, or a listing racing the worker.
+                        token = ("missing", attempt)
+                    frozen_means_dead = True
+                last = observed.get(index)
+                if last is None or last[0] != token:
+                    observed[index] = (token, now)
+                elif frozen_means_dead and now - last[1] > self.lease_timeout:
+                    what = "lease expired" if token[0] == "claim" else "task blob lost"
+                    fail_task(index, f"{what} after {self.lease_timeout:g}s")
+
+            # Keep the spawned fleet alive while the budget lasts; a fleet
+            # that died entirely can never finish the run, so fail fast.
+            if handles:
+                for i, handle in enumerate(handles):
+                    if not handle.alive():
+                        if respawn_budget > 0:
+                            respawn_budget -= 1
+                            self.stats["respawned"] += 1
+                            handles[i] = self._spawn_worker(transport)
+                if not any(handle.alive() for handle in handles):
+                    message = (
+                        f"all {len(handles)} spawned worker(s) exited before "
+                        f"the run completed (respawn budget exhausted)"
+                    )
+                    queue.mark_abort(message)
+                    raise DistributedExecutionError(message)
+
+            if (
+                self.run_timeout is not None
+                and time.monotonic() - started > self.run_timeout
+            ):
+                message = f"run did not complete within {self.run_timeout:g}s"
+                queue.mark_abort(message)
+                raise DistributedExecutionError(message)
+            time.sleep(self.poll_interval)
+
+
+ENGINES[DistributedEngine.name] = DistributedEngine

@@ -20,12 +20,22 @@ stream.  How those folds execute is this module's job, behind one
   rebuilds the shard transport
   (:func:`~repro.events.transport.transport_from_spec`), opens the
   :class:`~repro.events.store.ShardedTraceStore` through it and folds its
-  shard range locally, so only the spawn arguments (a spec, two indices,
-  the pass specs) and the folded carry states — small, picklable — ever
-  cross the process boundary.  The store can therefore live behind *any*
-  transport (a local directory, a zip archive, an object store), and the
-  finalize-side materialisation scans run on the same worker pool, so a
-  process-engine run stays off the parent's GIL end to end.
+  shard range locally, so only the spawn arguments (a spec, a
+  :class:`PartitionTask`, the pass specs) and the folded carry states —
+  small, picklable — ever cross the process boundary.  The store can
+  therefore live behind *any* transport (a local directory, a zip
+  archive, an object store), and the finalize-side materialisation scans
+  run on the same worker pool, so a process-engine run stays off the
+  parent's GIL end to end.
+
+A fourth backend lives in :mod:`repro.core.distributed`:
+``DistributedEngine`` speaks the same partition→fold→merge→finalize shape
+across *machines*, with partition tasks leased from a transport-backed
+queue instead of submitted to an in-process pool.  It shares this
+module's task vocabulary — :class:`PartitionTask`,
+:func:`partition_tasks`, :func:`fold_store_task` — and registers itself
+in :data:`ENGINES` on import (``repro.core`` imports it, so the registry
+is always complete).
 
 All three produce bit-identical findings: partition workers fold with
 ``eager=False`` (classification deferred until the carries merge), and the
@@ -162,20 +172,63 @@ def _open_store_from_spec(spec: dict):
     return ShardedTraceStore.open(transport_from_spec(spec))
 
 
-def _fold_store_partition(
-    spec: dict, lo: int, hi: int, data_op_offset: int, pass_specs: tuple
-) -> list[StreamingPass]:
-    """Process-worker entry point: open the store, fold one shard range.
+@dataclass(frozen=True)
+class PartitionTask:
+    """One schedulable unit of fold work: a contiguous shard range.
 
-    Runs in the worker process — everything it touches beyond the
-    arguments is read through the rebuilt transport, and only the folded
-    carries return.
+    The picklable twin of :class:`~repro.events.stream.StreamPartition`
+    that does not hold the stream itself — what crosses a process
+    boundary (the process engine's spawn arguments) or lands in a task
+    queue (one blob per task, for the distributed engine).  ``index`` is
+    the task's position in partition order, which is the order the folded
+    carries must merge back in.
+    """
+
+    index: int
+    lo: int
+    hi: int
+    data_op_offset: int
+    num_events: int
+
+
+def partition_tasks(store, n: int) -> list[PartitionTask]:
+    """Cut a store into at most ``n`` :class:`PartitionTask` units.
+
+    Mirrors :meth:`~repro.events.store.ShardedTraceStore.partitions` but
+    returns the detached task records.  The degenerate cases — one
+    partition or an unpartitionable stream — come back as the empty list,
+    which every engine treats as "run serially".
+    """
+    parts = store.partitions(n)
+    if len(parts) <= 1:
+        return []
+    return [
+        PartitionTask(
+            index=i,
+            lo=part.lo,
+            hi=part.hi,
+            data_op_offset=part.data_op_offset,
+            num_events=part.num_events,
+        )
+        for i, part in enumerate(parts)
+    ]
+
+
+def fold_store_task(
+    spec: dict, task: PartitionTask, pass_specs: tuple
+) -> list[StreamingPass]:
+    """Worker entry point: open the store from its spec, fold one task.
+
+    Runs wherever the scheduling engine put it — a process-pool worker, a
+    distributed worker on another machine — and everything it touches
+    beyond the arguments is read through the rebuilt transport; only the
+    folded carries return.
     """
     store = _open_store_from_spec(spec)
-    num_events = sum(shard.num_events for shard in store.shards[lo:hi])
-    return _fold_partition(
-        pass_specs, StreamPartition(store, lo, hi, data_op_offset, num_events)
+    partition = StreamPartition(
+        store, task.lo, task.hi, task.data_op_offset, task.num_events
     )
+    return _fold_partition(pass_specs, partition)
 
 
 def _finalize_store_pass(spec: dict, pass_: StreamingPass):
@@ -227,24 +280,16 @@ class ProcessEngine:
                 "(shard_trace / `ompdataperf trace shard`) or use the "
                 "serial or thread engine"
             )
-        parts = stream.partitions(jobs)
-        if len(parts) <= 1:
+        tasks = partition_tasks(stream, jobs)
+        if not tasks:
             return SerialEngine().run(specs, stream, jobs=jobs)
         specs = tuple(specs)
         spec = stream.transport.spec()
         with ProcessPoolExecutor(
-            max_workers=len(parts), mp_context=_process_context()
+            max_workers=len(tasks), mp_context=_process_context()
         ) as pool:
             futures = [
-                pool.submit(
-                    _fold_store_partition,
-                    spec,
-                    part.lo,
-                    part.hi,
-                    part.data_op_offset,
-                    specs,
-                )
-                for part in parts
+                pool.submit(fold_store_task, spec, task, specs) for task in tasks
             ]
             chains = [future.result() for future in futures]
             merged = _merge_partition_carries(chains)
@@ -258,7 +303,10 @@ class ProcessEngine:
             return [future.result() for future in finalize_futures]
 
 
-#: Engine registry, keyed by the names the CLI exposes.
+#: Engine registry, keyed by the names the CLI exposes.  The distributed
+#: engine registers itself here when :mod:`repro.core.distributed` is
+#: imported (``repro.core``'s package init does, so the registry is
+#: complete before any CLI or test reads it).
 ENGINES: dict[str, type] = {
     SerialEngine.name: SerialEngine,
     ThreadEngine.name: ThreadEngine,
@@ -309,9 +357,9 @@ def process_engine_fallback_reason(jobs: Optional[int] = None) -> Optional[str]:
 def resolve_engine(engine, *, jobs: Optional[int] = None, degrade: bool = False) -> ExecutionEngine:
     """Resolve an engine name (or pass an instance through).
 
-    Accepts a registry name (``"serial"``, ``"thread"``, ``"process"``),
-    an :class:`ExecutionEngine` instance, or ``None`` for the default
-    serial engine.  With ``degrade=True`` a ``"process"`` request on a
+    Accepts a registry name (``"serial"``, ``"thread"``, ``"process"``,
+    ``"distributed"``), an :class:`ExecutionEngine` instance, or ``None``
+    for the default serial engine.  With ``degrade=True`` a ``"process"`` request on a
     machine where it cannot help — a single usable core, one worker, or a
     platform without a multiprocessing start method — emits a
     :class:`RuntimeWarning` and falls back to the serial engine instead

@@ -129,11 +129,17 @@ class LocalDirTransport:
     def list_blobs(self) -> list[str]:
         if not self.path.is_dir():
             return []
-        return sorted(
-            p.relative_to(self.path).as_posix()
-            for p in self.path.rglob("*")
-            if p.is_file()
-        )
+        try:
+            return sorted(
+                p.relative_to(self.path).as_posix()
+                for p in self.path.rglob("*")
+                if p.is_file()
+            )
+        except OSError:
+            # The directory vanished mid-walk (a concurrent teardown —
+            # e.g. a distributed worker outpolling its scratch queue's
+            # removal); a gone store lists as empty, same as above.
+            return []
 
     def read_blob(self, name: str) -> bytes:
         try:
@@ -581,6 +587,52 @@ class PrefixTransport:
 
     def describe(self) -> str:
         return f"{self.inner.describe()}!{self.prefix}"
+
+
+# --------------------------------------------------------------------- #
+# Shared blob idioms (task queues, lease claims)
+# --------------------------------------------------------------------- #
+def list_blobs_under(transport: ShardTransport, prefix: str) -> list[str]:
+    """All blob names starting with ``prefix``, sorted.
+
+    Object stores answer prefix listings server-side (``list_objects``),
+    so the distributed task queue's per-poll scans stay one request; every
+    other transport filters its full listing.
+    """
+    lister = getattr(transport, "list_objects", None)
+    if lister is not None:
+        return sorted(lister(prefix))
+    return [name for name in transport.list_blobs() if name.startswith(prefix)]
+
+
+def try_read_blob(transport: ShardTransport, name: str) -> Optional[bytes]:
+    """A blob's content, or ``None`` when it does not (or no longer) exists.
+
+    Polling loops race against concurrent writers deleting or renaming
+    blobs between a listing and the read; this is the read that treats
+    losing such a race as an answer rather than an error.
+    """
+    try:
+        return transport.read_blob(name)
+    except TransportError:
+        return None
+
+
+def try_claim_blob(transport: ShardTransport, src: str, dst: str) -> bool:
+    """Claim ``src`` by renaming it to ``dst``; ``False`` if the race was lost.
+
+    Renames fail when the *source* is gone, so concurrent claimants racing
+    for one blob (each renaming it to its own claim name) resolve to
+    exactly one winner on transports with atomic rename.  On object
+    stores — where rename is copy-then-delete — two racers can briefly
+    both hold a copy; claimed work must therefore be idempotent (the
+    distributed engine's folds are: duplicate results are bit-identical).
+    """
+    try:
+        transport.rename_blob(src, dst)
+    except TransportError:
+        return False
+    return True
 
 
 # --------------------------------------------------------------------- #

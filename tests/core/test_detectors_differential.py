@@ -3,15 +3,16 @@
 Every detector has three implementations — the object-based reference
 oracle, the vectorised columnar fast path, and the incremental streaming
 variant that folds an event stream shard by shard — and the streaming
-variant additionally runs on three execution engines (serial scan,
-thread-partitioned, process-partitioned over an on-disk store).  For any
-well-formed trace every path must return *identical* findings (same
-finding objects, in the same order, holding equal events), for every shard
-size and partition count.  Hypothesis generates random multi-device
-mapping histories plus a shard size (and worker count) and the tests
-assert equality detector by detector, plus at the aggregated analysis
-level, four ways: object, columnar, streaming, and partition-merged
-engine execution.
+variant additionally runs on four execution engines (serial scan,
+thread-partitioned, process-partitioned over an on-disk store, and the
+distributed coordinator/worker engine leasing tasks from a transport
+queue).  For any well-formed trace every path must return *identical*
+findings (same finding objects, in the same order, holding equal events),
+for every shard size and partition count.  Hypothesis generates random
+multi-device mapping histories plus a shard size (and worker count) and
+the tests assert equality detector by detector, plus at the aggregated
+analysis level, five ways: object, columnar, streaming, partition-merged
+engine execution, and queue-fed distributed execution.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.analysis import analyze_stream, analyze_trace
+from repro.core.distributed import DistributedEngine
 from repro.core.detectors.duplicates import (
     find_duplicate_transfers,
     find_duplicate_transfers_columnar,
@@ -218,6 +220,76 @@ def test_process_engine_identical_over_stores(trace, shard_events, workers):
         _assert_reports_equal(obj_report, process_report)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(mapping_traces(), _SHARDS, _WORKERS)
+def test_distributed_engine_identical_over_stores(trace, shard_events, workers):
+    """The fifth leg: coordinator/worker execution over a task queue.
+
+    The trace goes to disk as a sharded store, a distributed coordinator
+    publishes partition tasks into a scratch queue, thread-mode workers
+    lease them over the full blob protocol (claim renames, heartbeats,
+    pickled carry results), and the merged result must equal the object
+    oracle bit for bit — for random shard sizes and worker counts.
+    """
+    obj_report = analyze_trace(trace)
+    scratch = tempfile.mkdtemp(prefix="ompdataperf-diff-")
+    try:
+        store = shard_trace(
+            ColumnarTrace.from_trace(trace),
+            Path(scratch) / "t.store",
+            shard_events=shard_events,
+        )
+        engine = DistributedEngine(
+            worker_mode="thread", poll_interval=0.01, run_timeout=120.0
+        )
+        report = analyze_stream(store, engine=engine, jobs=workers)
+        _assert_reports_equal(obj_report, report)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(mapping_traces(), _SHARDS, _WORKERS)
+def test_distributed_engine_identical_over_remote_transports(
+    trace, shard_events, workers
+):
+    """The fifth leg over non-local storage: the store's shards live in a
+    zip archive or an S3-like object store, and for the latter the queue
+    itself is object-store backed too (claims become copy-then-delete)."""
+    obj_report = analyze_trace(trace)
+    scratch = tempfile.mkdtemp(prefix="ompdataperf-diff-")
+    try:
+        zip_store = shard_trace(
+            ColumnarTrace.from_trace(trace),
+            Path(scratch) / "t.zip",
+            shard_events=shard_events,
+        )
+        engine = DistributedEngine(
+            worker_mode="thread", poll_interval=0.01, run_timeout=120.0
+        )
+        _assert_reports_equal(
+            obj_report, analyze_stream(zip_store, engine=engine, jobs=workers)
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    remote_store = shard_trace(
+        ColumnarTrace.from_trace(trace),
+        FakeObjectStoreTransport(),
+        shard_events=shard_events,
+    )
+    engine = DistributedEngine(
+        queue=FakeObjectStoreTransport(),
+        workers=workers,
+        worker_mode="thread",
+        poll_interval=0.01,
+        run_timeout=120.0,
+    )
+    _assert_reports_equal(
+        obj_report, analyze_stream(remote_store, engine=engine, jobs=workers)
+    )
 
 
 @settings(max_examples=25, deadline=None)

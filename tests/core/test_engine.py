@@ -136,7 +136,9 @@ def test_engines_match_the_columnar_oracle(trace, store, engine, jobs):
 def test_engines_on_in_memory_slices(trace, engine):
     """Thread/serial engines also partition the in-memory slicer."""
     stream = as_event_stream(trace, 512)
-    if engine == "process":
+    if engine in ("process", "distributed"):
+        # Both ship transport specs to their workers, so both demand a
+        # real on-disk (or object-store) sharded store.
         with pytest.raises(TypeError, match="ShardedTraceStore"):
             analyze_stream(stream, engine=engine, jobs=2)
         return
@@ -207,7 +209,7 @@ def test_resolve_engine_degrades_to_serial_with_warning(monkeypatch):
 
 
 def test_engine_resolution():
-    assert available_engines() == ["process", "serial", "thread"]
+    assert available_engines() == ["distributed", "process", "serial", "thread"]
     assert isinstance(resolve_engine("serial"), SerialEngine)
     assert isinstance(resolve_engine("thread"), ThreadEngine)
     assert isinstance(resolve_engine("process"), ProcessEngine)

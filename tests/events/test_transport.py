@@ -13,6 +13,7 @@ never leave a store whose manifest references incomplete data
 from __future__ import annotations
 
 import pickle
+import shutil
 
 import pytest
 
@@ -35,8 +36,11 @@ from repro.events.transport import (
     ShardTransport,
     TransportError,
     ZipArchiveTransport,
+    list_blobs_under,
     open_transport,
     transport_from_spec,
+    try_claim_blob,
+    try_read_blob,
     zip_contains_manifest,
 )
 
@@ -441,3 +445,57 @@ def test_fail_next_validates_operation():
         remote.fail_next("teleport")
     with pytest.raises(ValueError):
         remote.tear_next_write(1.5)
+
+
+# --------------------------------------------------------------------- #
+# Queue idioms: prefix listing, tolerant reads, claim-by-rename
+# --------------------------------------------------------------------- #
+def test_list_blobs_under_filters_by_prefix(transport):
+    transport.write_blob("tasks/task-00000.a000", b"t0")
+    transport.write_blob("tasks/task-00001.a000", b"t1")
+    transport.write_blob("results/task-00000.pkl", b"r0")
+    transport.write_blob("manifest.json", b"{}")
+    assert list_blobs_under(transport, "tasks/") == [
+        "tasks/task-00000.a000",
+        "tasks/task-00001.a000",
+    ]
+    assert list_blobs_under(transport, "results/") == ["results/task-00000.pkl"]
+    assert list_blobs_under(transport, "nothing/") == []
+
+
+def test_list_blobs_under_uses_server_side_prefix_on_object_stores():
+    remote = FakeObjectStoreTransport()
+    remote.write_blob("tasks/a", b"x")
+    remote.write_blob("other/b", b"y")
+    before = remote.op_counts.get("list", 0)
+    assert list_blobs_under(remote, "tasks/") == ["tasks/a"]
+    # One prefix-filtered list request, not a full listing plus filtering.
+    assert remote.op_counts["list"] == before + 1
+
+
+def test_try_read_blob_returns_none_for_missing(transport):
+    assert try_read_blob(transport, "ghost.bin") is None
+    transport.write_blob("real.bin", b"data")
+    assert try_read_blob(transport, "real.bin") == b"data"
+
+
+def test_try_claim_blob_single_winner(transport):
+    transport.write_blob("tasks/task-00000.a000", b"payload")
+    assert try_claim_blob(
+        transport, "tasks/task-00000.a000", "claims/task-00000.a000.w1"
+    )
+    assert transport.read_blob("claims/task-00000.a000.w1") == b"payload"
+    # The source is gone, so the losing claimant's rename fails cleanly.
+    assert not try_claim_blob(
+        transport, "tasks/task-00000.a000", "claims/task-00000.a000.w2"
+    )
+    assert not transport.blob_exists("claims/task-00000.a000.w2")
+
+
+def test_local_dir_listing_survives_concurrent_teardown(tmp_path):
+    """A store directory removed mid-listing lists as empty, not a crash
+    (distributed workers race their scratch queue's teardown)."""
+    local = LocalDirTransport(tmp_path / "gone", create=True)
+    local.write_blob("a.bin", b"x")
+    shutil.rmtree(tmp_path / "gone")
+    assert local.list_blobs() == []

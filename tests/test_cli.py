@@ -178,7 +178,7 @@ def test_trace_shard_rejects_bad_shard_events(tmp_path, capsys):
     assert "expected a positive integer" in capsys.readouterr().err
 
 
-@pytest.mark.parametrize("engine", ["thread", "process"])
+@pytest.mark.parametrize("engine", ["thread", "process", "distributed"])
 def test_stream_engines_match_in_memory_report(tmp_path, capsys, engine):
     assert main(["hotspot", "--size", "small", "-q"]) == 0
     in_memory = capsys.readouterr().out
@@ -198,6 +198,69 @@ def test_unknown_engine_rejected():
     with pytest.raises(SystemExit):
         main(["hotspot", "--size", "small", "-q", "--stream",
               "--engine", "quantum"])
+
+
+def test_queue_requires_distributed_engine(capsys):
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream",
+              "--engine", "process", "--queue", "some.queue"])
+    assert "--engine distributed" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream",
+              "--engine", "serial", "--queue-timeout", "5"])
+    assert "--engine distributed" in capsys.readouterr().err
+
+
+def test_queue_timeout_fails_clearly_when_no_worker_attaches(tmp_path, capsys):
+    """Attach mode with no workers must not hang: --queue-timeout turns
+    the wait into a clear CLI error naming the reason."""
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream",
+              "--engine", "distributed",
+              "--queue", str(tmp_path / "nobody.queue"),
+              "--queue-timeout", "0.5", "--jobs", "2", "--shard-events", "4"])
+    err = capsys.readouterr().err
+    assert "distributed run failed" in err and "did not complete" in err
+
+
+def test_worker_exits_on_done_marker(tmp_path, capsys):
+    """A worker pointed at a finished run's queue exits cleanly."""
+    from repro.core.distributed import TaskQueue
+    from repro.events.transport import LocalDirTransport
+
+    queue_dir = tmp_path / "finished.queue"
+    TaskQueue(LocalDirTransport(queue_dir, create=True)).mark_done()
+    assert main(["worker", "--queue", str(queue_dir),
+                 "--poll-interval", "0.05"]) == 0
+    assert "run complete" in capsys.readouterr().out
+
+
+def test_worker_exits_on_abort_marker(tmp_path, capsys):
+    from repro.core.distributed import TaskQueue
+    from repro.events.transport import LocalDirTransport
+
+    queue_dir = tmp_path / "aborted.queue"
+    TaskQueue(LocalDirTransport(queue_dir, create=True)).mark_abort("boom")
+    assert main(["worker", "--queue", str(queue_dir),
+                 "--poll-interval", "0.05"]) == 1
+    assert "boom" in capsys.readouterr().out
+
+
+def test_worker_idle_timeout(tmp_path, capsys):
+    """With --idle-timeout a worker does not wait forever for a run."""
+    assert main(["worker", "--queue", str(tmp_path / "never.queue"),
+                 "--poll-interval", "0.05", "--idle-timeout", "0.2"]) == 1
+    assert "no run appeared" in capsys.readouterr().out
+
+
+def test_worker_flag_validation(capsys):
+    with pytest.raises(SystemExit):
+        main(["worker", "--queue", "q", "--poll-interval", "0"])
+    assert "expected a positive number" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["worker", "--queue", "q", "--max-tasks", "0"])
+    with pytest.raises(SystemExit):
+        main(["worker"])  # --queue is required
 
 
 def test_trace_compact_reshards_in_place(tmp_path, capsys):
@@ -319,15 +382,26 @@ def test_trace_shard_into_zip_archive(tmp_path, capsys):
 
 
 def test_stream_process_engine_degrades_on_one_core(monkeypatch, capsys):
+    """resolve_engine degradation as the CLI surfaces it: the default run
+    prints the RuntimeWarning (with its reason), -q suppresses it."""
     monkeypatch.setattr("repro.core.engine._usable_cores", lambda: 1)
     assert main(["hotspot", "--size", "small", "--stream",
                  "--engine", "process", "--jobs", "2"]) == 0
     out = capsys.readouterr().out
     assert "warning:" in out and "falling back to the serial engine" in out
+    assert "usable core" in out  # the reason travels with the warning
     # -q suppresses the warning but the run still succeeds.
     assert main(["hotspot", "--size", "small", "-q", "--stream",
                  "--engine", "process", "--jobs", "2"]) == 0
     assert "warning:" not in capsys.readouterr().out
+
+
+def test_stream_process_degradation_reason_for_jobs_one(capsys):
+    """--jobs 1 is the other degradation trigger; surfaced the same way."""
+    assert main(["hotspot", "--size", "small", "--stream",
+                 "--engine", "process", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "warning:" in out and "--jobs 1" in out
 
 
 def test_trace_compact_rejects_single_file(tmp_path, capsys):

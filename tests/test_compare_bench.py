@@ -80,13 +80,30 @@ def test_improvement_passes(tmp_path):
     ) == 0
 
 
-def test_missing_baseline_passes(tmp_path, capsys):
+def test_missing_baseline_is_neutral_not_pass(tmp_path, capsys):
+    """No baseline exits with the DISTINCT neutral status (3), never 0:
+    CI maps it to pass-with-notice, so a gate that never actually
+    compared anything cannot read as 'all metrics within tolerance'."""
     _write_bench(tmp_path / "cur", "detectors", 1_000_000.0, 1.0)
     rc = compare_bench.main(
         ["--baseline", str(tmp_path / "nope"), "--current", str(tmp_path / "cur")]
     )
-    assert rc == 0
-    assert "first run" in capsys.readouterr().out
+    assert rc == compare_bench.EXIT_NO_BASELINE == 3
+    assert "neutral" in capsys.readouterr().out
+
+
+def test_empty_baseline_dir_is_neutral(tmp_path, capsys):
+    (tmp_path / "base").mkdir()
+    _write_bench(tmp_path / "cur", "detectors", 1_000_000.0, 1.0)
+    rc = compare_bench.main(
+        ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "cur")]
+    )
+    assert rc == compare_bench.EXIT_NO_BASELINE
+    assert "no baseline records" in capsys.readouterr().out
+
+
+def test_neutral_status_distinct_from_regression_and_ok():
+    assert compare_bench.EXIT_NO_BASELINE not in (0, 1, 2)
 
 
 def test_new_and_removed_benchmarks_never_fail(tmp_path, capsys):
