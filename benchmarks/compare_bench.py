@@ -27,6 +27,13 @@ quadratic path, a lost fast path) rather than chasing single-digit noise.
 Metrics present only in the baseline (a renamed or removed benchmark) are
 reported but never fail the comparison; metrics present only in the
 current run are new and pass by definition.
+
+Besides throughput, engine records carry a per-task overhead breakdown
+(``overhead_seconds`` inside each ``overhead`` block — spawn + store open
++ shard decode).  These are compared with the *opposite* direction
+(lower is better) under the same tolerance.  Baselines written before
+the overhead fields existed simply contribute no overhead metrics, so
+comparisons against old snapshots stay green.
 """
 
 from __future__ import annotations
@@ -38,6 +45,10 @@ from pathlib import Path
 
 #: Metric leaves compared between runs (higher is better).
 METRIC_KEY = "events_per_sec"
+
+#: Overhead leaves compared between runs (lower is better); absent from
+#: records written before the warm-pool engine landed.
+OVERHEAD_KEY = "overhead_seconds"
 
 DEFAULT_TOLERANCE = 0.25
 
@@ -62,7 +73,25 @@ def extract_metrics(record, prefix: str = "") -> dict[str, float]:
     return out
 
 
-def load_bench_files(directory: Path) -> dict[str, dict[str, float]]:
+def extract_overheads(record, prefix: str = "") -> dict[str, float]:
+    """Every ``overhead_seconds`` leaf in a record, keyed by dotted path."""
+    out: dict[str, float] = {}
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key == OVERHEAD_KEY and isinstance(value, (int, float)):
+                out[path] = float(value)
+            else:
+                out.update(extract_overheads(value, path))
+    elif isinstance(record, list):
+        for index, value in enumerate(record):
+            out.update(extract_overheads(value, f"{prefix}[{index}]"))
+    return out
+
+
+def load_bench_files(
+    directory: Path, extract=extract_metrics
+) -> dict[str, dict[str, float]]:
     """``{file name: {metric path: value}}`` for every BENCH_*.json present."""
     out: dict[str, dict[str, float]] = {}
     for path in sorted(directory.glob("BENCH_*.json")):
@@ -71,7 +100,7 @@ def load_bench_files(directory: Path) -> dict[str, dict[str, float]]:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
             continue
-        out[path.name] = extract_metrics(record)
+        out[path.name] = extract(record)
     return out
 
 
@@ -109,6 +138,49 @@ def compare(
             )
     for name in sorted(set(current) - set(baseline)):
         print(f"note: {name}: new benchmark (no baseline), passing")
+    return regressions
+
+
+def compare_overheads(
+    baseline: dict[str, dict[str, float]],
+    current: dict[str, dict[str, float]],
+    tolerance: float,
+) -> list[str]:
+    """Lower-is-better twin of :func:`compare` for overhead seconds.
+
+    Old baselines have no overhead leaves: every current metric is then
+    "new" and passes, so the gate degrades gracefully across the format
+    change.
+    """
+    regressions: list[str] = []
+    for name, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(name, {})
+        for path, base_value in sorted(base_metrics.items()):
+            cur_value = cur_metrics.get(path)
+            if cur_value is None:
+                print(f"note: {name}: {path} present in baseline only")
+                continue
+            if base_value <= 0:
+                continue  # a warm run's zero overhead carries no ratio
+            ratio = cur_value / base_value
+            status = "ok"
+            if ratio > 1.0 + tolerance:
+                status = "REGRESSION"
+                regressions.append(
+                    f"{name}: {path} grew to {ratio:.2f}x of baseline "
+                    f"({base_value:.4f}s -> {cur_value:.4f}s overhead, "
+                    f"tolerance {1.0 + tolerance:.2f}x)"
+                )
+            print(
+                f"{status:>10}  {name}  {path}  "
+                f"{base_value:>10.4f}s -> {cur_value:>10.4f}s  ({ratio:.2f}x)"
+            )
+        new_paths = sorted(set(cur_metrics) - set(base_metrics))
+        if new_paths:
+            print(
+                f"note: {name}: {len(new_paths)} overhead metric(s) without "
+                f"a baseline (older record format), passing"
+            )
     return regressions
 
 
@@ -157,6 +229,11 @@ def main(argv=None) -> int:
         return EXIT_NO_BASELINE
 
     regressions = compare(baseline, current, args.tolerance)
+    regressions += compare_overheads(
+        load_bench_files(baseline_dir, extract_overheads),
+        load_bench_files(current_dir, extract_overheads),
+        args.tolerance,
+    )
     if regressions:
         print(f"\n{len(regressions)} benchmark regression(s):", file=sys.stderr)
         for message in regressions:

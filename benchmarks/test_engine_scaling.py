@@ -19,6 +19,16 @@ single-core CI containers, where no parallel speedup is physically
 possible) the measurement is still recorded, with ``speedup_enforced:
 false`` in the record, mirroring how the other benchmarks relax their
 bars through the environment.
+
+Wall-clock speedup is hardware-bound, but the per-task *constants* are
+not: every process-engine measurement additionally records the warm-pool
+overhead breakdown from ``ProcessEngine.stats`` (``spawn_count``,
+``pool_reuse``, and spawn / open / decode / fold seconds), which must
+fall even on a single-core container.  A ``process_warm`` leg measures a
+``keep_pool=True`` engine on its *second* run — workers already spawned,
+stores open, shards published to the shared cache — at the peak worker
+count always, and across the full sweep with ``OMPDATAPERF_BENCH_POOL=1``
+(the nightly setting).
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.analysis import analyze_stream
+from repro.core.engine import ProcessEngine
 from repro.events.store import shard_trace
 from repro.events.stream import DEFAULT_SHARD_EVENTS
 from repro.events.synth import make_synthetic_columnar_trace
@@ -54,6 +65,10 @@ MIN_PROCESS_SPEEDUP = float(
 
 #: The speedup bar only binds where the hardware can deliver one.
 MIN_CORES_FOR_SPEEDUP = 4
+
+#: ``OMPDATAPERF_BENCH_POOL=1`` runs the warm-pool leg across the whole
+#: worker sweep instead of only the peak worker count.
+BENCH_POOL = os.environ.get("OMPDATAPERF_BENCH_POOL") == "1"
 
 
 def _available_cores() -> int:
@@ -95,8 +110,11 @@ def test_engine_scaling_and_write_record(store):
             continue  # the baseline above IS the serial measurement
         per_jobs: dict[str, dict] = {}
         for jobs in WORKER_COUNTS:
+            # A fresh engine object per process measurement so its .stats
+            # (the overhead breakdown) can ride along in the record.
+            runner = ProcessEngine() if engine == "process" else engine
             t0 = time.perf_counter()
-            report = analyze_stream(store, engine=engine, jobs=jobs)
+            report = analyze_stream(store, engine=runner, jobs=jobs)
             seconds = time.perf_counter() - t0
             assert _findings(report) == expected, (
                 f"{engine} engine at {jobs} workers diverged from the "
@@ -107,7 +125,31 @@ def test_engine_scaling_and_write_record(store):
                 "events_per_sec": NUM_EVENTS / seconds,
                 "speedup_vs_serial": serial_seconds / seconds,
             }
+            if engine == "process":
+                per_jobs[str(jobs)]["overhead"] = dict(runner.stats)
         results[engine] = per_jobs
+
+    # Warm-pool leg: same folds on a keep_pool engine's second run, when
+    # the spawn / open / decode constants have already been paid.
+    warm_counts = WORKER_COUNTS if BENCH_POOL else (max(WORKER_COUNTS),)
+    warm_jobs: dict[str, dict] = {}
+    for jobs in warm_counts:
+        with ProcessEngine(keep_pool=True) as warm:
+            analyze_stream(store, engine=warm, jobs=jobs)  # cold run: pay constants
+            t0 = time.perf_counter()
+            report = analyze_stream(store, engine=warm, jobs=jobs)
+            seconds = time.perf_counter() - t0
+            assert _findings(report) == expected, (
+                f"warm process engine at {jobs} workers diverged from the "
+                f"serial streaming findings"
+            )
+            warm_jobs[str(jobs)] = {
+                "seconds": seconds,
+                "events_per_sec": NUM_EVENTS / seconds,
+                "speedup_vs_serial": serial_seconds / seconds,
+                "overhead": dict(warm.stats),
+            }
+    results["process_warm"] = warm_jobs
     results["serial"] = {
         "1": {
             "seconds": serial_seconds,
@@ -127,6 +169,7 @@ def test_engine_scaling_and_write_record(store):
         "available_cores": cores,
         "min_process_speedup": MIN_PROCESS_SPEEDUP,
         "speedup_enforced": enforce,
+        "warm_pool_full_sweep": BENCH_POOL,
         "engines": results,
     }
     _RECORD.update(record)

@@ -259,6 +259,10 @@ def build_worker_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="exit with an error if no run manifest appears within "
                              "SECONDS (default: wait forever)")
+    parser.add_argument("--claim-batch", type=positive_int, default=None, metavar="N",
+                        help="lease up to N tasks per sweep and publish their "
+                             "results as one blob (default: the run manifest's "
+                             "claim_batch)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress per-task progress output")
     return parser
@@ -277,6 +281,7 @@ def _worker_main(argv: Sequence[str]) -> int:
             idle_timeout=args.idle_timeout,
             echo=None if args.quiet else print,
             crash_hook=True,
+            claim_batch=args.claim_batch,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
         return 130

@@ -25,7 +25,10 @@ Queue layout (all names relative to the queue transport)::
                                    under the claiming worker's id
     beats/task-00002.a000.<wid>    heartbeat counter, renewed on a timer
                                    while the worker folds
-    results/task-00002.pkl         pickled folded carries
+    results/rb-<wid>-00001         one result *batch* blob per claim
+                                   sweep: ``ODPB``-framed carry-codec
+                                   payloads for every task the sweep
+                                   folded (see ``_encode_result_batch``)
     errors/task-00002.a000.<wid>   a worker-side failure report
     done | abort                   terminal markers (abort carries the
                                    reason)
@@ -53,11 +56,15 @@ marker (so every worker exits) and raises
 
 Because folds are deterministic and results publish atomically, the
 protocol tolerates zombies: a worker presumed dead that later finishes
-simply publishes a bit-identical result blob.
+simply publishes a batch holding bit-identical payloads for the same
+task indices (last read wins, and all reads agree).
 
-The coordinator merges the pickled carries in partition order and runs
-finalize locally — identical to every other engine, which is what keeps
-the differential suite's five legs bit-identical.
+Carries cross the queue as compact :mod:`repro.core.carrycodec`
+payloads, batched one blob per claim sweep (``--claim-batch`` tasks per
+sweep) so an object-store deployment pays one PUT per sweep instead of
+one per task.  The coordinator decodes and merges them in partition
+order and runs finalize locally — identical to every other engine,
+which is what keeps the differential suite's five legs bit-identical.
 """
 
 from __future__ import annotations
@@ -67,6 +74,7 @@ import pickle
 import re
 import shutil
 import socket
+import struct
 import subprocess
 import sys
 import tempfile
@@ -77,16 +85,20 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.carrycodec import CarryCodecError, decode_carries, encode_carries
 from repro.core.engine import (
     ENGINES,
     PartitionTask,
     SerialEngine,
     _check_jobs,
     _finalize_all,
+    _fold_partition,
     _merge_partition_carries,
-    fold_store_task,
     partition_tasks,
 )
+from repro.core.pool import open_store_cached
+from repro.events.shardcache import SharedShardCache
+from repro.events.stream import StreamPartition
 from repro.events.transport import (
     ShardTransport,
     TransportError,
@@ -98,8 +110,10 @@ from repro.events.transport import (
 )
 
 #: Version tag of the queue protocol; workers refuse manifests they do
-#: not speak rather than mis-folding them.
-QUEUE_FORMAT_VERSION = 1
+#: not speak rather than mis-folding them.  Version 2 switched results
+#: from per-task pickles to batched carry-codec blobs and added the
+#: ``claim_batch`` manifest field.
+QUEUE_FORMAT_VERSION = 2
 
 RUN_MANIFEST = "run.pkl"
 DONE_MARKER = "done"
@@ -131,6 +145,46 @@ _LEASED_NAME = re.compile(r"task-(\d{5})\.a(\d{3})\.[A-Za-z0-9_-]+$")
 class DistributedExecutionError(RuntimeError):
     """A distributed run could not complete (task retries exhausted,
     every worker lost, or the run timed out)."""
+
+
+# --------------------------------------------------------------------- #
+# Result batches
+# --------------------------------------------------------------------- #
+#: Frame of one result-batch blob: magic, format version, entry count.
+_BATCH_MAGIC = b"ODPB"
+_BATCH_VERSION = 1
+_BATCH_PREFIX_STRUCT = struct.Struct("<4sHI")
+_BATCH_ENTRY_STRUCT = struct.Struct("<IQ")
+
+
+def _encode_result_batch(entries: Sequence[tuple[int, bytes]]) -> bytes:
+    """Frame ``(task_index, carry_payload)`` pairs as one blob."""
+    out = bytearray(_BATCH_PREFIX_STRUCT.pack(_BATCH_MAGIC, _BATCH_VERSION, len(entries)))
+    for index, payload in entries:
+        out += _BATCH_ENTRY_STRUCT.pack(index, len(payload))
+        out += payload
+    return bytes(out)
+
+
+def _decode_result_batch(data: bytes) -> list[tuple[int, bytes]]:
+    magic, version, count = _BATCH_PREFIX_STRUCT.unpack_from(data, 0)
+    if magic != _BATCH_MAGIC:
+        raise CarryCodecError(f"bad result-batch magic {magic!r}")
+    if version != _BATCH_VERSION:
+        raise CarryCodecError(f"unsupported result-batch version {version}")
+    offset = _BATCH_PREFIX_STRUCT.size
+    entries: list[tuple[int, bytes]] = []
+    for _ in range(count):
+        index, size = _BATCH_ENTRY_STRUCT.unpack_from(data, offset)
+        offset += _BATCH_ENTRY_STRUCT.size
+        payload = bytes(data[offset:offset + size])
+        if len(payload) != size:
+            raise CarryCodecError("truncated result batch")
+        offset += size
+        entries.append((index, payload))
+    if offset != len(data):
+        raise CarryCodecError("trailing bytes in result batch")
+    return entries
 
 
 def _task_stem(index: int, attempt: int) -> str:
@@ -266,11 +320,23 @@ class TaskQueue:
         self.transport.delete_blob(BEAT_PREFIX + suffix)
 
     # -- results and failures -------------------------------------------- #
-    def publish_result(self, index: int, payload: bytes) -> None:
-        self.transport.write_blob(f"{RESULT_PREFIX}task-{index:05d}.pkl", payload)
+    def publish_result_batch(
+        self, worker: str, seq: int, entries: Sequence[tuple[int, bytes]]
+    ) -> None:
+        """Publish one sweep's ``(index, carry_payload)`` results atomically."""
+        self.transport.write_blob(
+            f"{RESULT_PREFIX}rb-{worker}-{seq:05d}", _encode_result_batch(entries)
+        )
 
-    def read_result(self, index: int) -> bytes:
-        return self.transport.read_blob(f"{RESULT_PREFIX}task-{index:05d}.pkl")
+    def result_batch_names(self) -> list[str]:
+        return [
+            name
+            for name in list_blobs_under(self.transport, RESULT_PREFIX)
+            if name[len(RESULT_PREFIX):].startswith("rb-")
+        ]
+
+    def read_result_batch(self, name: str) -> list[tuple[int, bytes]]:
+        return _decode_result_batch(self.transport.read_blob(name))
 
     def publish_error(self, claim: ClaimedTask, message: str) -> None:
         suffix = claim.name[len(CLAIM_PREFIX):]
@@ -304,6 +370,7 @@ def run_worker(
     idle_timeout: Optional[float] = None,
     echo=None,
     crash_hook: bool = False,
+    claim_batch: Optional[int] = None,
 ) -> int:
     """Claim, fold and publish tasks until the run terminates.
 
@@ -313,6 +380,13 @@ def run_worker(
     Returns a process exit code: ``0`` after a ``done`` marker (or
     ``max_tasks`` processed), ``1`` on ``abort`` or a protocol mismatch,
     and — only with ``idle_timeout`` — ``1`` when no run ever appeared.
+
+    The worker is warm across tasks: it opens each store once (keyed by
+    transport spec) and keeps it for its whole lifetime, so only the
+    first task of a run pays the open cost.  Each sweep claims up to
+    ``claim_batch`` tasks (default: the manifest's ``claim_batch``),
+    renews every held lease on one timer, and publishes one result-batch
+    blob for the sweep.
 
     This function is the whole worker: the CLI ``worker`` subcommand calls
     it in a fresh process, the engine's thread mode calls it on a thread,
@@ -330,7 +404,9 @@ def run_worker(
     transport: Optional[ShardTransport] = None
     run: Optional[dict] = None
     done_tasks = 0
-    state = {"claims": 0}  # successful claims, including ones that error
+    # successful claims (including ones that error), warm stores, and the
+    # per-worker result-batch sequence number
+    state = {"claims": 0, "stores": {}, "batches": 0}
     while True:
         if transport is None:
             try:
@@ -365,14 +441,19 @@ def run_worker(
                             f"{QUEUE_FORMAT_VERSION}"
                         )
                         return 1
-                if run is not None and _drain_pending(
-                    tq, run, wid, say, crash_after, state
-                ):
-                    done_tasks += 1
-                    if max_tasks is not None and done_tasks >= max_tasks:
-                        say(f"info: worker {wid}: max tasks reached, exiting")
-                        return 0
-                    continue  # look for more work before sleeping
+                if run is not None:
+                    remaining = (
+                        None if max_tasks is None else max(1, max_tasks - done_tasks)
+                    )
+                    swept = _drain_pending(
+                        tq, run, wid, say, crash_after, state, claim_batch, remaining
+                    )
+                    if swept:
+                        done_tasks += swept
+                        if max_tasks is not None and done_tasks >= max_tasks:
+                            say(f"info: worker {wid}: max tasks reached, exiting")
+                            return 0
+                        continue  # look for more work before sleeping
             except OSError as exc:
                 # The queue went briefly unreadable (a TransportError, or a
                 # raw filesystem race with a listing mid-teardown); treat
@@ -389,10 +470,29 @@ def run_worker(
 
 
 def _drain_pending(
-    tq: TaskQueue, run: dict, wid: str, say, crash_after: int, state: dict
-) -> bool:
-    """Claim and complete at most one pending task; True when one was."""
+    tq: TaskQueue,
+    run: dict,
+    wid: str,
+    say,
+    crash_after: int,
+    state: dict,
+    claim_batch: Optional[int],
+    max_claims: Optional[int] = None,
+) -> int:
+    """One claim sweep: lease up to ``claim_batch`` tasks, fold them on a
+    warm store, publish one result batch.  Returns how many completed."""
+    batch_size = claim_batch if claim_batch is not None else run.get("claim_batch")
+    try:
+        batch_size = max(1, int(batch_size or 1))
+    except (TypeError, ValueError):
+        batch_size = 1
+    if max_claims is not None:
+        # --max-tasks caps the sweep so a worker never folds past its quota.
+        batch_size = min(batch_size, max_claims)
+    claims: list[ClaimedTask] = []
     for pending_name in tq.pending_task_names():
+        if len(claims) >= batch_size:
+            break
         claim = tq.claim(pending_name, wid)
         if claim is None:
             continue
@@ -405,43 +505,59 @@ def _drain_pending(
             f"info: worker {wid}: claimed task {claim.index} "
             f"(attempt {claim.attempt})"
         )
-        # Renew the lease on a timer, not per unit of work: the heartbeat
-        # answers "is this worker alive?", so it must keep ticking however
-        # long one shard's fold runs (a batch-granularity heartbeat would
-        # let a single slow shard outlive the lease and get requeued under
-        # a healthy worker).
-        lease = float(run.get("lease_timeout") or 30.0)
-        interval = max(min(lease / 4.0, 5.0), 0.02)
-        stop = threading.Event()
+        claims.append(claim)
+    if not claims:
+        return 0
+    # Renew every held lease on one timer, not per unit of work: the
+    # heartbeat answers "is this worker alive?", so it must keep ticking
+    # however long one shard's fold runs (a batch-granularity heartbeat
+    # would let a single slow shard outlive the lease and get requeued
+    # under a healthy worker).
+    lease = float(run.get("lease_timeout") or 30.0)
+    interval = max(min(lease / 4.0, 5.0), 0.02)
+    stop = threading.Event()
 
-        def renew() -> None:
-            while not stop.wait(interval):
+    def renew() -> None:
+        while not stop.wait(interval):
+            for claim in claims:
                 try:
                     tq.heartbeat(claim)
                 except OSError:
-                    return  # queue unreachable; the lease expires naturally
+                    return  # queue unreachable; the leases expire naturally
 
-        renewer = threading.Thread(target=renew, daemon=True)
-        renewer.start()
-        try:
+    renewer = threading.Thread(target=renew, daemon=True)
+    renewer.start()
+    completed: list[tuple[ClaimedTask, bytes]] = []
+    try:
+        for claim in claims:
             try:
-                passes = fold_store_task(
-                    run["store_spec"], claim.task, run["pass_specs"]
+                store, _ = open_store_cached(run["store_spec"], state["stores"])
+                task = claim.task
+                partition = StreamPartition(
+                    store, task.lo, task.hi, task.data_op_offset, task.num_events
                 )
-                payload = pickle.dumps(passes, protocol=pickle.HIGHEST_PROTOCOL)
+                payload = encode_carries(_fold_partition(run["pass_specs"], partition))
             except Exception as exc:  # noqa: BLE001 — report, release, move on
                 say(f"error: worker {wid}: task {claim.index} failed: {exc}")
                 tq.publish_error(claim, f"{type(exc).__name__}: {exc}")
                 tq.release(claim)
-                return False
-            tq.publish_result(claim.index, payload)
-            tq.release(claim)
-        finally:
-            stop.set()
-            renewer.join(timeout=5.0)
+                continue
+            completed.append((claim, payload))
+        if completed:
+            state["batches"] += 1
+            tq.publish_result_batch(
+                wid, state["batches"], [(c.index, p) for c, p in completed]
+            )
+            # Only release after the batch is durably published: a crash
+            # between fold and publish must leave the leases to expire.
+            for claim, _ in completed:
+                tq.release(claim)
+    finally:
+        stop.set()
+        renewer.join(timeout=5.0)
+    for claim, _ in completed:
         say(f"info: worker {wid}: published result for task {claim.index}")
-        return True
-    return False
+    return len(completed)
 
 
 # --------------------------------------------------------------------- #
@@ -517,6 +633,7 @@ class DistributedEngine:
         max_attempts: int = 3,
         run_timeout: Optional[float] = None,
         worker_env: Optional[dict] = None,
+        claim_batch: int = 1,
     ) -> None:
         if worker_mode not in ("process", "thread"):
             raise ValueError(f"unknown worker mode {worker_mode!r}")
@@ -524,6 +641,8 @@ class DistributedEngine:
             raise ValueError("lease_timeout must be positive")
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if claim_batch < 1:
+            raise ValueError("claim_batch must be at least 1")
         self.queue = queue
         self.workers = workers
         self.worker_mode = worker_mode
@@ -532,6 +651,7 @@ class DistributedEngine:
         self.max_attempts = max_attempts
         self.run_timeout = run_timeout
         self.worker_env = dict(worker_env) if worker_env else None
+        self.claim_batch = claim_batch
         #: Observability for the last completed/failed run.
         self.stats: dict = {}
 
@@ -585,6 +705,7 @@ class DistributedEngine:
                 "store_spec": stream.transport.spec(),
                 "pass_specs": specs,
                 "lease_timeout": self.lease_timeout,
+                "claim_batch": self.claim_batch,
             }
         )
         for task in tasks:
@@ -601,12 +722,13 @@ class DistributedEngine:
         ]
         respawn_budget = num_workers
         try:
-            self._coordinate(queue, tasks, handles, respawn_budget, transport)
-            # Collect before the done marker releases the workers and the
-            # scratch queue is torn down.
-            chains = [
-                pickle.loads(queue.read_result(task.index)) for task in tasks
-            ]
+            # _coordinate drains result batches incrementally, so every
+            # payload is in hand before the done marker releases the
+            # workers and the scratch queue is torn down.
+            collected = self._coordinate(
+                queue, tasks, handles, respawn_budget, transport
+            )
+            chains = [decode_carries(collected[task.index]) for task in tasks]
             queue.mark_done()
         except BaseException:
             # Whatever tore the run down (including KeyboardInterrupt in
@@ -624,7 +746,15 @@ class DistributedEngine:
                 shutil.rmtree(scratch_dir, ignore_errors=True)
 
         merged = _merge_partition_carries(chains)
-        return _finalize_all(merged, stream, jobs)
+        # The five finalizes each rescan shards; a coordinator-owned shard
+        # cache makes them decode each shard once between them.
+        cache = SharedShardCache()
+        stream.attach_shard_cache(cache)
+        try:
+            return _finalize_all(merged, stream, jobs)
+        finally:
+            stream.attach_shard_cache(None)
+            cache.cleanup(stream.num_shards)
 
     # ------------------------------------------------------------------ #
     def _open_queue(self) -> ShardTransport:
@@ -682,13 +812,18 @@ class DistributedEngine:
         handles: list[_WorkerHandle],
         respawn_budget: int,
         transport: ShardTransport,
-    ) -> None:
-        """Poll until every task has a result; requeue frozen/failed leases."""
+    ) -> dict[int, bytes]:
+        """Poll until every task has a result; requeue frozen/failed leases.
+
+        Returns ``{task index: carry payload}``, drained incrementally
+        from the workers' result-batch blobs (each read exactly once)."""
         started = time.monotonic()
         current_attempt = {task.index: 0 for task in tasks}
         # index -> (state token, monotonic time the token last changed)
         observed: dict[int, tuple[tuple, float]] = {}
         task_by_index = {task.index: task for task in tasks}
+        collected: dict[int, bytes] = {}
+        seen_batches: set[str] = set()
 
         def fail_task(index: int, reason: str) -> None:
             attempt = current_attempt[index]
@@ -715,15 +850,14 @@ class DistributedEngine:
         while True:
             now = time.monotonic()
             names = transport.list_blobs()
-            results = set()
             pending = set()
             claims: dict[tuple[int, int], str] = {}
             errors: dict[tuple[int, int], str] = {}
+            batch_names: list[str] = []
             for name in names:
                 if name.startswith(RESULT_PREFIX):
-                    parsed = re.search(r"task-(\d{5})\.pkl$", name)
-                    if parsed:
-                        results.add(int(parsed.group(1)))
+                    if name[len(RESULT_PREFIX):].startswith("rb-"):
+                        batch_names.append(name)
                 elif name.startswith(TASK_PREFIX):
                     parsed = _parse_pending_name(name)
                     if parsed:
@@ -737,8 +871,24 @@ class DistributedEngine:
                     if parsed:
                         errors[parsed] = name
 
+            for name in batch_names:
+                if name in seen_batches:
+                    continue
+                seen_batches.add(name)
+                data = try_read_blob(transport, name)
+                if data is None:
+                    continue
+                try:
+                    entries = _decode_result_batch(data)
+                except (CarryCodecError, struct.error):
+                    continue  # debris; the tasks inside will requeue
+                for index, payload in entries:
+                    # A zombie's duplicate is bit-identical: last read wins.
+                    collected[index] = payload
+            results = set(collected)
+
             if all(task.index in results for task in tasks):
-                return
+                return collected
 
             for task in tasks:
                 index = task.index

@@ -52,7 +52,7 @@ import multiprocessing
 import os
 import sys
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Protocol, Sequence, runtime_checkable
 
@@ -256,19 +256,56 @@ def _process_context():
 
 
 class ProcessEngine:
-    """Partitioned folds on worker *processes*: transport specs in, carries out.
+    """Partitioned folds on a *warm* pool of worker processes.
 
     The only backend whose fold work scales past one core — and the only
     one with a requirement on the stream: it must be a
     :class:`~repro.events.store.ShardedTraceStore` (over any transport),
     because workers re-open it from its transport spec rather than
-    receive events.  Finalize also runs on the worker pool: the merged
-    carries are shipped out once more and the materialisation scans —
-    the last GIL-bound stage — happen off the parent process.
+    receive events.
+
+    The per-task constants the old spawn-per-run submission paid are all
+    amortised here:
+
+    * workers come from a :class:`~repro.core.pool.WarmWorkerPool` — each
+      process spawns once and folds many partitions (the store is cut
+      into ``jobs * tasks_per_worker`` tasks, so reuse happens within a
+      single run, not only across runs);
+    * each worker opens the store once and keeps it across tasks;
+    * decoded shards are published to a
+      :class:`~repro.events.shardcache.SharedShardCache` so every shard
+      blob is parsed exactly once across the whole pool, everything else
+      reading zero-copy views;
+    * carries travel as :mod:`repro.core.carrycodec` payloads, not
+      pickles.
+
+    Finalize runs on the same pool (merged carries shipped out once more)
+    so the materialisation scans — the last GIL-bound stage — stay off
+    the parent process and hit the already-shared shards.
+
+    With ``keep_pool=True`` the pool, the per-worker stores and the shard
+    cache survive across ``run()`` calls (close with :meth:`close` or use
+    the engine as a context manager).  After every run :attr:`stats`
+    holds the overhead breakdown the engine benchmarks record.
     """
 
     name = "process"
 
+    def __init__(self, *, keep_pool: bool = False, tasks_per_worker: int = 4) -> None:
+        if tasks_per_worker < 1:
+            raise ValueError("tasks_per_worker must be at least 1")
+        self.keep_pool = keep_pool
+        self.tasks_per_worker = tasks_per_worker
+        self._pool = None
+        self._cache = None
+        self._cache_key = None
+        self._cache_shards = 0
+        self._spawned_total = 0
+        #: overhead breakdown of the most recent run (empty before any,
+        #: or when the run degraded to the serial engine)
+        self.stats: dict = {}
+
+    # ------------------------------------------------------------------ #
     def run(self, specs, stream, *, jobs: int = 1) -> list:
         _check_jobs(jobs)
         from repro.events.store import ShardedTraceStore
@@ -280,27 +317,129 @@ class ProcessEngine:
                 "(shard_trace / `ompdataperf trace shard`) or use the "
                 "serial or thread engine"
             )
-        tasks = partition_tasks(stream, jobs)
+        # Oversubscribe partitions over workers: task count is what warm
+        # reuse amortises against.  jobs == 1 keeps its historical meaning
+        # (no partitioning — run serially).
+        requested = jobs if jobs == 1 else jobs * self.tasks_per_worker
+        tasks = partition_tasks(stream, requested)
         if not tasks:
+            self.stats = {}
+            if not self.keep_pool:
+                self.close()
             return SerialEngine().run(specs, stream, jobs=jobs)
         specs = tuple(specs)
         spec = stream.transport.spec()
-        with ProcessPoolExecutor(
-            max_workers=len(tasks), mp_context=_process_context()
-        ) as pool:
-            futures = [
-                pool.submit(fold_store_task, spec, task, specs) for task in tasks
-            ]
-            chains = [future.result() for future in futures]
+        try:
+            pool, spawn_seconds_now = self._ensure_pool(min(jobs, len(tasks)))
+            cache_spec = self._ensure_cache(stream)
+            fold_jobs = {
+                pool.submit_fold(spec, cache_spec, task, specs): task
+                for task in tasks
+            }
+            results = pool.collect(fold_jobs)
+            ordered = sorted(fold_jobs, key=lambda job: fold_jobs[job].index)
+            from repro.core.carrycodec import decode_carries, encode_carries
+
+            chains = [decode_carries(results[job][0]) for job in ordered]
+            task_stats = [results[job][1] for job in ordered]
             merged = _merge_partition_carries(chains)
-            # Finalize on the same pool: each pass's targeted
-            # materialisation scan is independent, so they parallelise
-            # across workers exactly like the fold partitions did.
-            finalize_futures = [
-                pool.submit(_finalize_store_pass, spec, pass_)
+            finalize_jobs = [
+                pool.submit_finalize(spec, cache_spec, encode_carries([pass_]))
                 for pass_ in merged
             ]
-            return [future.result() for future in finalize_futures]
+            finalize_results = pool.collect(finalize_jobs)
+            findings = [finalize_results[job][0] for job in finalize_jobs]
+            task_stats += [finalize_results[job][1] for job in finalize_jobs]
+            self.stats = self._build_stats(task_stats, len(tasks), spawn_seconds_now)
+            return findings
+        except BaseException:
+            # Any failure — a dead worker, a KeyboardInterrupt mid-merge —
+            # tears the pool down and unlinks every shared segment, even
+            # in keep-pool mode: leaked /dev/shm entries are never an
+            # acceptable failure mode.
+            self.close()
+            raise
+        finally:
+            if not self.keep_pool:
+                self.close()
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self, workers: int):
+        from repro.core.pool import WarmWorkerPool
+
+        if self._pool is not None and self._pool.num_workers != workers:
+            self._close_pool()
+        if self._pool is None:
+            self._pool = WarmWorkerPool(workers, mp_context=_process_context())
+            self._spawned_total += self._pool.spawn_count
+            return self._pool, self._pool.spawn_seconds
+        return self._pool, 0.0
+
+    def _ensure_cache(self, stream) -> Optional[dict]:
+        from repro.events.shardcache import SharedShardCache
+
+        key = _store_identity(stream.transport.spec())
+        if self._cache is not None and self._cache_key != key:
+            self._close_cache()
+        if self._cache is None:
+            self._cache = SharedShardCache()
+            self._cache_key = key
+            self._cache_shards = 0
+        self._cache_shards = max(self._cache_shards, stream.num_shards)
+        return self._cache.spec()
+
+    def _build_stats(self, task_stats, num_tasks: int, spawn_seconds: float) -> dict:
+        open_seconds = sum(s["open_seconds"] for s in task_stats)
+        decode_seconds = sum(s["decode_seconds"] for s in task_stats)
+        fold_seconds = sum(s["fold_seconds"] for s in task_stats)
+        overhead = spawn_seconds + open_seconds + decode_seconds
+        return {
+            "spawn_count": self._spawned_total,
+            "spawn_seconds": spawn_seconds,
+            "tasks": num_tasks,
+            "workers": len({s["worker"] for s in task_stats}),
+            "pool_reuse": sum(1 for s in task_stats if s["task_no"] > 1),
+            "open_seconds": open_seconds,
+            "decode_seconds": decode_seconds,
+            "decode_count": sum(s["decode_count"] for s in task_stats),
+            "cache_hits": sum(s["cache_hits"] for s in task_stats),
+            "fold_seconds": fold_seconds,
+            "overhead_seconds": overhead,
+            "overhead_per_task": overhead / max(1, num_tasks),
+        }
+
+    def _close_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def _close_cache(self) -> None:
+        cache, self._cache = self._cache, None
+        self._cache_key = None
+        if cache is not None:
+            cache.cleanup(self._cache_shards)
+        self._cache_shards = 0
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment (idempotent)."""
+        self._close_pool()
+        self._close_cache()
+
+    def __enter__(self) -> "ProcessEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _store_identity(spec: dict):
+    """Hashable identity of a store's transport spec (cache invalidation)."""
+    kind = spec.get("kind")
+    if kind == "prefix":
+        return (kind, spec.get("prefix"), _store_identity(spec["inner"]))
+    if "path" in spec:
+        return (kind, str(spec["path"]))
+    return (kind, id(spec.get("transport")))
 
 
 #: Engine registry, keyed by the names the CLI exposes.  The distributed

@@ -1,0 +1,289 @@
+"""Persistent warm worker pool for the process engine.
+
+``ProcessEngine`` used to build a fresh ``ProcessPoolExecutor`` per run
+and submit one spawn-shaped job per partition; every task then paid the
+full set of constants — process start-up, store reopen, shard re-decode —
+before folding a single event.  This module replaces that with a pool of
+long-lived worker processes:
+
+* each worker **spawns once** and then folds many partitions over a task
+  queue (oversubscribing partitions over workers is what makes the reuse
+  visible: ``tasks > workers`` means most tasks run on a warm worker);
+* each worker **opens each store once**, keyed by its transport spec, and
+  keeps it (plus its attached shared-shard cache) across tasks and across
+  runs of a ``keep_pool=True`` engine;
+* carries cross the result queue as compact
+  :mod:`repro.core.carrycodec` payloads instead of pickles;
+* every task reports an overhead breakdown (open / decode / fold seconds,
+  cache hits, which worker ran it) so ``BENCH_engine.json`` can show the
+  constants falling even on machines where wall-clock speedup cannot.
+
+Crash behaviour is observable the same way the distributed worker's is:
+with ``OMPDATAPERF_WORKER_CRASH_AFTER_CLAIM=N`` in the environment a pool
+worker hard-exits (``os._exit``) after finishing its ``N``-th command —
+after any shared-memory publication, before reporting the result — which
+is exactly the window where a real crash would leak segments if cleanup
+were tied to worker exit instead of the pool owner.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import traceback
+from time import perf_counter
+from typing import Optional
+
+from repro.core.carrycodec import decode_carries, encode_carries
+from repro.core.engine import (
+    PartitionTask,
+    _fold_partition,
+    _open_store_from_spec,
+    _process_context,
+)
+from repro.events.shardcache import SharedShardCache, ensure_resource_tracker
+from repro.events.stream import StreamPartition
+
+_CMD_FOLD = "fold"
+_CMD_FINALIZE = "finalize"
+_CMD_STOP = "stop"
+
+_OK = "ok"
+_ERR = "error"
+
+#: How long collect() waits between liveness checks of the workers.
+_POLL_SECONDS = 0.1
+
+
+def store_key(spec: dict):
+    """A hashable identity for a transport spec (worker store caching)."""
+    kind = spec.get("kind")
+    if kind == "prefix":
+        return (kind, spec.get("prefix"), store_key(spec["inner"]))
+    if "path" in spec:
+        return (kind, str(spec["path"]))
+    # In-memory transports (the fake object store) carry the transport
+    # object itself; a fresh unpickle per task means no reuse, which only
+    # costs anything in tests.
+    return (kind, id(spec.get("transport")))
+
+
+def open_store_cached(spec: dict, stores: dict):
+    """Open a store from its spec, reusing an already opened instance.
+
+    Returns ``(store, open_seconds)`` where ``open_seconds`` is zero on a
+    warm hit.  Shared by the pool workers and the distributed CLI worker,
+    both of which hold one ``stores`` dict for their whole lifetime.
+    """
+    key = store_key(spec)
+    store = stores.get(key)
+    if store is not None:
+        return store, 0.0
+    started = perf_counter()
+    store = _open_store_from_spec(spec)
+    stores[key] = store
+    return store, perf_counter() - started
+
+
+def _crash_after_from_env() -> Optional[int]:
+    from repro.core.distributed import CRASH_ENV
+
+    raw = os.environ.get(CRASH_ENV)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def _attach_cache(store, cache_spec: Optional[dict], caches: dict) -> None:
+    cache = None
+    if cache_spec is not None:
+        cache = caches.get(cache_spec["run_id"])
+        if cache is None:
+            # One live cache per worker: drop handles of superseded runs
+            # so warm workers do not accumulate mappings forever.
+            for old in caches.values():
+                old.close()
+            caches.clear()
+            cache = SharedShardCache.from_spec(cache_spec)
+            caches[cache_spec["run_id"]] = cache
+    store.attach_shard_cache(cache)
+
+
+def _pool_worker(index: int, task_queue, result_queue, crash_after) -> None:
+    from repro.core.distributed import CRASH_EXIT_CODE
+
+    stores: dict = {}
+    caches: dict = {}
+    completed = 0
+    while True:
+        command = task_queue.get()
+        if command[0] == _CMD_STOP:
+            break
+        job_id = command[1]
+        try:
+            kind = command[0]
+            store, open_seconds = open_store_cached(command[2], stores)
+            _attach_cache(store, command[3], caches)
+            decode0 = store.decode_seconds
+            count0 = store.decode_count
+            hits0 = store.cache_hits
+            started = perf_counter()
+            if kind == _CMD_FOLD:
+                task, pass_specs = command[4], command[5]
+                partition = StreamPartition(
+                    store, task.lo, task.hi, task.data_op_offset, task.num_events
+                )
+                payload = encode_carries(_fold_partition(pass_specs, partition))
+            elif kind == _CMD_FINALIZE:
+                pass_ = decode_carries(command[4])[0]
+                payload = pass_.finalize(store)
+            else:
+                raise RuntimeError(f"unknown pool command {kind!r}")
+            wall = perf_counter() - started
+            decode_seconds = store.decode_seconds - decode0
+            stats = {
+                "worker": index,
+                "task_no": completed + 1,
+                "open_seconds": open_seconds,
+                "decode_seconds": decode_seconds,
+                "decode_count": store.decode_count - count0,
+                "cache_hits": store.cache_hits - hits0,
+                "fold_seconds": max(0.0, wall - decode_seconds),
+            }
+            completed += 1
+            if crash_after is not None and completed >= crash_after:
+                # The injected-crash window: work done (shared segments
+                # published), result unreported — exactly where a real
+                # crash would strand state.
+                os._exit(CRASH_EXIT_CODE)
+            result_queue.put((_OK, job_id, payload, stats))
+        except BaseException:
+            result_queue.put((_ERR, job_id, traceback.format_exc()))
+
+
+class WarmWorkerPool:
+    """A fixed set of long-lived fold/finalize worker processes."""
+
+    def __init__(self, num_workers: int, *, mp_context=None) -> None:
+        if num_workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        ctx = mp_context or _process_context()
+        # Workers must inherit the parent's resource tracker (not spawn
+        # private ones) for shared-memory accounting to balance.
+        ensure_resource_tracker()
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._next_job = 0
+        self._closed = False
+        crash_after = _crash_after_from_env()
+        started = perf_counter()
+        self._workers = []
+        for index in range(num_workers):
+            proc = ctx.Process(
+                target=_pool_worker,
+                args=(index, self._task_queue, self._result_queue, crash_after),
+                daemon=True,
+            )
+            proc.start()
+            self._workers.append(proc)
+        self.spawn_count = num_workers
+        self.spawn_seconds = perf_counter() - started
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------------ #
+    def _submit(self, command: tuple) -> int:
+        if self._closed:
+            raise RuntimeError("the worker pool is closed")
+        self._task_queue.put(command)
+        return command[1]
+
+    def _new_job(self) -> int:
+        job = self._next_job
+        self._next_job += 1
+        return job
+
+    def submit_fold(
+        self,
+        store_spec: dict,
+        cache_spec: Optional[dict],
+        task: PartitionTask,
+        pass_specs: tuple,
+    ) -> int:
+        """Queue one partition fold; returns the job id to collect on."""
+        return self._submit(
+            (_CMD_FOLD, self._new_job(), store_spec, cache_spec, task, pass_specs)
+        )
+
+    def submit_finalize(
+        self, store_spec: dict, cache_spec: Optional[dict], carry_payload: bytes
+    ) -> int:
+        """Queue one pass finalize (carry travels as a codec payload)."""
+        return self._submit(
+            (_CMD_FINALIZE, self._new_job(), store_spec, cache_spec, carry_payload)
+        )
+
+    def collect(self, job_ids) -> dict:
+        """Wait for every job; ``{job_id: (payload, stats)}``.
+
+        Raises ``RuntimeError`` when a worker reports a failure or dies
+        with results still outstanding (the warm-pool analogue of
+        ``BrokenProcessPool``).
+        """
+        pending = set(job_ids)
+        results: dict = {}
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._check_alive()
+                continue
+            status, job_id = message[0], message[1]
+            if status == _ERR:
+                raise RuntimeError(f"warm pool worker failed:\n{message[2]}")
+            if job_id in pending:
+                pending.discard(job_id)
+                results[job_id] = (message[2], message[3])
+        return results
+
+    def _check_alive(self) -> None:
+        dead = [proc for proc in self._workers if not proc.is_alive()]
+        if dead:
+            codes = sorted({proc.exitcode for proc in dead})
+            raise RuntimeError(
+                f"{len(dead)} warm pool worker(s) died (exit codes {codes}) "
+                "with results outstanding"
+            )
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop every worker and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            try:
+                self._task_queue.put((_CMD_STOP, -1))
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                break
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for q in (self._task_queue, self._result_queue):
+            try:
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "WarmWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import io
 import json
+import struct
 import zipfile
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
@@ -50,6 +51,25 @@ from repro.events.trace import Trace
 
 #: Version tag of the binary columnar format.
 COLUMNAR_FORMAT_VERSION = 1
+
+#: Version tag of the flat shared-memory payload format (the zero-copy
+#: sibling of the ``.npz`` archive: a JSON header plus raw 64-byte-aligned
+#: column buffers, laid out so :meth:`ColumnarTrace.from_shared` can build
+#: NumPy views straight into a ``multiprocessing.shared_memory`` segment
+#: or an ``mmap``-ed file without decoding anything).
+FLAT_FORMAT_VERSION = 1
+FLAT_MAGIC = b"ODPF"
+
+#: magic, version, reserved, header length
+_FLAT_PREFIX = struct.Struct("<4sHHQ")
+
+#: Raw column buffers are 64-byte aligned inside the flat payload so the
+#: zero-copy views start on cache-line (and any SIMD) boundaries.
+_FLAT_ALIGN = 64
+
+
+def _align_flat(offset: int) -> int:
+    return (offset + _FLAT_ALIGN - 1) & ~(_FLAT_ALIGN - 1)
 
 #: Stable kind <-> small-integer code tables.  The codes are part of the
 #: binary format, so the order here must never change; append only.
@@ -879,6 +899,133 @@ class ColumnarTrace:
         out._tgt_names = list(meta.get("target_names") or [None] * n_tgt)
         if len(out._do_variables) != n_do or len(out._tgt_names) != n_tgt:
             raise ValueError(f"{path}: metadata string columns disagree with array lengths")
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Flat shared-memory payload (zero-copy views)
+    # ------------------------------------------------------------------ #
+    def _flat_plan(self) -> tuple[bytes, int, int, list[tuple[str, str, str, int, int]]]:
+        """Lay out the flat payload: header bytes, data start, total size.
+
+        Column offsets in the header are relative to the (aligned) start of
+        the data section, so they do not depend on the header's own length.
+        """
+        columns: list[tuple[str, str, str, int, int]] = []
+        offset = 0
+        for tag, group, spec in (
+            ("do", self._data_ops, _DATA_OP_COLUMNS),
+            ("tgt", self._targets, _TARGET_COLUMNS),
+        ):
+            for name, _ in spec:
+                arr = group.view(name)
+                columns.append((tag, name, arr.dtype.str, offset, int(arr.nbytes)))
+                offset = _align_flat(offset + int(arr.nbytes))
+        header = {
+            "format_version": FLAT_FORMAT_VERSION,
+            "program_name": self.program_name,
+            "num_devices": self.num_devices,
+            "total_runtime": self.total_runtime,
+            "num_data_op_events": self._data_ops.size,
+            "num_target_events": self._targets.size,
+            # Debug string columns are usually absent on shards; encode the
+            # all-None common case as null to keep the header compact.
+            "data_op_variables": (
+                None if all(v is None for v in self._do_variables) else self._do_variables
+            ),
+            "target_names": (
+                None if all(v is None for v in self._tgt_names) else self._tgt_names
+            ),
+            "columns": columns,
+        }
+        header_bytes = json.dumps(header).encode("utf-8")
+        data_start = _align_flat(_FLAT_PREFIX.size + len(header_bytes))
+        return header_bytes, data_start, data_start + offset, columns
+
+    def flat_payload_size(self) -> int:
+        """Total byte size of the flat payload (to size a shared segment)."""
+        return self._flat_plan()[2]
+
+    def write_flat_payload(self, buf) -> int:
+        """Serialise the flat payload into a writable buffer; return its size.
+
+        ``buf`` is any writable buffer (a ``SharedMemory.buf``, an ``mmap``,
+        a ``bytearray``) at least :meth:`flat_payload_size` bytes long.
+
+        The magic prefix is written *last*: a concurrent reader of a
+        shared segment that sees a valid prefix is guaranteed the header
+        and column data before it are complete, so ``from_shared`` can
+        treat a bad magic as "publication in flight" rather than
+        corruption.
+        """
+        header_bytes, data_start, total, columns = self._flat_plan()
+        mv = memoryview(buf)
+        if len(mv) < total:
+            raise ValueError(
+                f"flat payload needs {total} bytes, buffer has {len(mv)}"
+            )
+        groups = {"do": self._data_ops, "tgt": self._targets}
+        for tag, name, dtype_str, offset, nbytes in columns:
+            src = groups[tag].view(name)
+            dst = np.frombuffer(
+                mv, dtype=np.dtype(dtype_str), count=src.size, offset=data_start + offset
+            )
+            np.copyto(dst, src, casting="no")
+        mv[_FLAT_PREFIX.size : _FLAT_PREFIX.size + len(header_bytes)] = header_bytes
+        _FLAT_PREFIX.pack_into(
+            mv, 0, FLAT_MAGIC, FLAT_FORMAT_VERSION, 0, len(header_bytes)
+        )
+        return total
+
+    def to_flat_payload(self) -> bytes:
+        """The flat payload as one blob (the mmap-backed cache's file body)."""
+        buf = bytearray(self.flat_payload_size())
+        self.write_flat_payload(buf)
+        return bytes(buf)
+
+    @classmethod
+    def from_shared(cls, buf, *, keepalive=None, source: str = "<shared>") -> "ColumnarTrace":
+        """Build a trace whose columns are zero-copy views into ``buf``.
+
+        ``buf`` holds a flat payload (see :meth:`write_flat_payload`) — a
+        shared-memory segment, an ``mmap``, or any buffer.  No column data
+        is copied; the returned trace keeps a reference to ``keepalive``
+        (e.g. the ``SharedMemory`` handle) so the mapping outlives the
+        views.  Appending to the returned trace is safe: growth reallocates
+        into private memory, never mutating the shared buffer.
+        """
+        mv = memoryview(buf)
+        if len(mv) < _FLAT_PREFIX.size:
+            raise ValueError(f"{source}: buffer too small for a flat trace payload")
+        magic, version, _, header_len = _FLAT_PREFIX.unpack_from(mv, 0)
+        if magic != FLAT_MAGIC:
+            raise ValueError(f"{source}: not a flat trace payload")
+        if version != FLAT_FORMAT_VERSION:
+            raise ValueError(f"{source}: unsupported flat payload version {version}")
+        header = json.loads(
+            bytes(mv[_FLAT_PREFIX.size : _FLAT_PREFIX.size + header_len])
+        )
+        data_start = _align_flat(_FLAT_PREFIX.size + header_len)
+        out = cls(
+            num_devices=int(header["num_devices"]),
+            program_name=header.get("program_name"),
+            total_runtime=header.get("total_runtime"),
+        )
+        views: dict[str, dict[str, np.ndarray]] = {"do": {}, "tgt": {}}
+        for tag, name, dtype_str, offset, nbytes in header["columns"]:
+            dtype = np.dtype(dtype_str)
+            views[tag][name] = np.frombuffer(
+                mv, dtype=dtype, count=nbytes // dtype.itemsize,
+                offset=data_start + offset,
+            )
+        n_do = int(header["num_data_op_events"])
+        n_tgt = int(header["num_target_events"])
+        out._data_ops.adopt_columns(n_do, **views["do"])
+        out._targets.adopt_columns(n_tgt, **views["tgt"])
+        out._do_variables = list(header.get("data_op_variables") or [None] * n_do)
+        out._tgt_names = list(header.get("target_names") or [None] * n_tgt)
+        if len(out._do_variables) != n_do or len(out._tgt_names) != n_tgt:
+            raise ValueError(f"{source}: header string columns disagree with array lengths")
+        out._shared_keepalive = (keepalive, mv)
         return out
 
 

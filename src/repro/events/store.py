@@ -47,6 +47,7 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Iterator, Optional
 
 import numpy as np
@@ -232,6 +233,13 @@ class ShardedTraceStore:
             ShardInfo.from_dict(d) for d in manifest["shards"]
         ]
         self._stats = manifest["stats"]
+        #: optional decoded-shard cache (see :mod:`repro.events.shardcache`)
+        self._shard_cache = None
+        #: decode accounting: how much of this process's time went into
+        #: re-parsing shard blobs, and how often the cache spared it.
+        self.decode_seconds = 0.0
+        self.decode_count = 0
+        self.cache_hits = 0
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -270,24 +278,45 @@ class ShardedTraceStore:
         batch.program_name = self.program_name
         return batch
 
+    def attach_shard_cache(self, cache) -> None:
+        """Serve shard loads through a decoded-shard cache (or ``None``).
+
+        With a :class:`~repro.events.shardcache.SharedShardCache` attached,
+        :meth:`load_batch` first tries a zero-copy view of an already
+        published shard and publishes what it had to decode — so across a
+        worker pool each shard blob is parsed exactly once.
+        """
+        self._shard_cache = cache
+
     def _load_shard(self, file: str) -> ColumnarTrace:
-        return self._stamp(
-            ColumnarTrace.from_binary_bytes(
-                self.transport.read_blob(file),
-                source=f"{self.transport.describe()}:{file}",
-            )
+        started = perf_counter()
+        batch = ColumnarTrace.from_binary_bytes(
+            self.transport.read_blob(file),
+            source=f"{self.transport.describe()}:{file}",
         )
+        self.decode_seconds += perf_counter() - started
+        self.decode_count += 1
+        return self._stamp(batch)
 
     def load_batch(self, index: int) -> ColumnarTrace:
         """Load one shard (random access for targeted materialisation)."""
+        cache = self._shard_cache
+        if cache is not None:
+            shared = cache.attach(index)
+            if shared is not None:
+                self.cache_hits += 1
+                return self._stamp(shared)
+            batch = self._load_shard(self.shards[index].file)
+            cache.publish(index, batch)
+            return batch
         return self._load_shard(self.shards[index].file)
 
     def batch_row_counts(self) -> list[tuple[int, int]]:
         return [(s.num_data_op_events, s.num_target_events) for s in self.shards]
 
     def batches(self) -> Iterator[ColumnarTrace]:
-        for shard in self.shards:
-            yield self._load_shard(shard.file)
+        for index in range(len(self.shards)):
+            yield self.load_batch(index)
 
     def partitions(self, n: int) -> list[EventStream]:
         """Cut the store into at most ``n`` balanced contiguous shard ranges.

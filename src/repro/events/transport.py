@@ -147,6 +147,23 @@ class LocalDirTransport:
         except OSError as exc:
             raise TransportError(f"{self.describe()}: cannot read blob {name!r}: {exc}") from exc
 
+    def map_blob(self, name: str):
+        """Memory-map a blob read-only (zero-copy sibling of :meth:`read_blob`).
+
+        Returns an ``mmap.mmap`` the caller owns (and must keep alive as
+        long as any view into it).  Only the local-directory transport can
+        offer this; callers probe with :func:`try_map_blob` and fall back
+        to :meth:`read_blob` elsewhere.
+        """
+        import mmap
+
+        try:
+            with open(self._resolve(name), "rb") as handle:
+                return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            # ValueError: zero-length files cannot be mapped.
+            raise TransportError(f"{self.describe()}: cannot map blob {name!r}: {exc}") from exc
+
     def write_blob(self, name: str, data: bytes) -> None:
         target = self._resolve(name)
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -614,6 +631,23 @@ def try_read_blob(transport: ShardTransport, name: str) -> Optional[bytes]:
     """
     try:
         return transport.read_blob(name)
+    except TransportError:
+        return None
+
+
+def try_map_blob(transport: ShardTransport, name: str):
+    """Memory-map a blob when the transport can, else ``None``.
+
+    The zero-copy probe the decoded-shard cache uses: a local-directory
+    transport answers with an ``mmap`` (the caller keeps it alive for as
+    long as any view into it); archives and object stores answer ``None``
+    and the caller falls back to :func:`try_read_blob`.
+    """
+    mapper = getattr(transport, "map_blob", None)
+    if mapper is None:
+        return None
+    try:
+        return mapper(name)
     except TransportError:
         return None
 

@@ -256,8 +256,14 @@ def test_queue_protocol_round_trip(queue_transport):
     queue.heartbeat(claim)
     assert queue_transport.read_blob(beat_name) == b"2"
 
-    queue.publish_result(0, pickle.dumps(["carry"]))
-    assert pickle.loads(queue.read_result(0)) == ["carry"]
+    # Results travel as one framed batch blob per claim sweep.
+    queue.publish_result_batch("worker-a", 1, [(0, b"carry-0"), (7, b"carry-7")])
+    batch_names = queue.result_batch_names()
+    assert batch_names == ["results/rb-worker-a-00001"]
+    assert queue.read_result_batch(batch_names[0]) == [
+        (0, b"carry-0"),
+        (7, b"carry-7"),
+    ]
     queue.release(claim)
     assert not queue_transport.blob_exists(claim.name)
     assert not queue_transport.blob_exists(beat_name)

@@ -1,0 +1,153 @@
+"""Warm worker pool and shared-shard-cache lifecycle tests.
+
+The warm pool's contract has two halves.  Performance: a
+``keep_pool=True`` engine spawns each worker exactly once and keeps
+stores open and shards published across runs, which ``ProcessEngine.stats``
+makes observable (``spawn_count``, ``pool_reuse``, ``decode_count``,
+``cache_hits``).  Safety: shared-memory segments belong to the engine
+that owns the cache, never to the workers — so segments must be gone
+from ``/dev/shm`` after a clean shutdown, after an injected worker crash
+(``OMPDATAPERF_WORKER_CRASH_AFTER_CLAIM``), and after a
+``KeyboardInterrupt`` in the parent, with no help from the crashed
+party.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import engine as engine_mod
+from repro.core.analysis import analyze_stream, analyze_trace
+from repro.core.distributed import CRASH_ENV
+from repro.core.engine import ProcessEngine
+from repro.events.shardcache import SharedShardCache, residual_segments
+from repro.events.store import shard_trace
+from repro.events.synth import make_synthetic_columnar_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_synthetic_columnar_trace(2400)
+
+
+@pytest.fixture(scope="module")
+def store(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pool-store") / "trace.store"
+    return shard_trace(trace, path, shard_events=256)
+
+
+def _findings(report):
+    return (
+        report.counts,
+        report.duplicate_groups,
+        report.round_trip_groups,
+        report.repeated_alloc_groups,
+        report.unused_allocations,
+        report.unused_transfers,
+        report.potential,
+    )
+
+
+def test_warm_pool_reuses_workers_across_runs(trace, store):
+    expected = _findings(analyze_trace(trace))
+    with ProcessEngine(keep_pool=True) as eng:
+        assert _findings(analyze_stream(store, engine=eng, jobs=2)) == expected
+        first = dict(eng.stats)
+        assert _findings(analyze_stream(store, engine=eng, jobs=2)) == expected
+        second = dict(eng.stats)
+
+    # Workers spawned exactly once, over both runs.
+    assert first["spawn_count"] == 2
+    assert second["spawn_count"] == 2
+    assert second["spawn_seconds"] == 0.0
+    # Oversubscription makes reuse visible within a single run already…
+    assert first["tasks"] > first["workers"]
+    assert first["pool_reuse"] > 0
+    # …and the second run runs entirely on warm workers with every shard
+    # already published to the shared cache: no opens, no decodes.
+    assert second["pool_reuse"] >= second["tasks"]
+    assert second["open_seconds"] == 0.0
+    assert second["decode_count"] == 0
+    assert second["cache_hits"] > 0
+    assert second["overhead_seconds"] == 0.0
+
+
+def test_stats_shape_and_overhead_accounting(store):
+    eng = ProcessEngine()
+    analyze_stream(store, engine=eng, jobs=2)
+    stats = eng.stats
+    assert set(stats) == {
+        "spawn_count",
+        "spawn_seconds",
+        "tasks",
+        "workers",
+        "pool_reuse",
+        "open_seconds",
+        "decode_seconds",
+        "decode_count",
+        "cache_hits",
+        "fold_seconds",
+        "overhead_seconds",
+        "overhead_per_task",
+    }
+    assert stats["spawn_count"] == 2
+    assert stats["overhead_seconds"] == pytest.approx(
+        stats["spawn_seconds"] + stats["open_seconds"] + stats["decode_seconds"]
+    )
+    assert stats["overhead_per_task"] == pytest.approx(
+        stats["overhead_seconds"] / stats["tasks"]
+    )
+
+
+def test_no_segments_survive_clean_shutdown(store):
+    analyze_stream(store, engine="process", jobs=2)
+    assert residual_segments() == []
+
+
+def test_no_segments_survive_worker_crash(store, monkeypatch):
+    # Workers read the crash hook at pool construction; each one
+    # hard-exits after finishing its first task, *after* publishing
+    # shared segments and before reporting the result — the window where
+    # cleanup tied to worker exit would leak.
+    monkeypatch.setenv(CRASH_ENV, "1")
+    eng = ProcessEngine()
+    with pytest.raises(RuntimeError, match="worker"):
+        analyze_stream(store, engine=eng, jobs=2)
+    assert residual_segments() == []
+
+
+def test_no_segments_survive_keyboard_interrupt(store, monkeypatch):
+    def interrupt(chains):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(engine_mod, "_merge_partition_carries", interrupt)
+    eng = ProcessEngine(keep_pool=True)
+    with pytest.raises(KeyboardInterrupt):
+        analyze_stream(store, engine=eng, jobs=2)
+    # The run tears the engine down on ANY exception, keep_pool or not:
+    # a stranded cache would leak /dev/shm for the process lifetime.
+    assert residual_segments() == []
+
+
+def test_mmap_backend_round_trip(trace, tmp_path):
+    owner = SharedShardCache(backend="mmap")
+    assert owner.attach(0) is None  # nothing published yet
+    owner.publish(0, trace)
+    worker = SharedShardCache.from_spec(owner.spec())
+    seen = worker.attach(0)
+    assert seen is not None
+    assert seen.num_data_op_events == trace.num_data_op_events
+    assert seen.num_target_events == trace.num_target_events
+    worker.close()
+    scratch = owner.scratch_dir
+    owner.cleanup(1)
+    assert not os.path.exists(scratch)
+
+
+def test_broken_cache_degrades_to_private_decode(trace):
+    cache = SharedShardCache(backend="off")
+    cache.publish(0, trace)
+    assert cache.attach(0) is None
+    assert cache.publishes == 0
