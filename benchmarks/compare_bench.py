@@ -30,10 +30,16 @@ current run are new and pass by definition.
 
 Besides throughput, engine records carry a per-task overhead breakdown
 (``overhead_seconds`` inside each ``overhead`` block — spawn + store open
-+ shard decode).  These are compared with the *opposite* direction
-(lower is better) under the same tolerance.  Baselines written before
-the overhead fields existed simply contribute no overhead metrics, so
-comparisons against old snapshots stay green.
++ shard decode + shard map).  These are compared with the *opposite*
+direction (lower is better) under the same tolerance.  Baselines written
+before the overhead fields existed simply contribute no overhead
+metrics, so comparisons against old snapshots stay green.
+
+Streaming records additionally carry ``ratio_vs_in_memory`` leaves (how
+close reading from disk comes to the in-memory scan; the flat ``.odpf``
+format is expected to hold >= 1.0x).  These are gated higher-is-better
+like throughput.  Baselines recorded before the shard-format change have
+no ratio leaves and pass neutrally, same as the overhead metrics.
 """
 
 from __future__ import annotations
@@ -50,6 +56,10 @@ METRIC_KEY = "events_per_sec"
 #: records written before the warm-pool engine landed.
 OVERHEAD_KEY = "overhead_seconds"
 
+#: Streaming closeness-to-memory leaves (higher is better); absent from
+#: records written before the flat shard format landed.
+RATIO_KEY = "ratio_vs_in_memory"
+
 DEFAULT_TOLERANCE = 0.25
 
 #: Neutral exit status: nothing to compare against (NOT a pass — the
@@ -57,36 +67,32 @@ DEFAULT_TOLERANCE = 0.25
 EXIT_NO_BASELINE = 3
 
 
-def extract_metrics(record, prefix: str = "") -> dict[str, float]:
-    """Every ``events_per_sec`` leaf in a record, keyed by dotted path."""
+def extract_leaves(record, leaf_key: str, prefix: str = "") -> dict[str, float]:
+    """Every numeric ``leaf_key`` leaf in a record, keyed by dotted path."""
     out: dict[str, float] = {}
     if isinstance(record, dict):
         for key, value in record.items():
             path = f"{prefix}.{key}" if prefix else str(key)
-            if key == METRIC_KEY and isinstance(value, (int, float)):
+            if key == leaf_key and isinstance(value, (int, float)):
                 out[path] = float(value)
             else:
-                out.update(extract_metrics(value, path))
+                out.update(extract_leaves(value, leaf_key, path))
     elif isinstance(record, list):
         for index, value in enumerate(record):
-            out.update(extract_metrics(value, f"{prefix}[{index}]"))
+            out.update(extract_leaves(value, leaf_key, f"{prefix}[{index}]"))
     return out
+
+
+def extract_metrics(record, prefix: str = "") -> dict[str, float]:
+    return extract_leaves(record, METRIC_KEY, prefix)
 
 
 def extract_overheads(record, prefix: str = "") -> dict[str, float]:
-    """Every ``overhead_seconds`` leaf in a record, keyed by dotted path."""
-    out: dict[str, float] = {}
-    if isinstance(record, dict):
-        for key, value in record.items():
-            path = f"{prefix}.{key}" if prefix else str(key)
-            if key == OVERHEAD_KEY and isinstance(value, (int, float)):
-                out[path] = float(value)
-            else:
-                out.update(extract_overheads(value, path))
-    elif isinstance(record, list):
-        for index, value in enumerate(record):
-            out.update(extract_overheads(value, f"{prefix}[{index}]"))
-    return out
+    return extract_leaves(record, OVERHEAD_KEY, prefix)
+
+
+def extract_ratios(record, prefix: str = "") -> dict[str, float]:
+    return extract_leaves(record, RATIO_KEY, prefix)
 
 
 def load_bench_files(
@@ -108,6 +114,9 @@ def compare(
     baseline: dict[str, dict[str, float]],
     current: dict[str, dict[str, float]],
     tolerance: float,
+    *,
+    unit: str = "events/s",
+    fmt: str = "{:,.0f}",
 ) -> list[str]:
     """Return one message per regressed metric (empty = within tolerance)."""
     regressions: list[str] = []
@@ -129,12 +138,13 @@ def compare(
                 status = "REGRESSION"
                 regressions.append(
                     f"{name}: {path} fell to {ratio:.2f}x of baseline "
-                    f"({base_value:,.0f} -> {cur_value:,.0f} events/s, "
+                    f"({fmt.format(base_value)} -> {fmt.format(cur_value)} {unit}, "
                     f"tolerance {1.0 - tolerance:.2f}x)"
                 )
             print(
                 f"{status:>10}  {name}  {path}  "
-                f"{base_value:>14,.0f} -> {cur_value:>14,.0f}  ({ratio:.2f}x)"
+                f"{fmt.format(base_value):>14} -> {fmt.format(cur_value):>14}  "
+                f"({ratio:.2f}x)"
             )
     for name in sorted(set(current) - set(baseline)):
         print(f"note: {name}: new benchmark (no baseline), passing")
@@ -233,6 +243,18 @@ def main(argv=None) -> int:
         load_bench_files(baseline_dir, extract_overheads),
         load_bench_files(current_dir, extract_overheads),
         args.tolerance,
+    )
+    # Closeness-to-memory ratios: drop files without ratio leaves so a
+    # pre-format baseline contributes nothing (graceful pass) instead of
+    # a wall of present-in-current-only notes.
+    regressions += compare(
+        {k: v for k, v in load_bench_files(
+            baseline_dir, extract_ratios).items() if v},
+        {k: v for k, v in load_bench_files(
+            current_dir, extract_ratios).items() if v},
+        args.tolerance,
+        unit="x in-memory",
+        fmt="{:.3f}",
     )
     if regressions:
         print(f"\n{len(regressions)} benchmark regression(s):", file=sys.stderr)

@@ -16,6 +16,7 @@ the CLI takes an application name plus options::
     ompdataperf trace merge bfs.store bfs.npz    # merge a store back
     ompdataperf trace info bfs.store             # summarise without loading
     ompdataperf trace compact bfs.store          # re-shard a store in place
+    ompdataperf trace migrate bfs.store          # rewrite legacy .npz shards as .odpf
     ompdataperf trace compact bfs.store --retain-max-age 5.0   # drop old events
     ompdataperf trace shard bfs.npz bfs.zip      # single-file zip-archived store
     ompdataperf bfs --stream --engine process --jobs 4   # shard-parallel analysis
@@ -169,8 +170,9 @@ def build_trace_parser() -> argparse.ArgumentParser:
     convert.add_argument("input", help="path of the trace to read (format sniffed)")
     convert.add_argument("output", help="path of the trace to write")
     convert.add_argument(
-        "--to", choices=("json", "binary"), default=None,
-        help="output format (default: binary for .npz/.bin outputs, else json)",
+        "--to", choices=("json", "binary", "flat"), default=None,
+        help="output format (default: binary for .npz/.bin outputs, "
+             "flat for .odpf outputs, else json)",
     )
 
     shard = sub.add_parser(
@@ -217,6 +219,20 @@ def build_trace_parser() -> argparse.ArgumentParser:
                          help="keep only events of these kinds; known kinds: "
                               f"{', '.join(RETAINABLE_KINDS)}")
 
+    migrate = sub.add_parser(
+        "migrate",
+        help="rewrite a store's shards to the mmap-native flat .odpf format "
+             "in place (crash-safe: staged under a scratch prefix, promoted "
+             "through one atomic manifest publish — same machinery as "
+             "compact); legacy .npz stores gain zero-decode opens on "
+             "mmap-capable storage",
+    )
+    migrate.add_argument("input", help="directory (or zip archive) of the store to migrate")
+    migrate.add_argument("--shard-events", type=positive_int, default=None,
+                         metavar="N",
+                         help="target events per shard (default: the store's "
+                              "current largest shard, preserving granularity)")
+
     merge = sub.add_parser(
         "merge",
         help="merge a sharded store back into one JSON or binary trace file",
@@ -224,8 +240,9 @@ def build_trace_parser() -> argparse.ArgumentParser:
     merge.add_argument("input", help="directory of the store to read")
     merge.add_argument("output", help="path of the trace to write")
     merge.add_argument(
-        "--to", choices=("json", "binary"), default=None,
-        help="output format (default: binary for .npz/.bin outputs, else json)",
+        "--to", choices=("json", "binary", "flat"), default=None,
+        help="output format (default: binary for .npz/.bin outputs, "
+             "flat for .odpf outputs, else json)",
     )
 
     info = sub.add_parser(
@@ -316,6 +333,11 @@ def _print_trace_info(trace, path: Path) -> None:
     for kind, count in tgt_kinds.items():
         print(f"target_kind.{kind}: {count}")
     print(f"on_disk_bytes: {_on_disk_bytes(trace, path)}")
+    if isinstance(trace, ShardedTraceStore):
+        bytes_by_format = trace.on_disk_bytes_by_format()
+        for fmt, count in sorted(trace.shard_format_counts().items()):
+            print(f"shard_format.{fmt}: {count}")
+            print(f"on_disk_bytes.{fmt}: {bytes_by_format[fmt]}")
 
 
 def _trace_main(argv: Sequence[str]) -> int:
@@ -368,6 +390,29 @@ def _trace_main(argv: Sequence[str]) -> int:
         )
         return 0
 
+    if args.command == "migrate":
+        if not isinstance(trace, ShardedTraceStore):
+            parser.error(f"{args.input} is not a sharded trace store")
+        before = trace.shard_format_counts()
+        # Without an explicit target, keep the store's shard granularity:
+        # re-sharding is compact's job, migration only changes the format.
+        shard_events = args.shard_events or max(
+            (s.num_events for s in trace.shards), default=DEFAULT_SHARD_EVENTS
+        )
+        try:
+            store = trace.compact(shard_events=shard_events, shard_format="odpf")
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot migrate {args.input}: {exc}")
+            return 2  # unreachable; parser.error raises SystemExit
+        after = store.shard_format_counts()
+        print(
+            f"info: migrated {args.input}: "
+            f"{before.get('npz', 0)} npz + {before.get('odpf', 0)} odpf "
+            f"shard(s) -> {after.get('odpf', 0)} odpf shard(s), "
+            f"{len(store)} events"
+        )
+        return 0
+
     if args.command == "shard":
         try:
             store = shard_trace(
@@ -393,10 +438,18 @@ def _trace_main(argv: Sequence[str]) -> int:
 
     fmt = args.to
     if fmt is None:
-        fmt = "binary" if Path(args.output).suffix in (".npz", ".bin") else "json"
+        suffix = Path(args.output).suffix
+        if suffix in (".npz", ".bin"):
+            fmt = "binary"
+        elif suffix == ".odpf":
+            fmt = "flat"
+        else:
+            fmt = "json"
     try:
         if fmt == "binary":
             as_columnar(trace).save_binary(args.output)
+        elif fmt == "flat":
+            as_columnar(trace).save_flat(args.output)
         else:
             as_object_trace(trace).save(args.output)
     except OSError as exc:

@@ -810,63 +810,6 @@ def run_streaming_pass(pass_: StreamingPass, stream) -> list:
     return pass_.finalize(stream)
 
 
-def _iter_prefetched(stream, depth: int = 2):
-    """Iterate a stream's batches with a background prefetch thread.
-
-    While the consumer folds batch *k*, the loader thread is already
-    reading and decoding batch *k+1* — shard decode (zip read, zlib for
-    compressed stores) releases the GIL, so load and fold genuinely
-    overlap.  ``depth`` bounds the number of decoded batches in flight,
-    keeping memory O(depth × shard).
-    """
-    import queue
-    import threading
-
-    q: "queue.Queue" = queue.Queue(maxsize=depth)
-    stop = threading.Event()
-    _DONE = object()
-
-    def _put(item) -> None:
-        # Bounded put that gives up when the consumer has gone away, so an
-        # aborted scan never leaves the loader blocked (pinning a decoded
-        # shard) for the life of the process.
-        while not stop.is_set():
-            try:
-                q.put(item, timeout=0.1)
-                return
-            except queue.Full:
-                continue
-
-    def _loader() -> None:
-        try:
-            for batch in stream.batches():
-                _put(batch)
-                if stop.is_set():
-                    return
-            _put(_DONE)
-        except BaseException as exc:  # propagate into the consumer
-            _put(exc)
-
-    thread = threading.Thread(target=_loader, name="shard-prefetch", daemon=True)
-    thread.start()
-    try:
-        while True:
-            item = q.get()
-            if item is _DONE:
-                break
-            if isinstance(item, BaseException):
-                raise item
-            yield item
-    finally:
-        stop.set()
-        while thread.is_alive():
-            try:
-                q.get_nowait()
-            except queue.Empty:
-                pass
-            thread.join(timeout=0.05)
-
-
 def run_streaming_passes(passes: Sequence[StreamingPass], stream, *, jobs: int = 1) -> list:
     """Drive several passes over ONE scan of the stream.
 
@@ -889,7 +832,9 @@ def run_streaming_passes(passes: Sequence[StreamingPass], stream, *, jobs: int =
 
     from concurrent.futures import ThreadPoolExecutor
 
-    for batch in _iter_prefetched(stream, depth=min(jobs, 4)):
+    from repro.events.stream import prefetch_batches
+
+    for batch in prefetch_batches(stream, depth=min(jobs, 4)):
         for pass_ in passes:
             pass_.fold(batch, offset)
         offset += batch.num_data_op_events

@@ -97,7 +97,7 @@ from repro.core.engine import (
     partition_tasks,
 )
 from repro.core.pool import open_store_cached
-from repro.events.shardcache import SharedShardCache
+from repro.events.shardcache import SharedShardCache, direct_map_preferred
 from repro.events.stream import StreamPartition
 from repro.events.transport import (
     ShardTransport,
@@ -747,7 +747,14 @@ class DistributedEngine:
 
         merged = _merge_partition_carries(chains)
         # The five finalizes each rescan shards; a coordinator-owned shard
-        # cache makes them decode each shard once between them.
+        # cache makes them decode each shard once between them.  A store
+        # whose shards are all directly mappable flat payloads needs no
+        # cache at all — every rescan is an O(1) map of the store file.
+        if all(
+            direct_map_preferred(stream.transport, shard.format)
+            for shard in stream.shards
+        ):
+            return _finalize_all(merged, stream, jobs)
         cache = SharedShardCache()
         stream.attach_shard_cache(cache)
         try:

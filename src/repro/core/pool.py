@@ -14,9 +14,10 @@ long-lived worker processes:
   runs of a ``keep_pool=True`` engine;
 * carries cross the result queue as compact
   :mod:`repro.core.carrycodec` payloads instead of pickles;
-* every task reports an overhead breakdown (open / decode / fold seconds,
-  cache hits, which worker ran it) so ``BENCH_engine.json`` can show the
-  constants falling even on machines where wall-clock speedup cannot.
+* every task reports an overhead breakdown (open / decode / map / fold
+  seconds, cache hits, which worker ran it) so ``BENCH_engine.json`` can
+  show the constants falling even on machines where wall-clock speedup
+  cannot.
 
 Crash behaviour is observable the same way the distributed worker's is:
 with ``OMPDATAPERF_WORKER_CRASH_AFTER_CLAIM=N`` in the environment a pool
@@ -130,6 +131,8 @@ def _pool_worker(index: int, task_queue, result_queue, crash_after) -> None:
             decode0 = store.decode_seconds
             count0 = store.decode_count
             hits0 = store.cache_hits
+            map0 = store.map_seconds
+            mapc0 = store.map_count
             started = perf_counter()
             if kind == _CMD_FOLD:
                 task, pass_specs = command[4], command[5]
@@ -144,6 +147,7 @@ def _pool_worker(index: int, task_queue, result_queue, crash_after) -> None:
                 raise RuntimeError(f"unknown pool command {kind!r}")
             wall = perf_counter() - started
             decode_seconds = store.decode_seconds - decode0
+            map_seconds = store.map_seconds - map0
             stats = {
                 "worker": index,
                 "task_no": completed + 1,
@@ -151,7 +155,9 @@ def _pool_worker(index: int, task_queue, result_queue, crash_after) -> None:
                 "decode_seconds": decode_seconds,
                 "decode_count": store.decode_count - count0,
                 "cache_hits": store.cache_hits - hits0,
-                "fold_seconds": max(0.0, wall - decode_seconds),
+                "map_seconds": map_seconds,
+                "map_count": store.map_count - mapc0,
+                "fold_seconds": max(0.0, wall - decode_seconds - map_seconds),
             }
             completed += 1
             if crash_after is not None and completed >= crash_after:

@@ -11,6 +11,8 @@ backend               sniff                       loads as
 ``sharded``           directory with a manifest   ``ShardedTraceStore``
 ``sharded-zip``       zip archive holding a       ``ShardedTraceStore`` (over
                       store manifest member       a ``ZipArchiveTransport``)
+``flat-columnar``     file with the ``ODPF``      ``ColumnarTrace`` (zero-copy
+                      magic (a flat payload)      views over an mmap)
 ``columnar-binary``   any other zip archive       ``ColumnarTrace``
                       (``PK`` magic)
 ``json``              anything else               ``Trace``
@@ -96,6 +98,21 @@ def _load_sharded_zip(path: Path):
     return ShardedTraceStore.open(ZipArchiveTransport(path))
 
 
+def _sniff_flat_columnar(path: Path) -> bool:
+    from repro.events.columnar import FLAT_MAGIC
+
+    if not path.is_file():
+        return False
+    with path.open("rb") as fh:
+        return fh.read(len(FLAT_MAGIC)) == FLAT_MAGIC
+
+
+def _load_flat_columnar(path: Path):
+    from repro.events.columnar import ColumnarTrace
+
+    return ColumnarTrace.load_flat(path)
+
+
 def _sniff_columnar_binary(path: Path) -> bool:
     if not path.is_file():
         return False
@@ -122,6 +139,9 @@ def _load_json(path: Path):
 register_trace_backend(TraceBackend("sharded", _sniff_sharded, _load_sharded))
 register_trace_backend(
     TraceBackend("sharded-zip", _sniff_sharded_zip, _load_sharded_zip)
+)
+register_trace_backend(
+    TraceBackend("flat-columnar", _sniff_flat_columnar, _load_flat_columnar)
 )
 register_trace_backend(
     TraceBackend("columnar-binary", _sniff_columnar_binary, _load_columnar_binary)

@@ -977,10 +977,28 @@ class ColumnarTrace:
         return total
 
     def to_flat_payload(self) -> bytes:
-        """The flat payload as one blob (the mmap-backed cache's file body)."""
+        """The flat payload as one blob (an ``.odpf`` shard's file body)."""
         buf = bytearray(self.flat_payload_size())
         self.write_flat_payload(buf)
         return bytes(buf)
+
+    def save_flat(self, path: str | Path) -> None:
+        """Write the trace as one standalone ``.odpf`` flat payload file."""
+        Path(path).write_bytes(self.to_flat_payload())
+
+    @classmethod
+    def load_flat(cls, path: str | Path) -> "ColumnarTrace":
+        """Memory-map a standalone ``.odpf`` file as zero-copy column views.
+
+        The mapping is the returned trace's keepalive: it stays mapped as
+        long as any view into it is referenced and is reclaimed by the OS
+        when the last reference drops — there is no handle to close.
+        """
+        import mmap
+
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        return cls.from_shared(mapped, keepalive=mapped, source=str(path))
 
     @classmethod
     def from_shared(cls, buf, *, keepalive=None, source: str = "<shared>") -> "ColumnarTrace":
@@ -1001,10 +1019,21 @@ class ColumnarTrace:
             raise ValueError(f"{source}: not a flat trace payload")
         if version != FLAT_FORMAT_VERSION:
             raise ValueError(f"{source}: unsupported flat payload version {version}")
+        if len(mv) < _FLAT_PREFIX.size + header_len:
+            raise ValueError(f"{source}: truncated flat trace payload")
         header = json.loads(
             bytes(mv[_FLAT_PREFIX.size : _FLAT_PREFIX.size + header_len])
         )
         data_start = _align_flat(_FLAT_PREFIX.size + header_len)
+        # A torn write can keep the magic-bearing prefix of the payload (an
+        # object-store put commits whatever bytes arrived), so the commit
+        # marker alone does not prove the column data is all there.
+        needed = data_start + max(
+            (offset + nbytes for _, _, _, offset, nbytes in header["columns"]),
+            default=0,
+        )
+        if len(mv) < needed:
+            raise ValueError(f"{source}: truncated flat trace payload")
         out = cls(
             num_devices=int(header["num_devices"]),
             program_name=header.get("program_name"),

@@ -32,7 +32,12 @@ Ownership rules (also documented in ``docs/architecture.md``):
    harmless — both writers produce identical bytes;
 4. any backend failure (``/dev/shm`` full, scratch dir gone) degrades the
    cache to a no-op for the affected process: correctness never depends
-   on the cache, only speed.
+   on the cache, only speed;
+5. the cache is skipped entirely for shards that are already flat
+   ``.odpf`` payloads behind an mmap-capable transport
+   (:func:`direct_map_preferred`): the store file is its own shared
+   payload, so publication would only duplicate pages the OS page cache
+   already shares.
 """
 
 from __future__ import annotations
@@ -65,6 +70,20 @@ def _shm_module():
 def default_backend() -> str:
     """The best backend this platform offers."""
     return "shm" if _shm_module() is not None else "mmap"
+
+
+def direct_map_preferred(transport, shard_format: str) -> bool:
+    """Should loads of this shard bypass the cache and map the store blob?
+
+    True exactly when the shard on disk already *is* a flat payload
+    (``"odpf"``) and the transport can memory-map its blobs: then every
+    process's views share the store file's own pages through the OS page
+    cache, so publishing a second copy into ``/dev/shm`` (or a scratch
+    file) buys nothing — the cache step collapses to zero.  The format
+    string matches :data:`repro.events.store.SHARD_FORMAT_ODPF` (compared
+    literally here to keep this module import-light).
+    """
+    return shard_format == "odpf" and callable(getattr(transport, "map_blob", None))
 
 
 def ensure_resource_tracker() -> None:

@@ -1,14 +1,28 @@
 """Sharded trace storage: bounded-memory ingest and replay over transports.
 
-A sharded trace store is a set of versioned binary columnar shard blobs
-(the ``.npz`` format of :meth:`ColumnarTrace.save_binary`) plus a JSON
-manifest describing the whole trace::
+A sharded trace store is a set of versioned columnar shard blobs plus a
+JSON manifest describing the whole trace::
 
     trace.store/                  # LocalDirTransport (the default layout)
         manifest.json
-        shard-00000.npz
-        shard-00001.npz
+        shard-00000.odpf
+        shard-00001.odpf
         ...
+
+Each shard is in one of two formats, recorded per shard in the manifest:
+
+* ``odpf`` (the default) — the flat columnar payload of
+  :meth:`ColumnarTrace.to_flat_payload`: struct prefix + JSON header +
+  64-byte-aligned raw column buffers, magic stamped last as the commit
+  marker.  On a transport that can memory-map its blobs (the local
+  directory), opening a shard is O(1): the store builds zero-copy NumPy
+  views straight over the mapped file — no decompress, no copy, nothing
+  to publish to a shard cache.
+* ``npz`` — the legacy compressed-capable binary of
+  :meth:`ColumnarTrace.save_binary`; every load pays a full decode.
+  Still written for ``compress=True`` (archival) stores, and legacy
+  stores (whose manifests predate the ``format`` field) keep working
+  unchanged — formats may mix freely within one store.
 
 *Where* the blobs live is pluggable: the same manifest + shards layout can
 sit in a local directory, inside a single zip archive (cold storage), or
@@ -35,9 +49,9 @@ keep only some event kinds, cap the store's shard count or byte budget)
 with the same crash-safety as plain compaction: scratch staging, a single
 atomic manifest publish, superseded shards removed last.
 
-Shards are written uncompressed by default: the streaming detectors scan
-them repeatedly, so decode speed matters more than density (pass
-``compress=True`` for archival stores).
+Shards are written as flat ``odpf`` payloads by default: the streaming
+detectors scan them repeatedly, so open cost matters more than density
+(pass ``compress=True``, or ``shard_format="npz"``, for archival stores).
 """
 
 from __future__ import annotations
@@ -65,11 +79,13 @@ from repro.events.stream import (
     partition_stream,
     slice_bounds,
 )
+from repro.events.shardcache import direct_map_preferred
 from repro.events.transport import (
     LocalDirTransport,
     PrefixTransport,
     ShardTransport,
     open_transport,
+    try_map_blob,
 )
 
 #: Version tag of the sharded-store manifest format.
@@ -79,6 +95,11 @@ STORE_FORMAT_VERSION = 1
 STORE_KIND = "ompdataperf-sharded-trace"
 
 MANIFEST_NAME = "manifest.json"
+
+#: Shard format names (doubling as the shard files' extensions).
+SHARD_FORMAT_NPZ = "npz"
+SHARD_FORMAT_ODPF = "odpf"
+SHARD_FORMATS = (SHARD_FORMAT_NPZ, SHARD_FORMAT_ODPF)
 
 #: Scratch namespace compaction stages rewritten shards under.
 COMPACT_SCRATCH_PREFIX = ".compact.tmp"
@@ -97,6 +118,7 @@ class ShardInfo:
     num_data_op_events: int
     num_target_events: int
     end_time: float
+    format: str = SHARD_FORMAT_NPZ
 
     @property
     def num_events(self) -> int:
@@ -108,15 +130,26 @@ class ShardInfo:
             "num_data_op_events": self.num_data_op_events,
             "num_target_events": self.num_target_events,
             "end_time": self.end_time,
+            "format": self.format,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "ShardInfo":
+        # Legacy manifests predate the format field; their shards are the
+        # historical ``.npz`` blobs (inferred by extension for robustness).
+        fmt = d.get("format")
+        if fmt is None:
+            fmt = (
+                SHARD_FORMAT_ODPF
+                if str(d["file"]).endswith("." + SHARD_FORMAT_ODPF)
+                else SHARD_FORMAT_NPZ
+            )
         return cls(
             file=str(d["file"]),
             num_data_op_events=int(d["num_data_op_events"]),
             num_target_events=int(d["num_target_events"]),
             end_time=float(d["end_time"]),
+            format=str(fmt),
         )
 
 
@@ -240,6 +273,10 @@ class ShardedTraceStore:
         self.decode_seconds = 0.0
         self.decode_count = 0
         self.cache_hits = 0
+        #: zero-decode accounting: flat ``.odpf`` shards are attached as
+        #: views (an mmap on capable transports), never parsed.
+        self.map_seconds = 0.0
+        self.map_count = 0
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -288,28 +325,56 @@ class ShardedTraceStore:
         """
         self._shard_cache = cache
 
-    def _load_shard(self, file: str) -> ColumnarTrace:
+    def _load_shard(self, shard: ShardInfo) -> ColumnarTrace:
+        if shard.format == SHARD_FORMAT_ODPF:
+            return self._load_flat_shard(shard.file)
         started = perf_counter()
         batch = ColumnarTrace.from_binary_bytes(
-            self.transport.read_blob(file),
-            source=f"{self.transport.describe()}:{file}",
+            self.transport.read_blob(shard.file),
+            source=f"{self.transport.describe()}:{shard.file}",
         )
         self.decode_seconds += perf_counter() - started
         self.decode_count += 1
         return self._stamp(batch)
 
+    def _load_flat_shard(self, file: str) -> ColumnarTrace:
+        """Attach a flat ``.odpf`` shard as zero-copy views — no decode.
+
+        On an mmap-capable transport the views sit directly over the
+        mapped store file (the mapping is the batch's keepalive, unmapped
+        when the last view drops); elsewhere the blob's bytes are fetched
+        once and viewed in place.
+        """
+        started = perf_counter()
+        source = f"{self.transport.describe()}:{file}"
+        mapped = try_map_blob(self.transport, file)
+        if mapped is not None:
+            batch = ColumnarTrace.from_shared(mapped, keepalive=mapped, source=source)
+        else:
+            data = self.transport.read_blob(file)
+            batch = ColumnarTrace.from_shared(
+                memoryview(data), keepalive=data, source=source
+            )
+        self.map_seconds += perf_counter() - started
+        self.map_count += 1
+        return self._stamp(batch)
+
     def load_batch(self, index: int) -> ColumnarTrace:
         """Load one shard (random access for targeted materialisation)."""
+        shard = self.shards[index]
         cache = self._shard_cache
-        if cache is not None:
+        if cache is not None and not direct_map_preferred(self.transport, shard.format):
             shared = cache.attach(index)
             if shared is not None:
                 self.cache_hits += 1
                 return self._stamp(shared)
-            batch = self._load_shard(self.shards[index].file)
+            batch = self._load_shard(shard)
             cache.publish(index, batch)
             return batch
-        return self._load_shard(self.shards[index].file)
+        # Directly mappable shards bypass the cache entirely: the store
+        # file itself already provides the single-physical-copy property a
+        # publication would otherwise buy.
+        return self._load_shard(shard)
 
     def batch_row_counts(self) -> list[tuple[int, int]]:
         return [(s.num_data_op_events, s.num_target_events) for s in self.shards]
@@ -340,6 +405,7 @@ class ShardedTraceStore:
         shard_events: int = DEFAULT_SHARD_EVENTS,
         compress: bool = False,
         retention: Optional[RetentionPolicy] = None,
+        shard_format: Optional[str] = None,
     ) -> "ShardedTraceStore":
         """Re-shard the store in place, optionally applying retention.
 
@@ -396,6 +462,7 @@ class ShardedTraceStore:
                 retention=retention,
                 cutoff=cutoff,
                 apply_batch=apply_batch,
+                shard_format=shard_format,
             )
         finally:
             if staging_dir is not None:
@@ -411,6 +478,7 @@ class ShardedTraceStore:
         retention: "RetentionPolicy",
         cutoff: Optional[float],
         apply_batch,
+        shard_format: Optional[str],
     ) -> "ShardedTraceStore":
         writer = TraceWriter(
             scratch,
@@ -418,6 +486,7 @@ class ShardedTraceStore:
             num_devices=self.num_devices,
             program_name=self.program_name,
             compress=compress,
+            shard_format=shard_format,
         )
         for batch in self.batches():
             writer.write_batch(retention.filter_batch(batch, cutoff))
@@ -448,17 +517,18 @@ class ShardedTraceStore:
             stats = writer.stats
 
         # Promote the staged shards under names no live shard uses
-        # (repeated compactions bump the generation tag).
+        # (repeated compactions bump the generation tag).  The extension
+        # follows each staged shard's format.
         generation = 0
         while any(
-            self.transport.blob_exists(f"shard-g{generation}-{i:05d}.npz")
-            for i in range(len(kept))
+            self.transport.blob_exists(f"shard-g{generation}-{i:05d}.{shard.format}")
+            for i, shard in enumerate(kept)
         ):
             generation += 1
         promotions: list[tuple[str, str]] = []  # (scratch file, live name)
         renamed: list[ShardInfo] = []
         for i, shard in enumerate(kept):
-            name = f"shard-g{generation}-{i:05d}.npz"
+            name = f"shard-g{generation}-{i:05d}.{shard.format}"
             promotions.append((shard.file, name))
             renamed.append(
                 ShardInfo(
@@ -466,6 +536,7 @@ class ShardedTraceStore:
                     num_data_op_events=shard.num_data_op_events,
                     num_target_events=shard.num_target_events,
                     end_time=shard.end_time,
+                    format=shard.format,
                 )
             )
 
@@ -562,6 +633,22 @@ class ShardedTraceStore:
             total += self.transport.blob_size(shard.file)
         return total
 
+    def shard_format_counts(self) -> dict[str, int]:
+        """Shards per format, from the manifest alone."""
+        counts: dict[str, int] = {}
+        for shard in self.shards:
+            counts[shard.format] = counts.get(shard.format, 0) + 1
+        return counts
+
+    def on_disk_bytes_by_format(self) -> dict[str, int]:
+        """Stored shard bytes per format (the manifest is not attributed)."""
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            totals[shard.format] = totals.get(
+                shard.format, 0
+            ) + self.transport.blob_size(shard.file)
+        return totals
+
     def summary(self) -> dict:
         stats = self._stats
         return {
@@ -648,9 +735,25 @@ class TraceWriter:
         num_devices: int = 1,
         program_name: Optional[str] = None,
         compress: bool = False,
+        shard_format: Optional[str] = None,
     ) -> None:
         if shard_events < 1:
             raise ValueError("shard_events must be at least 1")
+        if shard_format is None:
+            # The flat format is uncompressed by construction, so an
+            # archival (compressed) store keeps the legacy binary shards.
+            shard_format = SHARD_FORMAT_NPZ if compress else SHARD_FORMAT_ODPF
+        if shard_format not in SHARD_FORMATS:
+            raise ValueError(
+                f"unknown shard format {shard_format!r}; "
+                f"known formats: {', '.join(SHARD_FORMATS)}"
+            )
+        if shard_format == SHARD_FORMAT_ODPF and compress:
+            raise ValueError(
+                "the flat 'odpf' shard format is uncompressed; "
+                "use shard_format='npz' for a compressed store"
+            )
+        self.shard_format = shard_format
         self.transport = open_transport(destination, create=True)
         if self.transport.list_blobs():
             raise ValueError(
@@ -737,13 +840,15 @@ class TraceWriter:
         self._buffer = self._fresh_buffer()
 
     def _write_shard(self, shard: ColumnarTrace) -> None:
-        name = f"shard-{len(self.shards):05d}.npz"
+        name = f"shard-{len(self.shards):05d}.{self.shard_format}"
         shard.num_devices = self.num_devices
         shard.program_name = self.program_name
         shard.total_runtime = None  # a shard has no runtime of its own
-        self.transport.write_blob(
-            name, shard.to_binary_bytes(compress=self.compress)
-        )
+        if self.shard_format == SHARD_FORMAT_ODPF:
+            payload = shard.to_flat_payload()
+        else:
+            payload = shard.to_binary_bytes(compress=self.compress)
+        self.transport.write_blob(name, payload)
         shard_stats = StreamStats()
         shard_stats.fold(shard)
         self.stats.merge(shard_stats)
@@ -754,6 +859,7 @@ class TraceWriter:
                 num_data_op_events=shard.num_data_op_events,
                 num_target_events=shard.num_target_events,
                 end_time=shard.end_time,
+                format=self.shard_format,
             )
         )
 
@@ -791,6 +897,7 @@ def shard_trace(
     *,
     shard_events: int = DEFAULT_SHARD_EVENTS,
     compress: bool = False,
+    shard_format: Optional[str] = None,
 ) -> ShardedTraceStore:
     """Write any trace representation (or stream) out as a sharded store.
 
@@ -806,6 +913,7 @@ def shard_trace(
         num_devices=stream.num_devices,
         program_name=stream.program_name,
         compress=compress,
+        shard_format=shard_format,
     )
     for batch in stream.batches():
         writer.write_batch(batch)

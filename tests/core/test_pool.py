@@ -34,7 +34,17 @@ def trace():
 
 @pytest.fixture(scope="module")
 def store(trace, tmp_path_factory):
+    # Pinned to the legacy npz format: these tests observe the shared
+    # cache's decode-once contract, which only applies to shards that
+    # need decoding.  Flat .odpf shards bypass the cache by design (see
+    # test_odpf_store_folds_with_zero_decodes_and_no_cache).
     path = tmp_path_factory.mktemp("pool-store") / "trace.store"
+    return shard_trace(trace, path, shard_events=256, shard_format="npz")
+
+
+@pytest.fixture(scope="module")
+def odpf_store(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pool-store-odpf") / "trace.store"
     return shard_trace(trace, path, shard_events=256)
 
 
@@ -74,6 +84,24 @@ def test_warm_pool_reuses_workers_across_runs(trace, store):
     assert second["overhead_seconds"] == 0.0
 
 
+def test_odpf_store_folds_with_zero_decodes_and_no_cache(trace, odpf_store):
+    # Flat .odpf shards on a local store are mmapped in place: no decode
+    # ever happens (first run included), and nothing is published to the
+    # shared cache — the store file is its own shared payload.
+    expected = _findings(analyze_trace(trace))
+    with ProcessEngine(keep_pool=True) as eng:
+        assert _findings(analyze_stream(odpf_store, engine=eng, jobs=2)) == expected
+        first = dict(eng.stats)
+        assert _findings(analyze_stream(odpf_store, engine=eng, jobs=2)) == expected
+        second = dict(eng.stats)
+    for stats in (first, second):
+        assert stats["decode_count"] == 0
+        assert stats["decode_seconds"] == 0.0
+        assert stats["cache_hits"] == 0
+        assert stats["map_count"] > 0
+    assert residual_segments() == []
+
+
 def test_stats_shape_and_overhead_accounting(store):
     eng = ProcessEngine()
     analyze_stream(store, engine=eng, jobs=2)
@@ -88,17 +116,46 @@ def test_stats_shape_and_overhead_accounting(store):
         "decode_seconds",
         "decode_count",
         "cache_hits",
+        "map_seconds",
+        "map_count",
         "fold_seconds",
         "overhead_seconds",
         "overhead_per_task",
     }
     assert stats["spawn_count"] == 2
     assert stats["overhead_seconds"] == pytest.approx(
-        stats["spawn_seconds"] + stats["open_seconds"] + stats["decode_seconds"]
+        stats["spawn_seconds"]
+        + stats["open_seconds"]
+        + stats["decode_seconds"]
+        + stats["map_seconds"]
     )
     assert stats["overhead_per_task"] == pytest.approx(
         stats["overhead_seconds"] / stats["tasks"]
     )
+
+
+def test_jobs1_populates_the_same_overhead_breakdown(store, odpf_store):
+    # jobs == 1 degrades to a serial run but must still report the full
+    # stats shape (the engine benchmark records it per worker count).
+    eng2 = ProcessEngine()
+    analyze_stream(store, engine=eng2, jobs=2)
+    shape = set(eng2.stats)
+
+    eng = ProcessEngine()
+    analyze_stream(store, engine=eng, jobs=1)
+    stats = eng.stats
+    assert set(stats) == shape
+    assert stats["tasks"] == 1
+    assert stats["workers"] == 0
+    assert stats["spawn_seconds"] == 0.0
+    assert stats["decode_count"] > 0  # npz shards decode even serially
+
+    eng = ProcessEngine()
+    analyze_stream(odpf_store, engine=eng, jobs=1)
+    assert set(eng.stats) == shape
+    assert eng.stats["decode_seconds"] == 0.0
+    assert eng.stats["decode_count"] == 0
+    assert eng.stats["map_count"] > 0
 
 
 def test_no_segments_survive_clean_shutdown(store):

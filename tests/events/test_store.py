@@ -411,7 +411,7 @@ def test_validate_stream_flags_boundary_disorder(tmp_path):
     bad = ColumnarTrace(num_devices=shard.num_devices)
     for event in shard.data_op_events:
         bad.append_data_op_event(event.with_times(0.0, 0.0))
-    bad.save_binary(store.path / store.shards[1].file, compress=False)
+    bad.save_flat(store.path / store.shards[1].file)
     problems = validate_stream(ShardedTraceStore.open(store.path), strict=False)
     assert any("across the shard boundary" in p for p in problems)
     with pytest.raises(TraceValidationError):

@@ -127,6 +127,72 @@ def test_trace_shard_info_merge_round_trip(tmp_path, capsys):
     assert restored.to_trace().to_dict() == original.to_trace().to_dict()
 
 
+def test_trace_migrate_rewrites_npz_store_to_odpf(tmp_path, capsys):
+    from repro.events.columnar import ColumnarTrace
+    from repro.events.store import ShardedTraceStore, shard_trace
+
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    capsys.readouterr()
+    original = ColumnarTrace.load_binary(npz_path)
+    store_path = tmp_path / "legacy.store"
+    legacy = shard_trace(original, store_path, shard_events=4, shard_format="npz")
+    assert legacy.shard_format_counts() == {"npz": legacy.num_shards}
+
+    # info reports the per-format shard counts and byte totals.
+    assert main(["trace", "info", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "shard_format.npz:" in out
+    assert "on_disk_bytes.npz:" in out
+
+    assert main(["trace", "migrate", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "migrated" in out and "odpf shard(s)" in out
+
+    migrated = ShardedTraceStore.open(store_path)
+    assert set(migrated.shard_format_counts()) == {"odpf"}
+    # Default target preserves the shard granularity of the source store.
+    assert migrated.num_shards == legacy.num_shards
+    assert migrated.load().to_trace().to_dict() == original.to_trace().to_dict()
+
+    assert main(["trace", "info", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "shard_format.odpf:" in out
+    assert "shard_format.npz:" not in out
+
+    # Migration is idempotent and the analysis stays byte-identical.
+    assert main(["trace", "migrate", str(store_path)]) == 0
+    capsys.readouterr()
+    again = ShardedTraceStore.open(store_path)
+    assert again.load().to_trace().to_dict() == original.to_trace().to_dict()
+
+
+def test_trace_migrate_rejects_non_store(tmp_path, capsys):
+    json_path = tmp_path / "trace.json"
+    assert main(["rsbench", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["trace", "migrate", str(json_path)])
+
+
+def test_trace_convert_flat_round_trip(tmp_path, capsys):
+    from repro.events.columnar import ColumnarTrace
+
+    npz_path = tmp_path / "trace.npz"
+    assert main(["hotspot", "--size", "small", "-q", "--trace-out", str(npz_path)]) == 0
+    capsys.readouterr()
+    flat_path = tmp_path / "trace.odpf"
+    assert main(["trace", "convert", str(npz_path), str(flat_path)]) == 0
+    assert "flat trace" in capsys.readouterr().out
+    assert flat_path.read_bytes()[:4] == b"ODPF"
+
+    back_path = tmp_path / "back.npz"
+    assert main(["trace", "convert", str(flat_path), str(back_path)]) == 0
+    original = ColumnarTrace.load_binary(npz_path)
+    restored = ColumnarTrace.load_binary(back_path)
+    assert restored.to_trace().to_dict() == original.to_trace().to_dict()
+
+
 def test_trace_merge_rejects_single_file(tmp_path, capsys):
     json_path = tmp_path / "trace.json"
     assert main(["rsbench", "--size", "small", "-q", "--trace-out", str(json_path)]) == 0
@@ -286,7 +352,11 @@ def test_trace_compact_reshards_in_place(tmp_path, capsys):
 
     after = ShardedTraceStore.open(store_path)
     assert after.num_shards == 1
-    assert not (store_path / f"shard-{num_before - 1:05d}.npz").exists()
+    # The superseded shard files are gone, whatever their format.
+    assert not any(
+        (store_path / f"shard-{num_before - 1:05d}.{fmt}").exists()
+        for fmt in ("npz", "odpf")
+    )
     original = ColumnarTrace.load_binary(npz_path)
     assert after.load().to_trace().to_dict() == original.to_trace().to_dict()
 
