@@ -41,6 +41,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.analysis import analyze_stream
+from repro.core.distributed import DistributedEngine
 from repro.core.engine import ProcessEngine
 from repro.events.store import shard_trace
 from repro.events.stream import DEFAULT_SHARD_EVENTS
@@ -110,9 +111,15 @@ def test_engine_scaling_and_write_record(store):
             continue  # the baseline above IS the serial measurement
         per_jobs: dict[str, dict] = {}
         for jobs in WORKER_COUNTS:
-            # A fresh engine object per process measurement so its .stats
-            # (the overhead breakdown) can ride along in the record.
-            runner = ProcessEngine() if engine == "process" else engine
+            # A fresh engine object per measurement so its .stats (the
+            # overhead breakdown / coordination counters) can ride along
+            # in the record.
+            if engine == "process":
+                runner = ProcessEngine()
+            elif engine == "distributed":
+                runner = DistributedEngine()
+            else:
+                runner = engine
             t0 = time.perf_counter()
             report = analyze_stream(store, engine=runner, jobs=jobs)
             seconds = time.perf_counter() - t0
@@ -127,6 +134,10 @@ def test_engine_scaling_and_write_record(store):
             }
             if engine == "process":
                 per_jobs[str(jobs)]["overhead"] = dict(runner.stats)
+            elif engine == "distributed" and runner.stats:
+                # Coordination counters: requeues, speculation, debris,
+                # peak un-merged chains, and the final hints snapshot.
+                per_jobs[str(jobs)]["coordination"] = dict(runner.stats)
         results[engine] = per_jobs
 
     # Warm-pool leg: same folds on a keep_pool engine's second run, when

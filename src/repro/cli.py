@@ -22,7 +22,15 @@ the CLI takes an application name plus options::
     ompdataperf bfs --stream --engine process --jobs 4   # shard-parallel analysis
     ompdataperf bfs --stream --engine distributed --jobs 4   # loopback cluster
     ompdataperf worker --queue run.queue         # join a distributed run
-    ompdataperf bfs --stream --engine distributed --queue run.queue --jobs 4
+    ompdataperf bfs --stream --engine distributed:queue=run.queue --jobs 4
+    ompdataperf bfs --stream --engine distributed:claim_batch=4,speculate=on
+    ompdataperf queue status run.queue           # inspect a live run's queue
+
+``--engine`` takes an engine spec string: a registry name optionally
+followed by ``:key=value,...`` engine options (the per-engine option
+tables live on each engine class's ``config_options``).  The older
+``--queue``/``--queue-timeout`` flags still work but are deprecated in
+favour of ``distributed:queue=...,run_timeout=...``.
 """
 
 from __future__ import annotations
@@ -39,7 +47,12 @@ from repro._version import __version__
 from repro.apps.base import AppVariant, ProblemSize
 from repro.apps.registry import all_apps, get_app
 from repro.core.distributed import DistributedExecutionError
-from repro.core.engine import available_engines, resolve_engine
+from repro.core.engine import (
+    EngineConfig,
+    _warn_deprecated_once,
+    available_engines,
+    resolve_engine,
+)
 from repro.core.profiler import OMPDataPerf
 from repro.events.columnar import as_columnar, as_object_trace, load_trace
 from repro.events.store import (
@@ -131,24 +144,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shard-events", type=positive_int, default=DEFAULT_SHARD_EVENTS,
                         metavar="N",
                         help=f"with --stream: events per shard (default: {DEFAULT_SHARD_EVENTS})")
-    parser.add_argument("--engine", choices=available_engines(), default="serial",
+    parser.add_argument("--engine", default="serial", metavar="SPEC",
                         help="with --stream: execution engine for the detector passes — "
-                             "'serial' scans once on one thread, 'thread' folds "
-                             "event-balanced partitions on --jobs threads, 'process' folds "
-                             "them on --jobs worker processes (each opens the store and "
-                             "returns only its carry state), 'distributed' leases "
-                             "partition tasks to workers from a transport-backed queue "
-                             "(loopback worker processes by default, or an external "
-                             "queue via --queue); findings are identical for every "
-                             "engine (default: serial)")
+                             f"one of {', '.join(available_engines())}, optionally with "
+                             "engine options as 'name:key=value,...' (e.g. "
+                             "'distributed:claim_batch=4,lease_timeout=10,speculate=on' "
+                             "or 'distributed:queue=run.queue'); 'serial' scans once on "
+                             "one thread, 'thread' folds event-balanced partitions on "
+                             "--jobs threads, 'process' folds them on --jobs worker "
+                             "processes, 'distributed' leases partition tasks to workers "
+                             "from a transport-backed queue; findings are identical for "
+                             "every engine (default: serial)")
     parser.add_argument("--queue", metavar="PATH", default=None,
-                        help="with --engine distributed: coordinate over the task queue "
+                        help="(deprecated: use --engine distributed:queue=PATH) "
+                             "with --engine distributed: coordinate over the task queue "
                              "at PATH instead of spawning loopback workers; start "
                              "workers anywhere with `ompdataperf worker --queue PATH` "
                              "(they may be waiting before PATH exists)")
     parser.add_argument("--queue-timeout", type=positive_number, default=None,
                         metavar="SECONDS",
-                        help="with --engine distributed: fail with a clear error if the "
+                        help="(deprecated: use --engine distributed:run_timeout=SECONDS) "
+                             "with --engine distributed: fail with a clear error if the "
                              "run does not complete within SECONDS — e.g. no worker ever "
                              "attaches to --queue (default: wait forever)")
     parser.add_argument("--version", action="version", version=f"ompdataperf {__version__}")
@@ -302,6 +318,78 @@ def _worker_main(argv: Sequence[str]) -> int:
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
         return 130
+
+
+def build_queue_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdataperf queue",
+        description="Inspect a distributed run's task queue: pending depth, "
+                    "active claims, result batches, and the coordinator's "
+                    "periodically-rewritten autoscaling hints blob — what an "
+                    "external fleet manager polls to decide whether to grow "
+                    "or shrink the worker fleet mid-run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    status = sub.add_parser(
+        "status",
+        help="print the queue's state, per-kind blob counts, and the "
+             "latest autoscaling hints (hints.* lines)",
+    )
+    status.add_argument("queue", metavar="PATH",
+                        help="task queue location (the coordinator's queue)")
+    return parser
+
+
+def _queue_main(argv: Sequence[str]) -> int:
+    import json
+
+    from repro.core.distributed import (
+        CLAIM_PREFIX,
+        ERROR_PREFIX,
+        HINTS_BLOB,
+        RUN_MANIFEST,
+        TaskQueue,
+    )
+    from repro.events.transport import TransportError, open_transport, try_read_blob
+
+    parser = build_queue_parser()
+    args = parser.parse_args(argv)
+    try:
+        transport = open_transport(args.queue)
+    except (TransportError, OSError, ValueError) as exc:
+        parser.error(f"cannot open queue {args.queue}: {exc}")
+        return 2  # unreachable; parser.error raises SystemExit
+
+    queue = TaskQueue(transport)
+    names = transport.list_blobs()
+    abort = queue.abort_reason()
+    if abort is not None:
+        state = f"aborted: {abort}"
+    elif queue.is_done():
+        state = "done"
+    elif RUN_MANIFEST not in names:
+        state = "no-run"
+    else:
+        state = "running"
+    claims = [n for n in names if n.startswith(CLAIM_PREFIX)]
+    print(f"state: {state}")
+    print(f"pending_tasks: {len(queue.pending_task_names())}")
+    print(f"claimed_tasks: {len(claims)}")
+    print(f"result_batches: {len(queue.result_batch_names())}")
+    print(f"errors: {len([n for n in names if n.startswith(ERROR_PREFIX)])}")
+    workers = sorted({name.rsplit(".", 1)[1] for name in claims})
+    if workers:
+        print(f"claim_workers: {', '.join(workers)}")
+    raw = try_read_blob(transport, HINTS_BLOB)
+    if raw is not None:
+        try:
+            hints = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            print("hints: <undecodable>")
+        else:
+            for key, value in sorted(hints.items()):
+                print(f"hints.{key}: {value}")
+    return 0
 
 
 def _on_disk_bytes(trace, path: Path) -> int:
@@ -473,13 +561,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "queue":
+        return _queue_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.queue is not None and args.engine != "distributed":
+    try:
+        engine_config = EngineConfig.parse(args.engine)
+    except ValueError as exc:
+        parser.error(f"argument --engine: {exc}")
+        return 2  # unreachable; parser.error raises SystemExit
+
+    if args.queue is not None and engine_config.name != "distributed":
         parser.error("--queue only applies to --engine distributed")
-    if args.queue_timeout is not None and args.engine != "distributed":
+    if args.queue_timeout is not None and engine_config.name != "distributed":
         parser.error("--queue-timeout only applies to --engine distributed")
 
     if args.list:
@@ -525,23 +621,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Resolve the engine up front with degradation enabled: asking for
         # process workers on a machine that cannot profit from them (one
         # usable core, or no way to start workers) falls back to serial
-        # with a visible warning instead of oversubscribing.  A distributed
-        # run against an external queue gets a configured engine instance
-        # (resolve_engine passes instances through): workers=0 because the
-        # queue's workers were started elsewhere.
-        engine_request = args.engine
-        if args.engine == "distributed" and (
+        # with a visible warning instead of oversubscribing.  The
+        # deprecated --queue/--queue-timeout flags fold into the parsed
+        # EngineConfig (workers=0 for an attach-mode queue because its
+        # workers were started elsewhere); the spec-string equivalents
+        # are distributed:queue=PATH and distributed:run_timeout=SECONDS.
+        engine_request = engine_config
+        deprecated_flags = []
+        if engine_config.name == "distributed" and (
             args.queue is not None or args.queue_timeout is not None
         ):
-            from repro.core.distributed import DistributedEngine
-
-            engine_request = DistributedEngine(
-                queue=args.queue,
-                workers=0 if args.queue is not None else None,
-                run_timeout=args.queue_timeout,
-            )
+            options = dict(engine_config.options)
+            if args.queue is not None:
+                deprecated_flags.append((
+                    "cli-queue-flag",
+                    "--queue is deprecated; use "
+                    "--engine distributed:queue=PATH instead",
+                ))
+                options.setdefault("queue", str(args.queue))
+                options.setdefault("workers", 0)
+            if args.queue_timeout is not None:
+                deprecated_flags.append((
+                    "cli-queue-timeout-flag",
+                    "--queue-timeout is deprecated; use "
+                    "--engine distributed:run_timeout=SECONDS instead",
+                ))
+                options.setdefault("run_timeout", args.queue_timeout)
+            engine_request = EngineConfig(name="distributed", options=options)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
+            for key, message in deprecated_flags:
+                _warn_deprecated_once(key, message)
             engine = resolve_engine(engine_request, jobs=args.jobs, degrade=True)
         if not args.quiet:
             for warning in caught:
@@ -574,6 +684,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"info: streamed {len(result.store)} events into "
                     f"{result.store.num_shards} shard(s) at {store_path}{kept}"
                 )
+                stats = result.analysis.engine_stats
+                if result.analysis.engine_name == "distributed" and stats:
+                    print(
+                        f"info: distributed: {stats.get('tasks', 0)} task(s), "
+                        f"{stats.get('requeued', 0)} requeued, "
+                        f"{stats.get('speculative_launches', 0)} speculative, "
+                        f"{stats.get('debris_blobs', 0)} debris"
+                    )
         finally:
             if scratch is not None:
                 shutil.rmtree(scratch, ignore_errors=True)

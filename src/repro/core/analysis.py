@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from time import perf_counter
+from typing import Iterator, Optional
 
 from repro.core.detectors.duplicates import (
     DuplicateTransferPass,
@@ -120,6 +121,70 @@ class AnalysisReport:
         }
 
 
+@dataclass
+class StreamAnalysisReport(AnalysisReport):
+    """An :class:`AnalysisReport` that also carries how the run executed.
+
+    :func:`analyze_stream` returns this so callers stop reaching into
+    ``engine.stats`` by side channel: the engine's name, its final
+    ``stats`` block (the stable contract documented on
+    :func:`repro.core.engine.resolve_engine`), and coarse wall/overhead
+    timings travel with the findings.
+
+    ``findings_by_pass`` exposes the per-pass findings as a mapping keyed
+    by detector name.  The report also still unpacks like the historic
+    five-element findings list (``dup, rt, ra, ua, ut = report``) for one
+    deprecation cycle; sequence access warns once per process.
+    """
+
+    #: Registry name of the engine that ran the folds (e.g. "distributed").
+    engine_name: str = "serial"
+    #: Snapshot of ``engine.stats`` after the run ({} for engines
+    #: that report none).
+    engine_stats: dict = field(default_factory=dict)
+    #: Coarse timings: ``wall_seconds`` (whole analysis),
+    #: ``engine_seconds`` (fold/finalize inside ``engine.run``), and
+    #: ``overhead_seconds`` (assembly outside the engine).
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def findings_by_pass(self) -> dict[str, list]:
+        """Per-pass findings keyed by detector name, in pass order."""
+        return {
+            "duplicate_transfers": self.duplicate_groups,
+            "round_trips": self.round_trip_groups,
+            "repeated_allocations": self.repeated_alloc_groups,
+            "unused_allocations": self.unused_allocations,
+            "unused_transfers": self.unused_transfers,
+        }
+
+    # -- deprecated sequence shim (one cycle) -------------------------- #
+    def _findings_list(self) -> list[list]:
+        from repro.core.engine import _warn_deprecated_once
+
+        _warn_deprecated_once(
+            "stream-report-sequence",
+            "treating the analyze_stream result as a findings list is "
+            "deprecated; use report.findings_by_pass (or the named "
+            "report attributes) instead",
+        )
+        return list(self.findings_by_pass.values())
+
+    def __len__(self) -> int:
+        return len(self._findings_list())
+
+    def __iter__(self) -> Iterator[list]:
+        return iter(self._findings_list())
+
+    def __getitem__(self, key):
+        return self._findings_list()[key]
+
+    def __bool__(self) -> bool:
+        # Defined so truthiness does not route through the deprecated
+        # sequence shim's __len__.
+        return True
+
+
 def analyze_trace(
     trace: Trace | ColumnarTrace,
     *,
@@ -166,7 +231,7 @@ def analyze_stream(
     debug_info: Optional[DebugInfoRegistry] = None,
     jobs: int = 1,
     engine: str = "serial",
-) -> AnalysisReport:
+) -> StreamAnalysisReport:
     """Run Algorithms 1–5 incrementally over an event stream.
 
     Each detector is one fold/finalize pass in O(carry) memory, so a trace
@@ -197,13 +262,20 @@ def analyze_stream(
       were started anywhere with ``ompdataperf worker --queue`` (requires
       a :class:`~repro.events.store.ShardedTraceStore`).
 
-    ``engine`` may also be an :class:`~repro.core.engine.ExecutionEngine`
-    instance (what the CLI passes after resolving with degradation, or a
-    configured :class:`~repro.core.distributed.DistributedEngine`).
+    ``engine`` may also be an engine spec string with options
+    (``"distributed:claim_batch=4,speculate=on"``), an
+    :class:`~repro.core.engine.EngineConfig`, or an
+    :class:`~repro.core.engine.ExecutionEngine` instance (what the CLI
+    passes after resolving with degradation, or a configured
+    :class:`~repro.core.distributed.DistributedEngine`).
     Output is identical for every engine and every ``jobs`` value.
+
+    Returns a :class:`StreamAnalysisReport`: the findings plus the
+    engine's name, its final ``stats`` block, and wall/overhead timings.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    started = perf_counter()
     eng = resolve_engine(engine)
     num_devices = max(stream.num_devices, 1)
 
@@ -214,10 +286,12 @@ def analyze_stream(
         PassSpec(UnusedAllocationPass, {"num_devices": num_devices}),
         PassSpec(UnusedTransferPass, {"num_devices": num_devices}),
     )
+    run_started = perf_counter()
     results = eng.run(specs, stream, jobs=jobs)
+    engine_seconds = perf_counter() - run_started
     duplicate_groups, round_trip_groups, repeated_alloc_groups, unused_allocs, unused_txs = results
 
-    return _assemble_report(
+    report = _assemble_report(
         trace_like_view(stream),
         duplicate_groups,
         round_trip_groups,
@@ -225,6 +299,19 @@ def analyze_stream(
         unused_allocs,
         unused_txs,
         debug_info,
+    )
+    wall = perf_counter() - started
+    from repro.core.engine import engine_registry_name
+
+    return StreamAnalysisReport(
+        **{f.name: getattr(report, f.name) for f in fields(AnalysisReport)},
+        engine_name=engine_registry_name(eng),
+        engine_stats=dict(getattr(eng, "stats", {}) or {}),
+        timings={
+            "wall_seconds": wall,
+            "engine_seconds": engine_seconds,
+            "overhead_seconds": max(0.0, wall - engine_seconds),
+        },
     )
 
 

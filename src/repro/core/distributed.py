@@ -30,6 +30,8 @@ Queue layout (all names relative to the queue transport)::
                                    payloads for every task the sweep
                                    folded (see ``_encode_result_batch``)
     errors/task-00002.a000.<wid>   a worker-side failure report
+    hints                          periodically-rewritten autoscaling
+                                   hints (JSON; see ``queue status``)
     done | abort                   terminal markers (abort carries the
                                    reason)
 
@@ -39,41 +41,65 @@ renames fail when the source is gone, so racing workers resolve to one
 winner on any transport with atomic rename, and the attempt tag
 guarantees a requeued task never collides with a stale claim of an
 earlier generation.  While folding, the worker renews a heartbeat blob
-on a timer (a quarter of the lease interval), so liveness is independent
-of how long any one shard's fold takes.  The coordinator polls the
-queue and tracks, per
-task, when its observable state last *changed* (a claim appeared, the
-heartbeat advanced, a result landed); comparing change-counters instead
-of wall clocks keeps the protocol immune to clock skew between machines.
-A task whose state freezes for longer than the lease timeout — a worker
-died mid-fold, or a claim rename was torn on a copy-then-delete
-transport — is requeued under the next attempt tag.  Worker-side
-exceptions short-circuit the wait: the worker publishes an error blob
-and releases the claim, and the coordinator requeues immediately.  After
-``max_attempts`` generations the coordinator publishes the ``abort``
-marker (so every worker exits) and raises
+carrying a liveness counter *and* its fold position
+(``<counter>:<events folded>``), so the coordinator can tell a slow
+worker from a stuck one.  The coordinator polls the queue and tracks,
+per task, when its observable state last *changed* (a claim appeared,
+the heartbeat advanced, a result landed); comparing change-counters
+instead of wall clocks keeps the protocol immune to clock skew between
+machines.  A task whose state freezes for longer than the lease
+timeout — a worker died mid-fold, or a claim rename was torn on a
+copy-then-delete transport — is requeued under the next attempt tag.
+Worker-side exceptions short-circuit the wait: the worker publishes an
+error blob and releases the claim, and the coordinator requeues
+immediately.  After ``max_attempts`` generations the coordinator
+publishes the ``abort`` marker (so every worker exits) and raises
 :class:`DistributedExecutionError` naming the task and the last failure.
+
+Speculative re-execution covers the gap between "slow" and "dead": when
+a *claimed* task's fold position stops advancing for much longer than
+the fleet's median progress interval (``speculation_factor`` times it,
+floored at ``min_stall``), the coordinator re-publishes the task under
+the next attempt tag *without* waiting for the lease to expire.  The
+original claim is left in place — whichever attempt publishes a durable
+result first wins, and the loser's eventual output is bit-identical
+debris (folds are deterministic, dedup is by task index).  A task is
+speculated at most once per run and never into its final permitted
+attempt, so speculation can only add one generation, not burn the retry
+budget.
 
 Because folds are deterministic and results publish atomically, the
 protocol tolerates zombies: a worker presumed dead that later finishes
 simply publishes a batch holding bit-identical payloads for the same
-task indices (last read wins, and all reads agree).
+task indices (first decode wins, and all reads agree).
 
 Carries cross the queue as compact :mod:`repro.core.carrycodec`
 payloads, batched one blob per claim sweep (``--claim-batch`` tasks per
 sweep) so an object-store deployment pays one PUT per sweep instead of
-one per task.  The coordinator decodes and merges them in partition
-order and runs finalize locally — identical to every other engine,
+one per task.  The coordinator folds each batch into per-pass running
+carries *as it lands* (:class:`CarryFolder`: contiguous partition runs
+merge eagerly under the per-detector ``merge`` contracts), so its peak
+un-merged state is O(contiguous runs × passes) — O(passes) for any
+in-order-ish arrival — instead of one carry per task.  Finalize runs
+locally over the single merged chain — identical to every other engine,
 which is what keeps the differential suite's five legs bit-identical.
+
+While coordinating, the engine periodically rewrites a ``hints`` blob in
+the queue (atomic publish; see :func:`~repro.events.transport.try_write_blob`)
+with pending depth, claim latency, median fold-progress rate and a
+suggested worker delta, so an external fleet manager — or ``ompdataperf
+queue status`` — can grow or shrink the worker fleet mid-run.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import re
 import shutil
 import socket
+import statistics
 import struct
 import subprocess
 import sys
@@ -81,6 +107,8 @@ import tempfile
 import threading
 import time
 import uuid
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
@@ -93,7 +121,10 @@ from repro.core.engine import (
     _check_jobs,
     _finalize_all,
     _fold_partition,
-    _merge_partition_carries,
+    _opt_bool,
+    _opt_float,
+    _opt_int,
+    _opt_str,
     partition_tasks,
 )
 from repro.core.pool import open_store_cached
@@ -107,6 +138,7 @@ from repro.events.transport import (
     open_transport,
     try_claim_blob,
     try_read_blob,
+    try_write_blob,
 )
 
 #: Version tag of the queue protocol; workers refuse manifests they do
@@ -124,6 +156,12 @@ BEAT_PREFIX = "beats/"
 RESULT_PREFIX = "results/"
 ERROR_PREFIX = "errors/"
 
+#: Autoscaling hints blob, periodically rewritten by the coordinator.
+HINTS_BLOB = "hints"
+
+#: Schema version of the hints blob.
+HINTS_VERSION = 1
+
 #: Test hook honoured only by the CLI ``worker`` entry point: the worker
 #: calls ``os._exit(3)`` immediately after its N-th successful claim,
 #: simulating a machine dying mid-fold with the lease left dangling.
@@ -131,6 +169,12 @@ CRASH_ENV = "OMPDATAPERF_WORKER_CRASH_AFTER_CLAIM"
 
 #: Exit code of a crash-hook death (distinct from error exits).
 CRASH_EXIT_CODE = 3
+
+#: Test hook honoured only by the CLI ``worker`` entry point: from its
+#: N-th successful claim on, the worker keeps heartbeating but never
+#: folds — a *stuck* worker (alive by every liveness signal, making no
+#: progress), which is exactly the straggler speculation must rescue.
+STALL_ENV = "OMPDATAPERF_WORKER_STALL_AFTER_CLAIM"
 
 # Both patterns are end-anchored so that a transport's in-flight staging
 # files (LocalDirTransport publishes through `<name>.tmp-<pid>` +
@@ -230,7 +274,13 @@ def _check_queue_transport(transport: ShardTransport) -> None:
 
 @dataclass
 class ClaimedTask:
-    """A worker-held lease on one task (mutable heartbeat counter)."""
+    """A worker-held lease on one task.
+
+    ``counter`` is the liveness half of the heartbeat (bumped on every
+    renewal); ``progress`` is the fold-position half (events folded so
+    far, ticked by the fold loop) — the coordinator reads the pair as
+    ``<counter>:<progress>`` from the beat blob.
+    """
 
     name: str  # full claim blob name
     stem: str  # task-XXXXX.aYYY
@@ -238,6 +288,7 @@ class ClaimedTask:
     attempt: int
     task: PartitionTask
     counter: int = 0
+    progress: int = 0
 
 
 class TaskQueue:
@@ -312,7 +363,9 @@ class TaskQueue:
     def heartbeat(self, claim: ClaimedTask) -> None:
         claim.counter += 1
         suffix = claim.name[len(CLAIM_PREFIX):]
-        self.transport.write_blob(BEAT_PREFIX + suffix, str(claim.counter).encode())
+        self.transport.write_blob(
+            BEAT_PREFIX + suffix, f"{claim.counter}:{claim.progress}".encode()
+        )
 
     def release(self, claim: ClaimedTask) -> None:
         suffix = claim.name[len(CLAIM_PREFIX):]
@@ -394,12 +447,16 @@ def run_worker(
     """
     say = echo if echo is not None else (lambda message: None)
     wid = worker_id()
-    crash_after = 0
+    crash_after = stall_after = 0
     if crash_hook:
         try:
             crash_after = int(os.environ.get(CRASH_ENV, "0"))
         except ValueError:
             crash_after = 0
+        try:
+            stall_after = int(os.environ.get(STALL_ENV, "0"))
+        except ValueError:
+            stall_after = 0
     started = time.monotonic()
     transport: Optional[ShardTransport] = None
     run: Optional[dict] = None
@@ -446,7 +503,8 @@ def run_worker(
                         None if max_tasks is None else max(1, max_tasks - done_tasks)
                     )
                     swept = _drain_pending(
-                        tq, run, wid, say, crash_after, state, claim_batch, remaining
+                        tq, run, wid, say, crash_after, stall_after, state,
+                        claim_batch, remaining,
                     )
                     if swept:
                         done_tasks += swept
@@ -475,6 +533,7 @@ def _drain_pending(
     wid: str,
     say,
     crash_after: int,
+    stall_after: int,
     state: dict,
     claim_batch: Optional[int],
     max_claims: Optional[int] = None,
@@ -490,6 +549,7 @@ def _drain_pending(
         # --max-tasks caps the sweep so a worker never folds past its quota.
         batch_size = min(batch_size, max_claims)
     claims: list[ClaimedTask] = []
+    stalled: set[str] = set()
     for pending_name in tq.pending_task_names():
         if len(claims) >= batch_size:
             break
@@ -501,6 +561,10 @@ def _drain_pending(
             # Simulated machine death: lease and heartbeat stay behind
             # exactly as a real mid-fold crash would leave them.
             os._exit(CRASH_EXIT_CODE)
+        if stall_after and state["claims"] >= stall_after:
+            # Simulated stuck worker: the claim is held and heartbeats
+            # keep renewing, but the fold below never starts.
+            stalled.add(claim.name)
         say(
             f"info: worker {wid}: claimed task {claim.index} "
             f"(attempt {claim.attempt})"
@@ -512,31 +576,53 @@ def _drain_pending(
     # heartbeat answers "is this worker alive?", so it must keep ticking
     # however long one shard's fold runs (a batch-granularity heartbeat
     # would let a single slow shard outlive the lease and get requeued
-    # under a healthy worker).
+    # under a healthy worker).  Fold *progress* rides the same blob but
+    # is republished eagerly (at most every ``tick``) so the coordinator
+    # sees the fold position advance long before the liveness floor.
     lease = float(run.get("lease_timeout") or 30.0)
     interval = max(min(lease / 4.0, 5.0), 0.02)
+    tick = min(interval, 0.25)
     stop = threading.Event()
 
     def renew() -> None:
-        while not stop.wait(interval):
+        published = {claim.name: claim.progress for claim in claims}
+        last_full = time.monotonic()
+        while not stop.wait(tick):
+            refresh = time.monotonic() - last_full >= interval
             for claim in claims:
-                try:
-                    tq.heartbeat(claim)
-                except OSError:
-                    return  # queue unreachable; the leases expire naturally
+                if refresh or claim.progress != published[claim.name]:
+                    try:
+                        tq.heartbeat(claim)
+                    except OSError:
+                        return  # queue unreachable; the leases expire naturally
+                    published[claim.name] = claim.progress
+            if refresh:
+                last_full = time.monotonic()
 
     renewer = threading.Thread(target=renew, daemon=True)
     renewer.start()
     completed: list[tuple[ClaimedTask, bytes]] = []
     try:
         for claim in claims:
+            if claim.name in stalled:
+                say(f"info: worker {wid}: stalling on task {claim.index} (test hook)")
+                while True:  # heartbeats continue; progress never moves
+                    time.sleep(0.5)
             try:
                 store, _ = open_store_cached(run["store_spec"], state["stores"])
                 task = claim.task
                 partition = StreamPartition(
                     store, task.lo, task.hi, task.data_op_offset, task.num_events
                 )
-                payload = encode_carries(_fold_partition(run["pass_specs"], partition))
+
+                def tick_progress(events: int, claim: ClaimedTask = claim) -> None:
+                    claim.progress += events
+
+                payload = encode_carries(
+                    _fold_partition(
+                        run["pass_specs"], partition, on_batch=tick_progress
+                    )
+                )
             except Exception as exc:  # noqa: BLE001 — report, release, move on
                 say(f"error: worker {wid}: task {claim.index} failed: {exc}")
                 tq.publish_error(claim, f"{type(exc).__name__}: {exc}")
@@ -561,8 +647,115 @@ def _drain_pending(
 
 
 # --------------------------------------------------------------------- #
+# Incremental carry merging
+# --------------------------------------------------------------------- #
+class CarryFolder:
+    """Merge per-task carry chains into per-pass running carries as they land.
+
+    The per-detector ``merge`` contract is strictly ordered — a carry may
+    only absorb the carry of the *immediately following* partition range —
+    so out-of-order arrival cannot merge everything into one accumulator
+    directly.  Instead the folder keeps **contiguous runs** of already
+    merged partitions: a landing chain for task ``i`` opens a run
+    ``[i, i]``, then eagerly coalesces with the run ending at ``i - 1``
+    (that run absorbs it) and the run starting at ``i + 1`` (it absorbs
+    that run).  Peak held state is therefore ``runs × passes`` carries —
+    exactly ``passes`` (one run) for in-order or reversed arrival, and
+    bounded by the arrival order's gap count in the worst case — never
+    one carry per task.
+
+    Duplicate task indices (a zombie worker's re-published result) are
+    rejected at the door: folds are deterministic, so the duplicate is
+    bit-identical to what was already merged and dropping it preserves
+    the sequential fold's output.
+
+    ``peak_chains`` records the maximum number of runs ever held — the
+    observable the O(passes) coordinator-memory test asserts on.
+    """
+
+    def __init__(self, num_tasks: int) -> None:
+        if num_tasks < 1:
+            raise ValueError("num_tasks must be at least 1")
+        self.num_tasks = num_tasks
+        self._hi_chain_by_lo: dict[int, tuple[int, list]] = {}
+        self._lo_by_hi: dict[int, int] = {}
+        self._seen: set[int] = set()
+        self.duplicates = 0
+        self.peak_chains = 0
+
+    @property
+    def merged_count(self) -> int:
+        """How many distinct task results have been folded in."""
+        return len(self._seen)
+
+    @property
+    def chains_held(self) -> int:
+        """Contiguous runs currently held (1 when fully merged)."""
+        return len(self._hi_chain_by_lo)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._seen) == self.num_tasks
+
+    def add(self, index: int, chain: list) -> bool:
+        """Fold one task's carry chain in; ``False`` for a duplicate.
+
+        ``chain`` is consumed (merged into or mutated by neighbouring
+        runs) when accepted.
+        """
+        if not 0 <= index < self.num_tasks:
+            raise ValueError(
+                f"task index {index} out of range for {self.num_tasks} task(s)"
+            )
+        if index in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(index)
+        lo = hi = index
+        left_lo = self._lo_by_hi.pop(index - 1, None)
+        if left_lo is not None:
+            # The run ending just below absorbs this chain (it precedes
+            # this range chronologically, so it is the merge target).
+            _, left_chain = self._hi_chain_by_lo.pop(left_lo)
+            for target, source in zip(left_chain, chain):
+                target.merge(source)
+            chain = left_chain
+            lo = left_lo
+        right = self._hi_chain_by_lo.pop(index + 1, None)
+        if right is not None:
+            # This chain absorbs the run starting just above.
+            right_hi, right_chain = right
+            self._lo_by_hi.pop(right_hi, None)
+            for target, source in zip(chain, right_chain):
+                target.merge(source)
+            hi = right_hi
+        self._hi_chain_by_lo[lo] = (hi, chain)
+        self._lo_by_hi[hi] = lo
+        self.peak_chains = max(self.peak_chains, len(self._hi_chain_by_lo))
+        return True
+
+    def result(self) -> list:
+        """The fully merged chain; only valid once :attr:`complete`."""
+        if not self.complete:
+            raise RuntimeError(
+                f"carry folder holds {len(self._seen)} of "
+                f"{self.num_tasks} task result(s)"
+            )
+        (_, chain), = self._hi_chain_by_lo.values()
+        return chain
+
+
+# --------------------------------------------------------------------- #
 # Coordinator
 # --------------------------------------------------------------------- #
+def _beat_progress(beat: Optional[bytes]) -> Optional[bytes]:
+    """The fold-position half of a beat payload (``None`` pre-v2 shape)."""
+    if not beat:
+        return None
+    _, sep, tail = beat.partition(b":")
+    return tail if sep else None
+
+
 class _WorkerHandle:
     """One coordinator-spawned worker: a subprocess or a thread."""
 
@@ -615,12 +808,34 @@ class DistributedEngine:
     ``lease_timeout`` (dead worker) or that reports a worker-side error
     is requeued under the next attempt tag; after ``max_attempts``
     attempts the run aborts with :class:`DistributedExecutionError`.
-    Spawned workers that die are replaced while the respawn budget lasts.
-    ``run_timeout`` bounds the whole run when set.  :attr:`stats` records
-    the last run's task, requeue and respawn counts.
+    A claimed task whose *fold position* stalls relative to the fleet
+    (``speculate=True``) is speculatively re-published early — see the
+    module docstring for the lifecycle.  Spawned workers that die are
+    replaced while the respawn budget lasts.  ``run_timeout`` bounds the
+    whole run when set.  :attr:`stats` records the last run's task,
+    requeue, respawn, speculation, debris and peak-unmerged counts plus
+    the final autoscaling ``hints`` snapshot (a stable contract; see
+    :func:`~repro.core.engine.resolve_engine`).
     """
 
     name = "distributed"
+
+    #: Options addressable from an ``EngineConfig`` spec string, e.g.
+    #: ``"distributed:claim_batch=4,lease_timeout=10,speculate=on"``.
+    config_options = {
+        "queue": _opt_str,
+        "workers": _opt_int,
+        "worker_mode": _opt_str,
+        "lease_timeout": _opt_float,
+        "poll_interval": _opt_float,
+        "max_attempts": _opt_int,
+        "run_timeout": _opt_float,
+        "claim_batch": _opt_int,
+        "speculate": _opt_bool,
+        "speculation_factor": _opt_float,
+        "min_stall": _opt_float,
+        "hints_interval": _opt_float,
+    }
 
     def __init__(
         self,
@@ -634,6 +849,10 @@ class DistributedEngine:
         run_timeout: Optional[float] = None,
         worker_env: Optional[dict] = None,
         claim_batch: int = 1,
+        speculate: bool = True,
+        speculation_factor: float = 4.0,
+        min_stall: Optional[float] = None,
+        hints_interval: float = 1.0,
     ) -> None:
         if worker_mode not in ("process", "thread"):
             raise ValueError(f"unknown worker mode {worker_mode!r}")
@@ -643,6 +862,12 @@ class DistributedEngine:
             raise ValueError("max_attempts must be at least 1")
         if claim_batch < 1:
             raise ValueError("claim_batch must be at least 1")
+        if speculation_factor <= 0:
+            raise ValueError("speculation_factor must be positive")
+        if min_stall is not None and min_stall <= 0:
+            raise ValueError("min_stall must be positive")
+        if hints_interval <= 0:
+            raise ValueError("hints_interval must be positive")
         self.queue = queue
         self.workers = workers
         self.worker_mode = worker_mode
@@ -652,6 +877,15 @@ class DistributedEngine:
         self.run_timeout = run_timeout
         self.worker_env = dict(worker_env) if worker_env else None
         self.claim_batch = claim_batch
+        self.speculate = speculate
+        self.speculation_factor = speculation_factor
+        #: Floor of the stall threshold; defaults to the lesser of 2s and
+        #: a quarter of the lease, so fast fleets speculate promptly while
+        #: noisy medians cannot trigger sub-second duplicates.
+        self.min_stall = (
+            min_stall if min_stall is not None else min(2.0, lease_timeout / 4.0)
+        )
+        self.hints_interval = hints_interval
         #: Observability for the last completed/failed run.
         self.stats: dict = {}
 
@@ -716,19 +950,23 @@ class DistributedEngine:
             "workers": num_workers,
             "requeued": 0,
             "respawned": 0,
+            "speculative_launches": 0,
+            "debris_blobs": 0,
+            "duplicate_results": 0,
+            "peak_unmerged_chains": 0,
         }
         handles = [
             self._spawn_worker(transport) for _ in range(num_workers)
         ]
         respawn_budget = num_workers
         try:
-            # _coordinate drains result batches incrementally, so every
-            # payload is in hand before the done marker releases the
-            # workers and the scratch queue is torn down.
-            collected = self._coordinate(
+            # _coordinate folds result batches into running carries as
+            # they land, so the merged chain is in hand before the done
+            # marker releases the workers and the scratch queue is torn
+            # down.
+            merged = self._coordinate(
                 queue, tasks, handles, respawn_budget, transport
             )
-            chains = [decode_carries(collected[task.index]) for task in tasks]
             queue.mark_done()
         except BaseException:
             # Whatever tore the run down (including KeyboardInterrupt in
@@ -745,7 +983,6 @@ class DistributedEngine:
             if scratch_dir is not None:
                 shutil.rmtree(scratch_dir, ignore_errors=True)
 
-        merged = _merge_partition_carries(chains)
         # The five finalizes each rescan shards; a coordinator-owned shard
         # cache makes them decode each shard once between them.  A store
         # whose shards are all directly mappable flat payloads needs no
@@ -819,18 +1056,34 @@ class DistributedEngine:
         handles: list[_WorkerHandle],
         respawn_budget: int,
         transport: ShardTransport,
-    ) -> dict[int, bytes]:
-        """Poll until every task has a result; requeue frozen/failed leases.
+    ) -> list:
+        """Poll until every task's carry is merged; requeue/speculate leases.
 
-        Returns ``{task index: carry payload}``, drained incrementally
-        from the workers' result-batch blobs (each read exactly once)."""
+        Result batches are drained incrementally (each blob read exactly
+        once) and folded straight into a :class:`CarryFolder`, so the
+        coordinator never holds more than the current contiguous runs —
+        O(passes) carries for in-order-ish arrival — and returns the
+        fully merged chain.
+        """
         started = time.monotonic()
         current_attempt = {task.index: 0 for task in tasks}
         # index -> (state token, monotonic time the token last changed)
         observed: dict[int, tuple[tuple, float]] = {}
         task_by_index = {task.index: task for task in tasks}
-        collected: dict[int, bytes] = {}
+        folder = CarryFolder(len(tasks))
         seen_batches: set[str] = set()
+        # Speculation state: per-task fold-position marks, the fleet-wide
+        # recent progress intervals, and which (index, attempt) pairs were
+        # published when (claim latency for the hints blob).
+        progress_marks: dict[int, tuple[tuple, float]] = {}
+        liveness_marks: dict[int, tuple[tuple, float]] = {}
+        progress_intervals: deque = deque(maxlen=64)
+        claim_latencies: deque = deque(maxlen=64)
+        publish_times = {(task.index, 0): started for task in tasks}
+        claims_observed: set[tuple[int, int]] = set()
+        speculated: set[int] = set()
+        hints_seq = 0
+        last_hints = started - self.hints_interval  # publish on first poll
 
         def fail_task(index: int, reason: str) -> None:
             attempt = current_attempt[index]
@@ -851,8 +1104,88 @@ class DistributedEngine:
                 raise DistributedExecutionError(message)
             current_attempt[index] = next_attempt
             observed.pop(index, None)
+            progress_marks.pop(index, None)
+            liveness_marks.pop(index, None)
             self.stats["requeued"] += 1
             queue.publish_task(task_by_index[index], attempt=next_attempt)
+            publish_times[(index, next_attempt)] = time.monotonic()
+
+        def speculate_task(index: int, now: float) -> None:
+            """Re-publish a stalled claim under the next attempt tag.
+
+            The frozen claim is deliberately left in place: if its worker
+            is merely slow it will still publish a (bit-identical) result,
+            and whichever attempt lands first wins.
+            """
+            attempt = current_attempt[index]
+            next_attempt = attempt + 1
+            speculated.add(index)
+            current_attempt[index] = next_attempt
+            observed.pop(index, None)
+            progress_marks.pop(index, None)
+            liveness_marks.pop(index, None)
+            self.stats["speculative_launches"] += 1
+            queue.publish_task(task_by_index[index], attempt=next_attempt)
+            publish_times[(index, next_attempt)] = now
+
+        def note_debris() -> None:
+            self.stats["debris_blobs"] += 1
+            if self.stats["debris_blobs"] == 1:
+                warnings.warn(
+                    "distributed run: dropped undecodable result debris "
+                    "from the queue (counted in stats['debris_blobs']); "
+                    "the affected tasks will requeue",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
+        def publish_hints(
+            now: float, pending_count: int, active_claims: dict,
+            force: bool = False,
+        ) -> None:
+            nonlocal hints_seq, last_hints
+            if not force and now - last_hints < self.hints_interval:
+                return
+            last_hints = now
+            hints_seq += 1
+            claim_wids = {
+                name.rsplit(".", 1)[1] for name in active_claims.values()
+            }
+            live_spawned = sum(1 for handle in handles if handle.alive())
+            workers_seen = max(live_spawned, len(claim_wids))
+            idle = max(0, workers_seen - len(active_claims))
+            if pending_count > idle:
+                delta = pending_count - idle
+            elif pending_count == 0 and idle > 0:
+                delta = -idle
+            else:
+                delta = 0
+            hints = {
+                "version": HINTS_VERSION,
+                "seq": hints_seq,
+                "tasks": len(tasks),
+                "pending": pending_count,
+                "claimed": len(active_claims),
+                "completed": folder.merged_count,
+                "requeued": self.stats["requeued"],
+                "speculative_launches": self.stats["speculative_launches"],
+                "debris_blobs": self.stats["debris_blobs"],
+                "workers_observed": workers_seen,
+                "claim_latency_seconds": (
+                    round(statistics.median(claim_latencies), 6)
+                    if claim_latencies else None
+                ),
+                "median_fold_interval_seconds": (
+                    round(statistics.median(progress_intervals), 6)
+                    if progress_intervals else None
+                ),
+                "suggested_worker_delta": delta,
+            }
+            self.stats["hints"] = hints
+            # Best effort: a failed publish costs one stale interval.
+            try_write_blob(
+                transport, HINTS_BLOB, json.dumps(hints, sort_keys=True).encode()
+            )
 
         while True:
             now = time.monotonic()
@@ -888,18 +1221,48 @@ class DistributedEngine:
                 try:
                     entries = _decode_result_batch(data)
                 except (CarryCodecError, struct.error):
-                    continue  # debris; the tasks inside will requeue
+                    # Undecodable batch blob: the tasks inside requeue,
+                    # but the drop itself must leave a trace.
+                    note_debris()
+                    continue
                 for index, payload in entries:
-                    # A zombie's duplicate is bit-identical: last read wins.
-                    collected[index] = payload
-            results = set(collected)
+                    if index not in task_by_index:
+                        note_debris()
+                        continue
+                    try:
+                        chain = decode_carries(payload)
+                    except (CarryCodecError, struct.error):
+                        note_debris()
+                        continue
+                    # Fold into the running carries immediately; a
+                    # zombie's bit-identical duplicate is dropped by
+                    # task index.
+                    if folder.add(index, chain):
+                        # Every landing feeds the fleet-median window: the
+                        # interval since the claim's last observed progress
+                        # when we saw one, else since the task was
+                        # published (its whole wall time) — so the median
+                        # exists even when folds finish between polls.
+                        mark = progress_marks.pop(index, None)
+                        if mark is not None:
+                            progress_intervals.append(now - mark[1])
+                        else:
+                            published = publish_times.get(
+                                (index, current_attempt.get(index, 0))
+                            )
+                            if published is not None:
+                                progress_intervals.append(now - published)
+                    else:
+                        self.stats["duplicate_results"] += 1
+            self.stats["peak_unmerged_chains"] = folder.peak_chains
 
-            if all(task.index in results for task in tasks):
-                return collected
+            if folder.complete:
+                publish_hints(now, 0, {}, force=True)
+                return folder.result()
 
             for task in tasks:
                 index = task.index
-                if index in results:
+                if index in folder._seen:
                     continue
                 attempt = current_attempt[index]
                 key = (index, attempt)
@@ -921,6 +1284,16 @@ class DistributedEngine:
                         beat_name = BEAT_PREFIX + claim_name[len(CLAIM_PREFIX):]
                         beat = try_read_blob(transport, beat_name)
                         token = ("claim", claim_name, beat)
+                        if key not in claims_observed:
+                            claims_observed.add(key)
+                            published = publish_times.get(key)
+                            if published is not None:
+                                claim_latencies.append(now - published)
+                        self._track_progress(
+                            index, attempt, claim_name, beat, now,
+                            progress_marks, liveness_marks,
+                            progress_intervals, speculated, speculate_task,
+                        )
                     else:
                         # Neither pending nor claimed nor resulted: a torn
                         # claim rename, or a listing racing the worker.
@@ -932,6 +1305,19 @@ class DistributedEngine:
                 elif frozen_means_dead and now - last[1] > self.lease_timeout:
                     what = "lease expired" if token[0] == "claim" else "task blob lost"
                     fail_task(index, f"{what} after {self.lease_timeout:g}s")
+
+            publish_hints(
+                now,
+                sum(
+                    1 for key in pending
+                    if current_attempt.get(key[0]) == key[1]
+                    and key[0] not in folder._seen
+                ),
+                {
+                    key: name for key, name in claims.items()
+                    if current_attempt.get(key[0]) == key[1]
+                },
+            )
 
             # Keep the spawned fleet alive while the budget lasts; a fleet
             # that died entirely can never finish the run, so fail fast.
@@ -958,6 +1344,62 @@ class DistributedEngine:
                 queue.mark_abort(message)
                 raise DistributedExecutionError(message)
             time.sleep(self.poll_interval)
+
+    def _track_progress(
+        self,
+        index: int,
+        attempt: int,
+        claim_name: str,
+        beat: Optional[bytes],
+        now: float,
+        progress_marks: dict,
+        liveness_marks: dict,
+        progress_intervals: deque,
+        speculated: set,
+        speculate_task,
+    ) -> None:
+        """Record fold-position movement; speculate when it stalls.
+
+        A claimed task's progress token is the fold-position half of its
+        beat blob; its liveness token is the full beat bytes (counter
+        included).  Every fold-position change feeds the fleet-wide
+        interval window.  A task whose fold position freezes for longer
+        than ``speculation_factor`` times the fleet median (floored at
+        ``min_stall``) **while its liveness counter keeps ticking** is a
+        straggler — alive but stuck — and is re-published under the next
+        attempt tag.  A frozen liveness counter means a dead worker, and
+        that is the lease-expiry path's job (which also clears the dead
+        lease's debris; speculation leaves the old claim in place).
+        """
+        ptoken = (attempt, claim_name, _beat_progress(beat))
+        ltoken = (attempt, claim_name, beat)
+        lmark = liveness_marks.get(index)
+        if lmark is None or lmark[0] != ltoken:
+            liveness_marks[index] = (ltoken, now)
+        mark = progress_marks.get(index)
+        if mark is None or mark[0] != ptoken:
+            if mark is not None and mark[0][:2] == ptoken[:2]:
+                # Same claim, fold position advanced: one fleet interval.
+                progress_intervals.append(now - mark[1])
+            progress_marks[index] = (ptoken, now)
+            return
+        if (
+            not self.speculate
+            or index in speculated
+            or attempt + 1 >= self.max_attempts
+            or not progress_intervals
+        ):
+            return
+        # Alive means the liveness token moved after progress froze.
+        if liveness_marks[index][1] <= mark[1]:
+            return
+        stalled_for = now - mark[1]
+        threshold = max(
+            self.speculation_factor * statistics.median(progress_intervals),
+            self.min_stall,
+        )
+        if stalled_for > threshold and stalled_for <= self.lease_timeout:
+            speculate_task(index, now)
 
 
 ENGINES[DistributedEngine.name] = DistributedEngine

@@ -99,8 +99,136 @@ def _check_jobs(jobs: int) -> None:
         raise ValueError("jobs must be at least 1")
 
 
+# --------------------------------------------------------------------- #
+# Engine configuration (spec strings)
+# --------------------------------------------------------------------- #
+_BOOL_WORDS = {
+    "on": True, "true": True, "yes": True, "1": True,
+    "off": False, "false": False, "no": False, "0": False,
+}
+
+
+def _opt_bool(text: str) -> bool:
+    try:
+        return _BOOL_WORDS[text.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"expected on/off (or true/false, yes/no), got {text!r}"
+        ) from None
+
+
+def _opt_int(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(f"expected an integer, got {text!r}") from None
+
+
+def _opt_float(text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"expected a number, got {text!r}") from None
+
+
+def _opt_str(text: str) -> str:
+    return text
+
+
+#: Deprecated call shapes warn exactly once per process, keyed by shape
+#: (the single-warning policy of the EngineConfig migration).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated_once(key: str, message: str) -> None:
+    if key in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One parsed engine request: a registry name plus typed options.
+
+    The unified configuration surface behind ``--engine`` and
+    ``resolve_engine``: every per-engine constructor kwarg that used to
+    need ad-hoc plumbing is addressable from one spec string::
+
+        EngineConfig.parse("distributed:claim_batch=4,lease_timeout=10,speculate=on")
+        EngineConfig.parse("process:keep_pool=on")
+        EngineConfig.parse("serial")
+
+    Option names and types come from each engine class's
+    ``config_options`` mapping (``{name: converter}``); unknown engines
+    and unknown or mistyped options fail at parse time with the full list
+    of valid choices, not deep inside a constructor.
+    """
+
+    name: str
+    options: Mapping = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, spec: str) -> "EngineConfig":
+        name, _, rest = spec.partition(":")
+        name = name.strip()
+        if name not in ENGINES:
+            raise ValueError(
+                f"unknown execution engine {name!r}; "
+                f"available: {', '.join(available_engines())}"
+            )
+        converters = engine_config_options(name)
+        options: dict = {}
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"engine option {item!r} is not of the form key=value "
+                    f"(in spec {spec!r})"
+                )
+            if key not in converters:
+                known = ", ".join(sorted(converters)) or "none"
+                raise ValueError(
+                    f"unknown option {key!r} for engine {name!r}; "
+                    f"known options: {known}"
+                )
+            try:
+                options[key] = converters[key](value.strip())
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad value for engine option {key!r}: {exc}"
+                ) from None
+        return cls(name=name, options=options)
+
+    def spec(self) -> str:
+        """The spec string this config round-trips to."""
+        if not self.options:
+            return self.name
+        rendered = ",".join(f"{k}={v}" for k, v in sorted(self.options.items()))
+        return f"{self.name}:{rendered}"
+
+    def build(self) -> "ExecutionEngine":
+        return ENGINES[self.name](**dict(self.options))
+
+
+def engine_config_options(name: str) -> Mapping:
+    """The ``{option: converter}`` mapping an engine accepts in a spec."""
+    try:
+        engine_cls = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution engine {name!r}; "
+            f"available: {', '.join(available_engines())}"
+        ) from None
+    return getattr(engine_cls, "config_options", {})
+
+
 def _fold_partition(
-    specs: Sequence[PassSpec], partition: StreamPartition
+    specs: Sequence[PassSpec], partition: StreamPartition, on_batch=None
 ) -> list[StreamingPass]:
     """Fold fresh deferred-mode passes over one partition's batches.
 
@@ -108,6 +236,11 @@ def _fold_partition(
     (:func:`~repro.events.stream.prefetch_batches`): the next shard's
     fetch — an O(1) map for local ``.odpf`` shards, a byte read plus
     decode elsewhere — overlaps the current shard's fold.
+
+    ``on_batch`` (when given) is called after every folded batch with the
+    number of events it held — the fold-position hook that lets a worker's
+    heartbeat carry progress, not just liveness (warm-pool counters, the
+    distributed worker's beat blobs).
     """
     from repro.events.stream import prefetch_batches
 
@@ -117,6 +250,8 @@ def _fold_partition(
         for pass_ in passes:
             pass_.fold(batch, offset)
         offset += batch.num_data_op_events
+        if on_batch is not None:
+            on_batch(batch.num_data_op_events + batch.num_target_events)
     return passes
 
 
@@ -298,6 +433,13 @@ class ProcessEngine:
     """
 
     name = "process"
+
+    #: Options addressable from an ``EngineConfig`` spec string
+    #: (``"process:keep_pool=on,tasks_per_worker=8"``).
+    config_options = {
+        "keep_pool": _opt_bool,
+        "tasks_per_worker": _opt_int,
+    }
 
     def __init__(self, *, keep_pool: bool = False, tasks_per_worker: int = 4) -> None:
         if tasks_per_worker < 1:
@@ -506,6 +648,11 @@ def available_engines() -> list[str]:
     return sorted(ENGINES)
 
 
+def engine_registry_name(engine) -> str:
+    """The registry name of an engine instance ("serial", "thread", ...)."""
+    return getattr(type(engine), "name", type(engine).__name__)
+
+
 def _usable_cores() -> int:
     if hasattr(os, "sched_getaffinity"):
         try:
@@ -543,21 +690,36 @@ def process_engine_fallback_reason(jobs: Optional[int] = None) -> Optional[str]:
 
 
 def resolve_engine(engine, *, jobs: Optional[int] = None, degrade: bool = False) -> ExecutionEngine:
-    """Resolve an engine name (or pass an instance through).
+    """Resolve an engine request (name, spec string, config or instance).
 
     Accepts a registry name (``"serial"``, ``"thread"``, ``"process"``,
-    ``"distributed"``), an :class:`ExecutionEngine` instance, or ``None``
-    for the default serial engine.  With ``degrade=True`` a ``"process"`` request on a
-    machine where it cannot help — a single usable core, one worker, or a
-    platform without a multiprocessing start method — emits a
-    :class:`RuntimeWarning` and falls back to the serial engine instead
-    of oversubscribing (findings are identical on every engine, so only
-    throughput is at stake).
+    ``"distributed"``), a spec string with options
+    (``"distributed:claim_batch=4,lease_timeout=10,speculate=on"``), an
+    :class:`EngineConfig`, an :class:`ExecutionEngine` instance, or
+    ``None`` for the default serial engine.  With ``degrade=True`` a
+    ``"process"`` request on a machine where it cannot help — a single
+    usable core, one worker, or a platform without a multiprocessing
+    start method — emits a :class:`RuntimeWarning` and falls back to the
+    serial engine instead of oversubscribing (findings are identical on
+    every engine, so only throughput is at stake).
+
+    Stable stats contract: after ``run()`` every engine exposes a
+    ``stats`` dict (possibly empty).  Keys, once published in a release,
+    are only ever *added*, never renamed or removed — callers may rely on
+    ``stats.get("tasks")``, the process engine's overhead breakdown
+    (``spawn/open/decode/map/fold_seconds``, ``overhead_seconds``) and
+    the distributed engine's coordinator block (``requeued``,
+    ``respawned``, ``speculative_launches``, ``debris_blobs``,
+    ``peak_unmerged_chains``, ``duplicate_results``, ``hints``).  The
+    structured way to read them is
+    :attr:`repro.core.analysis.StreamAnalysisReport.engine_stats`.
     """
     if engine is None:
         return SerialEngine()
     if isinstance(engine, str):
-        if engine == ProcessEngine.name and degrade:
+        engine = EngineConfig.parse(engine)
+    if isinstance(engine, EngineConfig):
+        if engine.name == ProcessEngine.name and degrade:
             reason = process_engine_fallback_reason(jobs)
             if reason is not None:
                 warnings.warn(
@@ -567,13 +729,7 @@ def resolve_engine(engine, *, jobs: Optional[int] = None, degrade: bool = False)
                     stacklevel=2,
                 )
                 return SerialEngine()
-        try:
-            return ENGINES[engine]()
-        except KeyError:
-            raise ValueError(
-                f"unknown execution engine {engine!r}; "
-                f"available: {', '.join(available_engines())}"
-            ) from None
+        return engine.build()
     if isinstance(engine, ExecutionEngine):
         return engine
     raise TypeError(f"cannot use {type(engine).__name__} as an execution engine")

@@ -113,12 +113,19 @@ def _attach_cache(store, cache_spec: Optional[dict], caches: dict) -> None:
     store.attach_shard_cache(cache)
 
 
-def _pool_worker(index: int, task_queue, result_queue, crash_after) -> None:
+def _pool_worker(index: int, task_queue, result_queue, crash_after, progress) -> None:
     from repro.core.distributed import CRASH_EXIT_CODE
 
     stores: dict = {}
     caches: dict = {}
     completed = 0
+
+    def tick_progress(events: int) -> None:
+        # Lock-free on CPython: one writer per counter, readers tolerate
+        # a stale snapshot (the counter is a liveness/fold-position hint,
+        # not an accounting total).
+        progress.value += events
+
     while True:
         command = task_queue.get()
         if command[0] == _CMD_STOP:
@@ -139,7 +146,9 @@ def _pool_worker(index: int, task_queue, result_queue, crash_after) -> None:
                 partition = StreamPartition(
                     store, task.lo, task.hi, task.data_op_offset, task.num_events
                 )
-                payload = encode_carries(_fold_partition(pass_specs, partition))
+                payload = encode_carries(
+                    _fold_partition(pass_specs, partition, on_batch=tick_progress)
+                )
             elif kind == _CMD_FINALIZE:
                 pass_ = decode_carries(command[4])[0]
                 payload = pass_.finalize(store)
@@ -187,10 +196,18 @@ class WarmWorkerPool:
         crash_after = _crash_after_from_env()
         started = perf_counter()
         self._workers = []
+        # One shared fold-position counter per worker (events folded over
+        # the worker's lifetime): the warm-pool analogue of the
+        # distributed beat's progress half, readable without a queue
+        # round-trip even when the worker is wedged mid-fold.
+        self._progress = [ctx.Value("Q", 0, lock=False) for _ in range(num_workers)]
         for index in range(num_workers):
             proc = ctx.Process(
                 target=_pool_worker,
-                args=(index, self._task_queue, self._result_queue, crash_after),
+                args=(
+                    index, self._task_queue, self._result_queue, crash_after,
+                    self._progress[index],
+                ),
                 daemon=True,
             )
             proc.start()
@@ -201,6 +218,15 @@ class WarmWorkerPool:
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    def fold_positions(self) -> list[int]:
+        """Per-worker lifetime fold positions (events folded so far).
+
+        Snapshots the shared counters without disturbing the workers;
+        a counter that stops moving while its worker stays alive is the
+        warm-pool signature of a stalled fold.
+        """
+        return [value.value for value in self._progress]
 
     # ------------------------------------------------------------------ #
     def _submit(self, command: tuple) -> int:
@@ -261,9 +287,10 @@ class WarmWorkerPool:
         dead = [proc for proc in self._workers if not proc.is_alive()]
         if dead:
             codes = sorted({proc.exitcode for proc in dead})
+            positions = self.fold_positions()
             raise RuntimeError(
                 f"{len(dead)} warm pool worker(s) died (exit codes {codes}) "
-                "with results outstanding"
+                f"with results outstanding (fold positions: {positions})"
             )
 
     # ------------------------------------------------------------------ #

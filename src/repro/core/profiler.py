@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.core.analysis import AnalysisReport, analyze_stream, analyze_trace
+from repro.core.analysis import (
+    AnalysisReport,
+    StreamAnalysisReport,
+    analyze_stream,
+    analyze_trace,
+)
 from repro.core.collector import TraceCollector
 from repro.core.overhead import OverheadModel
 from repro.dwarf.debuginfo import DebugInfoRegistry
@@ -78,7 +83,7 @@ class StreamingProfileResult:
     """
 
     store: ShardedTraceStore
-    analysis: AnalysisReport
+    analysis: StreamAnalysisReport
     instrumented_runtime: float
     tool_overhead: float
     collector: TraceCollector
@@ -182,7 +187,12 @@ class OMPDataPerf:
         :class:`~repro.events.store.ShardedTraceStore` on the chosen
         execution engine (``engine="process"`` with ``jobs > 1`` folds
         disjoint shard ranges on worker processes — see
-        :mod:`repro.core.engine`).
+        :mod:`repro.core.engine`).  ``engine`` accepts the same spec
+        strings as :func:`repro.core.analysis.analyze_stream`
+        (``"distributed:claim_batch=4,speculate=on"``); the returned
+        result's ``analysis`` is a
+        :class:`~repro.core.analysis.StreamAnalysisReport` carrying the
+        engine's name, stats block, and timings.
         """
         writer = TraceWriter(
             store_path,
@@ -242,7 +252,7 @@ class OMPDataPerf:
         debug_info: Optional[DebugInfoRegistry] = None,
         jobs: int = 1,
         engine: str = "serial",
-    ) -> AnalysisReport:
+    ) -> StreamAnalysisReport:
         """Offline incremental analysis of an event stream (sharded store)."""
         if self.validate:
             validate_stream(stream)

@@ -310,3 +310,86 @@ def test_process_engine_identical_over_remote_transport(trace, shard_events, wor
     )
     process_report = analyze_stream(store, engine="process", jobs=workers)
     _assert_reports_equal(obj_report, process_report)
+
+
+@settings(max_examples=20, deadline=None)
+@given(mapping_traces(), _SHARDS, _WORKERS, st.randoms(use_true_random=False))
+def test_incremental_merge_identical_under_adversarial_orders(
+    trace, shard_events, workers, rng
+):
+    """The sixth leg: merge-as-they-land under adversarial arrival orders.
+
+    The distributed coordinator folds each partition carry into running
+    per-pass chains the moment it lands (:class:`CarryFolder`), in
+    whatever order workers finish.  Feed the same partition carries in
+    reversed, interleaved, random, and duplicated orders and the
+    finalized findings must equal the object oracle bit for bit — the
+    merge contract is associative over contiguous runs, and duplicates
+    (zombie re-publishes) are dropped at the door.
+    """
+    from repro.core.detectors.duplicates import DuplicateTransferPass
+    from repro.core.detectors.repeated_allocs import RepeatedAllocationPass
+    from repro.core.detectors.roundtrips import RoundTripPass
+    from repro.core.detectors.unused_allocs import UnusedAllocationPass
+    from repro.core.detectors.unused_transfers import UnusedTransferPass
+    from repro.core.distributed import CarryFolder, _finalize_all
+    from repro.core.engine import PassSpec, _fold_partition, partition_tasks
+    from repro.events.stream import StreamPartition
+
+    obj_report = analyze_trace(trace)
+    expected = [
+        obj_report.duplicate_groups,
+        obj_report.round_trip_groups,
+        obj_report.repeated_alloc_groups,
+        obj_report.unused_allocations,
+        obj_report.unused_transfers,
+    ]
+    scratch = tempfile.mkdtemp(prefix="ompdataperf-diff-")
+    try:
+        store = shard_trace(
+            ColumnarTrace.from_trace(trace),
+            Path(scratch) / "t.store",
+            shard_events=shard_events,
+        )
+        tasks = partition_tasks(store, workers + 1)
+        if not tasks:
+            return  # single-partition stream: nothing to merge
+        num_devices = max(store.num_devices, 1)
+        specs = (
+            PassSpec(DuplicateTransferPass),
+            PassSpec(RoundTripPass),
+            PassSpec(RepeatedAllocationPass),
+            PassSpec(UnusedAllocationPass, {"num_devices": num_devices}),
+            PassSpec(UnusedTransferPass, {"num_devices": num_devices}),
+        )
+
+        def chains():
+            return [
+                _fold_partition(
+                    specs,
+                    StreamPartition(
+                        store, t.lo, t.hi, t.data_op_offset, t.num_events
+                    ),
+                )
+                for t in tasks
+            ]
+
+        shuffled = list(range(len(tasks)))
+        rng.shuffle(shuffled)
+        orders = [
+            list(reversed(range(len(tasks)))),
+            list(range(0, len(tasks), 2)) + list(range(1, len(tasks), 2)),
+            shuffled,
+        ]
+        for order in orders:
+            folder = CarryFolder(len(tasks))
+            fresh = chains()
+            for index in order:
+                assert folder.add(index, fresh[index])
+                if rng.random() < 0.5:
+                    # A zombie's bit-identical duplicate, rejected.
+                    assert not folder.add(index, fresh[index])
+            assert folder.complete and folder.chains_held == 1
+            assert _finalize_all(folder.result(), store, 1) == expected
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

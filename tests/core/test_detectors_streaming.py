@@ -228,3 +228,66 @@ def test_analyze_stream_matches_analyze_trace(tmp_path, jobs):
 def test_analyze_stream_rejects_bad_jobs():
     with pytest.raises(ValueError, match="jobs"):
         analyze_stream(as_event_stream(ColumnarTrace()), jobs=0)
+
+
+# --------------------------------------------------------------------- #
+# StreamAnalysisReport (the structured analyze_stream return)
+# --------------------------------------------------------------------- #
+def test_analyze_stream_returns_structured_report(builder):
+    import warnings
+
+    from repro.core.analysis import AnalysisReport, StreamAnalysisReport
+
+    b = builder
+    b.alloc(0x100, 0xA000)
+    b.h2d(0x100, 0xA000, content_hash=7)
+    b.kernel()
+    b.h2d(0x100, 0xA000, content_hash=7)
+    b.delete(0x100, 0xA000)
+    trace = b.build()
+    report = analyze_stream(_stream(trace, 3))
+
+    assert isinstance(report, StreamAnalysisReport)
+    assert isinstance(report, AnalysisReport)  # drop-in for old callers
+    assert report.engine_name == "serial"
+    assert isinstance(report.engine_stats, dict)
+    timings = report.timings
+    assert set(timings) == {"wall_seconds", "engine_seconds", "overhead_seconds"}
+    assert timings["wall_seconds"] >= timings["engine_seconds"] >= 0.0
+    assert timings["overhead_seconds"] >= 0.0
+
+    by_pass = report.findings_by_pass
+    assert list(by_pass) == [
+        "duplicate_transfers", "round_trips", "repeated_allocations",
+        "unused_allocations", "unused_transfers",
+    ]
+    assert by_pass["duplicate_transfers"] == report.duplicate_groups
+    # Truthiness does not route through the deprecated sequence shim.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert bool(report)
+
+
+def test_analyze_stream_report_sequence_shim_warns_once(builder):
+    import warnings
+
+    from repro.core.engine import _DEPRECATION_WARNED
+
+    b = builder
+    b.alloc(0x100, 0xA000)
+    b.h2d(0x100, 0xA000, content_hash=7)
+    b.delete(0x100, 0xA000)
+    report = analyze_stream(_stream(b.build(), 2))
+
+    _DEPRECATION_WARNED.discard("stream-report-sequence")
+    with pytest.warns(DeprecationWarning, match="findings_by_pass"):
+        dup, rt, ra, ua, ut = report  # the historic 5-list unpack
+    assert dup == report.duplicate_groups
+    assert ut == report.unused_transfers
+    assert len(report) == 5
+    assert report[1] == report.round_trip_groups
+    # Single-warning policy: later sequence access stays silent.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        list(report)
+    assert caught == []

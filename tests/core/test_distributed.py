@@ -250,11 +250,13 @@ def test_queue_protocol_round_trip(queue_transport):
     assert queue.pending_task_names() == []
     assert queue.claim(pending[0], "worker-b") is None
 
-    # Heartbeats advance a counter blob next to the claim.
+    # Heartbeats advance a counter blob next to the claim; the payload
+    # carries "<liveness counter>:<fold position>".
     beat_name = "beats/task-00000.a000.worker-a"
-    assert queue_transport.read_blob(beat_name) == b"1"
+    assert queue_transport.read_blob(beat_name) == b"1:0"
+    claim.progress = 42
     queue.heartbeat(claim)
-    assert queue_transport.read_blob(beat_name) == b"2"
+    assert queue_transport.read_blob(beat_name) == b"2:42"
 
     # Results travel as one framed batch blob per claim sweep.
     queue.publish_result_batch("worker-a", 1, [(0, b"carry-0"), (7, b"carry-7")])
@@ -363,9 +365,16 @@ def test_self_hosted_process_workers(store, expected):
     engine = DistributedEngine(poll_interval=0.05, lease_timeout=60.0)
     report = analyze_stream(store, engine=engine, jobs=2)
     assert _findings(report) == expected
-    assert engine.stats == {
-        "tasks": 2, "workers": 2, "requeued": 0, "respawned": 0,
-    }
+    stats = engine.stats
+    assert stats["tasks"] == 2 and stats["workers"] == 2
+    assert stats["requeued"] == 0 and stats["respawned"] == 0
+    assert stats["speculative_launches"] == 0
+    assert stats["debris_blobs"] == 0 and stats["duplicate_results"] == 0
+    # Healthy two-task runs coalesce on arrival: never more than one
+    # un-merged chain per contiguous run.
+    assert 1 <= stats["peak_unmerged_chains"] <= 2
+    assert stats["hints"]["completed"] == 2
+    assert stats["hints"]["suggested_worker_delta"] <= 0
 
 
 # --------------------------------------------------------------------- #
@@ -502,3 +511,221 @@ def test_partition_tasks_mirror_store_partitions(store):
         (p.lo, p.hi, p.data_op_offset, p.num_events) for p in parts
     ]
     assert partition_tasks(store, 1) == []
+
+
+# --------------------------------------------------------------------- #
+# CarryFolder (incremental merge-as-they-land)
+# --------------------------------------------------------------------- #
+def _pass_specs(stream):
+    from repro.core.detectors.duplicates import DuplicateTransferPass
+    from repro.core.detectors.repeated_allocs import RepeatedAllocationPass
+    from repro.core.detectors.roundtrips import RoundTripPass
+    from repro.core.detectors.unused_allocs import UnusedAllocationPass
+    from repro.core.detectors.unused_transfers import UnusedTransferPass
+    from repro.core.engine import PassSpec
+
+    num_devices = max(stream.num_devices, 1)
+    return (
+        PassSpec(DuplicateTransferPass),
+        PassSpec(RoundTripPass),
+        PassSpec(RepeatedAllocationPass),
+        PassSpec(UnusedAllocationPass, {"num_devices": num_devices}),
+        PassSpec(UnusedTransferPass, {"num_devices": num_devices}),
+    )
+
+
+def _partition_chains(store, specs, tasks):
+    from repro.core.engine import _fold_partition
+    from repro.events.stream import StreamPartition
+
+    chains = []
+    for task in tasks:
+        partition = StreamPartition(
+            store, task.lo, task.hi, task.data_op_offset, task.num_events
+        )
+        chains.append(_fold_partition(specs, partition))
+    return chains
+
+
+def _fold_in_order(store, order, duplicate=False):
+    from repro.core.distributed import CarryFolder
+
+    specs = _pass_specs(store)
+    tasks = partition_tasks(store, 6)
+    chains = _partition_chains(store, specs, tasks)
+    folder = CarryFolder(len(tasks))
+    for index in order:
+        assert folder.add(index, chains[index])
+        if duplicate:
+            # A zombie's re-published duplicate: rejected at the door.
+            assert not folder.add(index, chains[index])
+    assert folder.complete
+    return folder
+
+
+def _serial_results(store):
+    from repro.core.engine import SerialEngine
+
+    return SerialEngine().run(_pass_specs(store), store, jobs=1)
+
+
+def _finalized(folder, store):
+    from repro.core.distributed import _finalize_all
+
+    return _finalize_all(folder.result(), store, 1)
+
+
+@pytest.mark.parametrize(
+    "name, order, max_peak",
+    [
+        # In-order and reversed arrival coalesce into one contiguous run
+        # on every add: the coordinator holds exactly one chain (i.e.
+        # O(passes) carries), never one per task.
+        ("in-order", [0, 1, 2, 3, 4, 5], 1),
+        ("reversed", [5, 4, 3, 2, 1, 0], 1),
+        # Evens-then-odds is the worst interleave for six tasks: three
+        # disjoint runs before the odds stitch them together.
+        ("interleaved", [0, 2, 4, 1, 3, 5], 3),
+        ("shuffled", [3, 0, 5, 1, 4, 2], 3),
+    ],
+)
+def test_carry_folder_adversarial_orders(store, expected, name, order, max_peak):
+    folder = _fold_in_order(store, order)
+    assert folder.chains_held == 1
+    assert 1 <= folder.peak_chains <= max_peak
+    assert folder.duplicates == 0
+    results = _finalized(folder, store)
+    assert results == _serial_results(store)
+
+
+def test_carry_folder_duplicates_are_rejected_bit_identically(store):
+    folder = _fold_in_order(store, [5, 0, 3, 1, 4, 2], duplicate=True)
+    assert folder.duplicates == 6
+    assert _finalized(folder, store) == _serial_results(store)
+
+
+def test_carry_folder_guards():
+    from repro.core.distributed import CarryFolder
+
+    with pytest.raises(ValueError, match="at least 1"):
+        CarryFolder(0)
+    folder = CarryFolder(2)
+    with pytest.raises(ValueError, match="out of range"):
+        folder.add(2, [])
+    folder.add(0, [])
+    with pytest.raises(RuntimeError, match="holds 1 of 2"):
+        folder.result()
+
+
+# --------------------------------------------------------------------- #
+# Debris accounting, hints, speculation
+# --------------------------------------------------------------------- #
+def test_undecodable_result_blobs_counted_and_warned(store, tmp_path, expected):
+    """A garbage blob under results/ is dropped, but with a trace: one
+    RuntimeWarning per run and a stats["debris_blobs"] count."""
+    from repro.core.distributed import RUN_MANIFEST, run_worker
+    from repro.events.transport import open_transport
+
+    queue_dir = tmp_path / "debris-queue"
+    engine = DistributedEngine(
+        queue=queue_dir, workers=0, poll_interval=0.05,
+        lease_timeout=60.0, run_timeout=120.0,
+    )
+
+    def inject_then_work():
+        # Wait for the coordinator to create the queue, drop garbage in
+        # front of any real result, then serve the run from this thread.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if queue_dir.exists():
+                transport = open_transport(queue_dir)
+                if transport.blob_exists(RUN_MANIFEST):
+                    break
+            time.sleep(0.01)
+        transport.write_blob("results/rb-garbage-00001", b"not a result batch")
+        run_worker(queue_dir, poll_interval=0.05, echo=None)
+
+    worker = threading.Thread(target=inject_then_work, daemon=True)
+    worker.start()
+    with pytest.warns(RuntimeWarning, match="debris"):
+        report = analyze_stream(store, engine=engine, jobs=2)
+    worker.join(timeout=60)
+    assert _findings(report) == expected
+    assert engine.stats["debris_blobs"] == 1
+    # The garbage blob did not consume any task: nothing was requeued.
+    assert engine.stats["requeued"] == 0
+
+
+def test_hints_blob_schema(store, tmp_path, expected):
+    """The hints blob is valid JSON with the documented schema and mirrors
+    stats["hints"] exactly (an external fleet manager's contract)."""
+    import json
+
+    queue_dir = tmp_path / "hints-queue"
+    engine = DistributedEngine(
+        queue=queue_dir, workers=2, worker_mode="thread",
+        poll_interval=0.02, hints_interval=0.05, run_timeout=120.0,
+    )
+    report = analyze_stream(store, engine=engine, jobs=4)
+    assert _findings(report) == expected
+    hints = json.loads((queue_dir / "hints").read_bytes())
+    assert hints == engine.stats["hints"]
+    assert set(hints) == {
+        "version", "seq", "tasks", "pending", "claimed", "completed",
+        "requeued", "speculative_launches", "debris_blobs",
+        "workers_observed", "claim_latency_seconds",
+        "median_fold_interval_seconds", "suggested_worker_delta",
+    }
+    assert hints["version"] == 1
+    assert hints["seq"] >= 1
+    assert hints["tasks"] == 4
+    # The final (forced) publish reflects the completed run.
+    assert hints["completed"] == 4 and hints["pending"] == 0
+
+
+def test_stalled_worker_finishes_via_speculation(store, tmp_path, expected):
+    """A worker that heartbeats but never folds (the stall hook) is
+    detected by the frozen fold position and its task re-published under
+    the next attempt tag; the run completes well before lease_timeout
+    without a single lease-expiry requeue."""
+    from repro.core.distributed import STALL_ENV
+
+    queue_dir = tmp_path / "stall-queue"
+    lease = 30.0
+    engine = DistributedEngine(
+        queue=queue_dir, workers=0, poll_interval=0.05,
+        lease_timeout=lease, max_attempts=3, run_timeout=120.0,
+        min_stall=0.3, speculation_factor=2.0,
+    )
+    thread, out = _coordinate_in_thread(store, engine, jobs=6)
+    stalled = subprocess.Popen(
+        _worker_cmd(queue_dir), env=_worker_env(**{STALL_ENV: "1"})
+    )
+    healthy = None
+    try:
+        # Wait until the stalled worker holds its claim (it is the only
+        # worker, so the first claim blob is necessarily its own).
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if queue_dir.exists() and list((queue_dir / "claims").glob("*")):
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("stalled worker never claimed a task")
+        stall_started = time.monotonic()
+        healthy = subprocess.Popen(_worker_cmd(queue_dir), env=_worker_env())
+        thread.join(timeout=90)
+        elapsed = time.monotonic() - stall_started
+        assert not thread.is_alive(), "coordinator did not finish"
+        assert "report" in out, out.get("error")
+        assert _findings(out["report"]) == expected
+        # Speculation beat the lease: the stalled task was re-published
+        # early and the duplicate attempt finished the run.
+        assert engine.stats["speculative_launches"] >= 1
+        assert engine.stats["requeued"] == 0
+        assert elapsed < lease * 0.75
+        assert healthy.wait(timeout=60) == 0
+    finally:
+        for proc in (stalled, healthy):
+            if proc is not None and proc.poll() is None:
+                proc.kill()

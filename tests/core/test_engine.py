@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.core.analysis import analyze_stream, analyze_trace
@@ -242,3 +244,87 @@ def test_pass_spec_builds_with_eager_flag():
 
     alloc_spec = PassSpec(UnusedAllocationPass, {"num_devices": 2})
     assert alloc_spec.build(eager=False).num_devices == 2
+
+
+# --------------------------------------------------------------------- #
+# EngineConfig (the unified engine spec surface)
+# --------------------------------------------------------------------- #
+def test_engine_config_parse_round_trip():
+    from repro.core.engine import EngineConfig
+
+    config = EngineConfig.parse(
+        "distributed:claim_batch=4,lease_timeout=10,speculate=on"
+    )
+    assert config.name == "distributed"
+    assert config.options == {
+        "claim_batch": 4, "lease_timeout": 10.0, "speculate": True,
+    }
+    assert config.spec() == "distributed:claim_batch=4,lease_timeout=10.0,speculate=True"
+    # A bare name has no options and round-trips to itself.
+    assert EngineConfig.parse("serial") == EngineConfig("serial")
+    assert EngineConfig.parse("serial").spec() == "serial"
+
+
+def test_engine_config_bool_words():
+    from repro.core.engine import EngineConfig
+
+    for word, value in [
+        ("on", True), ("off", False), ("true", True), ("false", False),
+        ("yes", True), ("no", False), ("1", True), ("0", False),
+    ]:
+        config = EngineConfig.parse(f"distributed:speculate={word}")
+        assert config.options["speculate"] is value, word
+    with pytest.raises(ValueError, match="bad value"):
+        EngineConfig.parse("distributed:speculate=maybe")
+
+
+def test_engine_config_rejects_unknowns():
+    from repro.core.engine import EngineConfig
+
+    with pytest.raises(ValueError, match="unknown execution engine"):
+        EngineConfig.parse("quantum:foo=1")
+    with pytest.raises(ValueError, match="known options"):
+        EngineConfig.parse("distributed:warp_factor=9")
+    with pytest.raises(ValueError, match="key=value"):
+        EngineConfig.parse("distributed:claim_batch")
+
+
+def test_engine_config_build_and_resolve():
+    from repro.core.distributed import DistributedEngine
+    from repro.core.engine import EngineConfig
+
+    engine = resolve_engine("distributed:claim_batch=3,speculate=off,min_stall=0.5")
+    assert isinstance(engine, DistributedEngine)
+    assert engine.claim_batch == 3
+    assert engine.speculate is False
+    assert engine.min_stall == 0.5
+    # EngineConfig instances resolve too (what the CLI passes through).
+    config = EngineConfig.parse("process:keep_pool=on,tasks_per_worker=2")
+    built = resolve_engine(config)
+    assert isinstance(built, ProcessEngine)
+    assert built.keep_pool is True and built.tasks_per_worker == 2
+
+
+def test_engine_config_option_tables_cover_constructors():
+    """Every spec option must be a real constructor kwarg: building a
+    config that sets every option must not raise."""
+    import inspect
+
+    from repro.core.engine import ENGINES, engine_config_options
+
+    for name, engine_cls in ENGINES.items():
+        params = inspect.signature(engine_cls.__init__).parameters
+        for option in engine_config_options(name):
+            assert option in params, f"{name}:{option}"
+
+
+def test_deprecation_warnings_fire_once():
+    from repro.core.engine import _DEPRECATION_WARNED, _warn_deprecated_once
+
+    _DEPRECATION_WARNED.discard("test-key-once")
+    with pytest.warns(DeprecationWarning, match="old shape"):
+        _warn_deprecated_once("test-key-once", "old shape")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _warn_deprecated_once("test-key-once", "old shape")
+    assert caught == []

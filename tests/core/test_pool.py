@@ -208,3 +208,25 @@ def test_broken_cache_degrades_to_private_decode(trace):
     cache.publish(0, trace)
     assert cache.attach(0) is None
     assert cache.publishes == 0
+
+
+def test_fold_positions_track_worker_progress(store):
+    """The per-worker shared counters advance with folded events: their
+    total equals the events of every folded partition (the warm-pool
+    analogue of the distributed beat's fold-position half)."""
+    from repro.core.engine import PassSpec, partition_tasks
+    from repro.core.detectors.duplicates import DuplicateTransferPass
+    from repro.core.pool import WarmWorkerPool
+
+    tasks = partition_tasks(store, 4)
+    specs = (PassSpec(DuplicateTransferPass),)
+    with WarmWorkerPool(2) as pool:
+        assert pool.fold_positions() == [0, 0]
+        jobs = [
+            pool.submit_fold(store.transport.spec(), None, task, specs)
+            for task in tasks
+        ]
+        pool.collect(jobs)
+        positions = pool.fold_positions()
+    assert len(positions) == 2
+    assert sum(positions) == sum(task.num_events for task in tasks)

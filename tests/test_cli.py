@@ -511,3 +511,83 @@ def test_missing_program_rejected():
 def test_parser_metadata():
     parser = build_parser()
     assert parser.prog == "ompdataperf"
+
+
+def test_engine_spec_string_with_options(capsys):
+    assert main(["hotspot", "--size", "small", "-q", "--stream",
+                 "--shard-events", "8", "--jobs", "2",
+                 "--engine", "thread"]) == 0
+    capsys.readouterr()
+    # Options ride the spec string; a bad option fails at parse time.
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream",
+              "--engine", "distributed:warp_factor=9"])
+    err = capsys.readouterr().err
+    assert "warp_factor" in err and "known options" in err
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "-q", "--stream",
+              "--engine", "distributed:claim_batch"])
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_engine_spec_distributed_loopback(capsys):
+    assert main(["hotspot", "--size", "small", "--stream",
+                 "--shard-events", "8", "--jobs", "2",
+                 "--engine", "distributed:lease_timeout=60,claim_batch=2"]) == 0
+    out = capsys.readouterr().out
+    assert "info: distributed:" in out
+    assert "speculative" in out
+
+
+def test_queue_flag_deprecation_single_warning(tmp_path, capsys):
+    from repro.core.engine import _DEPRECATION_WARNED
+
+    queue = tmp_path / "dep.queue"
+    _DEPRECATION_WARNED.discard("cli-queue-flag")
+    # workers=0 attach mode with a run_timeout so the run fails fast —
+    # the deprecation warning must appear before the queue ever fills.
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "--stream",
+              "--shard-events", "8", "--jobs", "2",
+              "--engine", "distributed:run_timeout=0.5,poll_interval=0.05",
+              "--queue", str(queue)])
+    first = capsys.readouterr().out
+    assert "--queue is deprecated" in first
+    # Single-warning policy: a second invocation stays silent.
+    import shutil
+
+    shutil.rmtree(queue, ignore_errors=True)
+    with pytest.raises(SystemExit):
+        main(["hotspot", "--size", "small", "--stream",
+              "--shard-events", "8", "--jobs", "2",
+              "--engine", "distributed:run_timeout=0.5,poll_interval=0.05",
+              "--queue", str(queue)])
+    assert "--queue is deprecated" not in capsys.readouterr().out
+
+
+def test_queue_status_subcommand(tmp_path, capsys):
+    queue = tmp_path / "status.queue"
+    queue.mkdir()
+    assert main(["queue", "status", str(queue)]) == 0
+    out = capsys.readouterr().out
+    assert "state: no-run" in out
+    assert "pending_tasks: 0" in out
+    (queue / "done").write_bytes(b"")
+    assert main(["queue", "status", str(queue)]) == 0
+    assert "state: done" in capsys.readouterr().out
+
+
+def test_queue_status_reads_hints(tmp_path, capsys):
+    import json
+
+    queue = tmp_path / "hinted.queue"
+    queue.mkdir()
+    (queue / "run.pkl").write_bytes(b"stub")
+    (queue / "hints").write_bytes(json.dumps(
+        {"version": 1, "pending": 7, "suggested_worker_delta": 3}
+    ).encode())
+    assert main(["queue", "status", str(queue)]) == 0
+    out = capsys.readouterr().out
+    assert "state: running" in out
+    assert "hints.pending: 7" in out
+    assert "hints.suggested_worker_delta: 3" in out

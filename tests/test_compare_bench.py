@@ -140,3 +140,33 @@ def test_repo_bench_records_compare_clean_against_themselves(tmp_path):
     assert compare_bench.main(
         ["--baseline", str(repo_root), "--current", str(repo_root)]
     ) == 0
+
+
+def test_new_stats_fields_are_neutral_against_old_baselines(tmp_path, capsys):
+    """A baseline written before the distributed stats block grew
+    (speculative_launches, debris_blobs, peak_unmerged_chains, hints)
+    compares clean against a current record that has them: the new
+    leaves exist only on the current side, which is never a failure."""
+    base, cur = tmp_path / "base", tmp_path / "cur"
+    _write_bench(base, "engine", 1_000_000.0, 1.0)
+    _write_bench(cur, "engine", 1_000_000.0, 1.0)
+    record = json.loads((cur / "BENCH_engine.json").read_text())
+    record["engines"]["distributed"] = {
+        "2": {
+            "events_per_sec": 5.0,
+            "speculative_launches": 0,
+            "debris_blobs": 0,
+            "peak_unmerged_chains": 1,
+            "hints": {"suggested_worker_delta": 0, "pending": 0},
+        }
+    }
+    (cur / "BENCH_engine.json").write_text(json.dumps(record), encoding="utf-8")
+    rc = compare_bench.main(
+        ["--baseline", str(base), "--current", str(cur)]
+    )
+    assert rc == 0
+    # And symmetrically: an old current against a new baseline stays ok.
+    rc = compare_bench.main(
+        ["--baseline", str(cur), "--current", str(base)]
+    )
+    assert rc == 0
