@@ -392,6 +392,72 @@ def _queue_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompdataperf fuzz",
+        description="Run the hostile-trace differential fuzz sweep: seeded "
+                    "adversarial traces written with shard-boundary-hostile "
+                    "layouts, analysed on every transport × engine "
+                    "combination and compared bit-for-bit against the "
+                    "columnar/object oracle.  Every failure prints the one "
+                    "command that reproduces it from its seed.",
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base case seed (default: $OMPDATAPERF_FUZZ_SEED, else 0); "
+                             "case i uses seed+i, so any case replays alone")
+    parser.add_argument("--cases", type=positive_int, default=None, metavar="N",
+                        help="number of seeded cases "
+                             "(default: $OMPDATAPERF_FUZZ_CASES, else 5)")
+    parser.add_argument("--events", type=positive_int, default=None, metavar="N",
+                        help="maximum events per case (each case draws its size "
+                             "from its seed, up to N; default 20000)")
+    parser.add_argument("--transports", default=None, metavar="KINDS",
+                        help="comma-separated transports to sweep "
+                             "(local,zip,fake-object-store,s3; default: all "
+                             "local kinds, plus s3 when "
+                             "$OMPDATAPERF_S3_TEST_ENDPOINT is set)")
+    parser.add_argument("--engines", default=None, metavar="NAMES",
+                        help="comma-separated engines to sweep "
+                             "(default: serial,thread,process,distributed)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the sweep summary as JSON to PATH")
+    parser.add_argument("--oracle-max", type=positive_int, default=None, metavar="N",
+                        help="skip the (slow) object-mode oracle cross-check "
+                             "above N events (default 60000)")
+    return parser
+
+
+def _fuzz_main(argv: Sequence[str]) -> int:
+    import os
+
+    from repro.core import fuzz
+
+    parser = build_fuzz_parser()
+    args = parser.parse_args(argv)
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get(fuzz.SEED_ENV, "0"))
+    cases = args.cases
+    if cases is None:
+        cases = int(os.environ.get(fuzz.CASES_ENV, str(fuzz.DEFAULT_CASES)))
+    transports = None
+    if args.transports:
+        transports = tuple(t.strip() for t in args.transports.split(",") if t.strip())
+    engines = fuzz.ALL_ENGINES
+    if args.engines:
+        engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    report = fuzz.run_fuzz_sweep(
+        seed=seed,
+        cases=cases,
+        max_events=args.events or fuzz.DEFAULT_MAX_EVENTS,
+        transports=transports,
+        engines=engines,
+        oracle_limit=args.oracle_max or fuzz.DEFAULT_ORACLE_LIMIT,
+        report_path=args.report,
+    )
+    return 0 if report.ok else 1
+
+
 def _on_disk_bytes(trace, path: Path) -> int:
     if isinstance(trace, ShardedTraceStore):
         return trace.on_disk_bytes()
@@ -563,6 +629,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _worker_main(argv[1:])
     if argv and argv[0] == "queue":
         return _queue_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -59,6 +59,13 @@ def available_backends() -> list[str]:
 
 def load_trace(path: str | Path):
     """Load a trace from disk with whichever backend recognises the path."""
+    if isinstance(path, str) and path.startswith("s3://"):
+        # Remote stores skip path sniffing: an s3 location is always a
+        # sharded store (the only layout the transports publish).
+        from repro.events.store import ShardedTraceStore
+        from repro.events.transport import open_transport
+
+        return ShardedTraceStore.open(open_transport(path))
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"{path}: no such trace")

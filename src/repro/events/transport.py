@@ -19,6 +19,10 @@ transport                             backing storage
 :class:`FakeObjectStoreTransport`     an in-memory dict with S3-like
                                       get/put/list/delete semantics, plus
                                       latency and fault injection for tests
+``S3ObjectStoreTransport``            a real S3-compatible bucket (boto3) —
+                                      see :mod:`repro.events.transport_s3`;
+                                      selected by ``s3://bucket/prefix``
+                                      specs anywhere a store path is accepted
 ====================================  =========================================
 
 Blob names are relative POSIX-style paths (``manifest.json``,
@@ -694,11 +698,16 @@ def open_transport(source, *, create: bool = False) -> ShardTransport:
 
     An existing directory — or, with ``create=True``, any path not ending
     in ``.zip`` — becomes a :class:`LocalDirTransport`; a zip archive (or a
-    to-be-created ``*.zip`` path) a :class:`ZipArchiveTransport`.  Objects
+    to-be-created ``*.zip`` path) a :class:`ZipArchiveTransport`; an
+    ``s3://bucket/prefix`` URL an ``S3ObjectStoreTransport``.  Objects
     already implementing the protocol pass through unchanged.
     """
     if isinstance(source, ShardTransport):
         return source
+    if isinstance(source, str) and source.startswith("s3://"):
+        from repro.events.transport_s3 import S3ObjectStoreTransport
+
+        return S3ObjectStoreTransport.from_url(source, create=create)
     path = Path(source)
     if path.is_dir():
         return LocalDirTransport(path)
@@ -728,4 +737,8 @@ def transport_from_spec(spec: dict) -> ShardTransport:
         return spec["transport"]
     if kind == PrefixTransport.kind:
         return PrefixTransport(transport_from_spec(spec["inner"]), spec["prefix"])
+    if kind == "s3":
+        from repro.events.transport_s3 import S3ObjectStoreTransport
+
+        return S3ObjectStoreTransport.from_spec(spec)
     raise ValueError(f"unknown shard-transport spec kind {kind!r}")

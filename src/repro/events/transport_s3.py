@@ -1,0 +1,514 @@
+"""Real S3-compatible object storage behind the :class:`ShardTransport` protocol.
+
+:class:`S3ObjectStoreTransport` is the production sibling of the in-memory
+:class:`~repro.events.transport.FakeObjectStoreTransport`: the same S3-like
+primitive surface (whole-object put/get, server-side prefix listing,
+idempotent delete, copy-then-delete rename), but issued against a genuine
+S3 API through boto3 — AWS itself, or any S3-compatible endpoint (MinIO,
+moto, localstack) selected with ``endpoint_url`` or the
+``OMPDATAPERF_S3_ENDPOINT`` environment variable.
+
+Semantics the rest of the stack relies on:
+
+* ``write_blob`` is an atomic publish (S3 puts are whole-object: readers
+  see the old object or the new one, never a torn prefix).  Payloads at or
+  above ``multipart_threshold`` go through the multipart-upload API in
+  ``multipart_part_size`` chunks — the upload only becomes visible at
+  ``CompleteMultipartUpload``, so the atomic-publish contract holds for
+  arbitrarily large shards too.
+* ``rename_blob`` is S3's non-atomic copy-then-delete.  A *claim* rename
+  racing another claimant therefore resolves exactly like the fake
+  transport: the loser's copy fails on the vanished source and surfaces as
+  :class:`TransportError` — so ``try_claim_blob`` returns ``False`` and a
+  queue's second claimer gets ``None``, never an exception.  Both racers
+  can transiently hold a copy; claimed work must be idempotent (the
+  distributed engine's folds are).
+* Every operation runs under a **bounded retry loop**: throttling
+  (``SlowDown`` and friends), HTTP 5xx and connection drops are retried up
+  to ``max_attempts`` times with exponential backoff and uniform jitter in
+  ``[backoff/2, backoff]``; anything else (``NoSuchKey``, access denied)
+  fails immediately as :class:`TransportError`.  :meth:`stats` exposes the
+  per-operation request counts and the retry/throttle/backoff counters so
+  tests — and dashboards — can see exactly how hostile the endpoint was.
+
+The transport is picklable (the boto3 client is rebuilt lazily after
+unpickling, with credentials resolved from the environment as usual), and
+``spec()`` round-trips through
+:func:`~repro.events.transport.transport_from_spec` so process-engine and
+distributed workers can reopen an s3-backed store from its small spec.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Optional
+
+from repro.events.transport import TransportError, _check_blob_name
+
+try:  # gated: the core library only needs numpy; boto3 is optional
+    import boto3
+    from botocore.config import Config as _BotoConfig
+    from botocore.exceptions import BotoCoreError, ClientError
+except ImportError:  # pragma: no cover - exercised only without boto3
+    boto3 = None
+    _BotoConfig = None
+    BotoCoreError = ()  # type: ignore[assignment]
+    ClientError = ()  # type: ignore[assignment]
+
+#: ``s3://bucket/prefix`` spec strings accepted everywhere a store path is.
+S3_URL_PREFIX = "s3://"
+
+#: Endpoint override (MinIO, localstack) when none is passed explicitly.
+ENDPOINT_ENV = "OMPDATAPERF_S3_ENDPOINT"
+
+#: Payloads at or above this size upload through the multipart API.
+DEFAULT_MULTIPART_THRESHOLD = 8 * 1024 * 1024
+
+#: Part size for multipart uploads (must stay >= S3's 5 MiB minimum).
+DEFAULT_MULTIPART_PART_SIZE = 8 * 1024 * 1024
+
+#: Error codes retried as throttling (counted separately in ``stats()``).
+_THROTTLE_CODES = frozenset({
+    "SlowDown",
+    "Throttling",
+    "ThrottlingException",
+    "RequestLimitExceeded",
+    "TooManyRequestsException",
+    "ProvisionedThroughputExceededException",
+})
+
+#: Error codes retried as transient server failures.
+_SERVER_ERROR_CODES = frozenset({
+    "InternalError",
+    "ServiceUnavailable",
+    "RequestTimeout",
+})
+
+#: Codes that mean "no such object" rather than a failed request.
+_MISSING_CODES = frozenset({"NoSuchKey", "404", "NotFound"})
+
+_MISSING_BUCKET_CODES = frozenset({"NoSuchBucket"})
+
+
+def is_s3_url(text) -> bool:
+    """True when ``text`` is an ``s3://bucket[/prefix]`` spec string."""
+    return isinstance(text, str) and text.startswith(S3_URL_PREFIX)
+
+
+def parse_s3_url(url: str) -> tuple[str, str]:
+    """Split ``s3://bucket/prefix`` into ``(bucket, prefix)``.
+
+    The prefix may be empty; a trailing slash is normalised away (the
+    transport re-appends exactly one when keying blobs).
+    """
+    if not is_s3_url(url):
+        raise ValueError(f"not an s3:// URL: {url!r}")
+    rest = url[len(S3_URL_PREFIX):]
+    bucket, _, prefix = rest.partition("/")
+    if not bucket:
+        raise ValueError(f"s3 URL {url!r} names no bucket")
+    return bucket, prefix.strip("/")
+
+
+class S3ObjectStoreTransport:
+    """Blobs as objects under one ``s3://bucket/prefix`` namespace."""
+
+    kind = "s3"
+
+    def __init__(
+        self,
+        bucket: str,
+        prefix: str = "",
+        *,
+        endpoint_url: Optional[str] = None,
+        region: Optional[str] = None,
+        multipart_threshold: int = DEFAULT_MULTIPART_THRESHOLD,
+        multipart_part_size: int = DEFAULT_MULTIPART_PART_SIZE,
+        max_attempts: int = 5,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        create: bool = False,
+        client=None,
+    ) -> None:
+        if boto3 is None and client is None:
+            raise RuntimeError(
+                "s3 transports need boto3, which is not installed; "
+                "`pip install boto3` (and `moto` for offline tests)"
+            )
+        if not bucket:
+            raise ValueError("an s3 transport needs a bucket name")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if multipart_part_size < 1:
+            raise ValueError("multipart_part_size must be positive")
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+        self.endpoint_url = endpoint_url or os.environ.get(ENDPOINT_ENV) or None
+        self.region = region
+        self.multipart_threshold = int(multipart_threshold)
+        self.multipart_part_size = int(multipart_part_size)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._client = client
+        self._client_lock = threading.Lock()
+        # Injectable for tests: the backoff sleeper and the jitter source.
+        self._sleep = time.sleep
+        self._jitter = random.Random()
+        self._reset_stats()
+        if create:
+            self.ensure_bucket()
+
+    # -- lifecycle -------------------------------------------------------- #
+    def _reset_stats(self) -> None:
+        self._stats = {
+            "ops": {},
+            "retries": 0,
+            "throttled": 0,
+            "server_errors": 0,
+            "connection_errors": 0,
+            "backoff_seconds": 0.0,
+            "giveups": 0,
+            "multipart_uploads": 0,
+        }
+
+    def stats(self) -> dict:
+        """A snapshot of the request/retry counter block.
+
+        ``ops`` counts logical operations by kind (``get``, ``put``,
+        ``list``, ``delete``, ``head``, ``copy``, ``multipart``);
+        ``retries`` counts re-issued requests, split into ``throttled``
+        / ``server_errors`` / ``connection_errors`` by cause;
+        ``backoff_seconds`` is the total jittered sleep spent between
+        attempts and ``giveups`` the operations that exhausted
+        ``max_attempts``.
+        """
+        out = dict(self._stats)
+        out["ops"] = dict(self._stats["ops"])
+        return out
+
+    @property
+    def client(self):
+        """The boto3 S3 client, built lazily (and rebuilt after pickling)."""
+        if self._client is None:
+            with self._client_lock:
+                if self._client is None:
+                    # botocore has its own retry layer; collapse it to one
+                    # attempt so THIS transport's bounded/jittered loop is
+                    # the only retry policy (and its counters are honest).
+                    self._client = boto3.client(
+                        "s3",
+                        endpoint_url=self.endpoint_url,
+                        region_name=self.region,
+                        config=_BotoConfig(retries={"max_attempts": 1}),
+                    )
+        return self._client
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_client"] = None  # rebuilt lazily from env credentials
+        state["_client_lock"] = None
+        state["_sleep"] = None
+        state["_jitter"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._client_lock = threading.Lock()
+        self._sleep = time.sleep
+        self._jitter = random.Random()
+
+    def ensure_bucket(self) -> None:
+        """Create the bucket if it does not exist (idempotent)."""
+        try:
+            self._call("head", lambda: self.client.head_bucket(Bucket=self.bucket))
+            return
+        except TransportError:
+            pass
+        try:
+            kwargs = {"Bucket": self.bucket}
+            if self.region and self.region != "us-east-1":
+                kwargs["CreateBucketConfiguration"] = {
+                    "LocationConstraint": self.region
+                }
+            self._call("put", lambda: self.client.create_bucket(**kwargs))
+        except TransportError as exc:
+            # A concurrent creator got there first: that is success.
+            if "BucketAlready" not in str(exc):
+                raise
+
+    # -- bounded retry with jittered backoff ------------------------------ #
+    def _classify(self, exc) -> Optional[str]:
+        """The retry class of an exception, or ``None`` when not retryable."""
+        if isinstance(exc, ClientError):
+            error = exc.response.get("Error", {})
+            code = str(error.get("Code", ""))
+            status = exc.response.get("ResponseMetadata", {}).get("HTTPStatusCode")
+            if code in _THROTTLE_CODES or status == 429:
+                return "throttled"
+            if code in _SERVER_ERROR_CODES or (
+                isinstance(status, int) and status >= 500
+            ):
+                return "server_errors"
+            return None
+        if isinstance(exc, BotoCoreError):
+            # Connection resets, endpoint timeouts: worth another attempt.
+            return "connection_errors"
+        return None
+
+    def _call(self, op: str, fn):
+        """Run one request under the bounded retry/backoff loop."""
+        ops = self._stats["ops"]
+        ops[op] = ops.get(op, 0) + 1
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except (ClientError, BotoCoreError) as exc:
+                cause = self._classify(exc)
+                if cause is None:
+                    raise self._translate(op, exc) from exc
+                self._stats[cause] += 1
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                self._stats["retries"] += 1
+                ceiling = min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+                pause = ceiling * self._jitter.uniform(0.5, 1.0)
+                self._stats["backoff_seconds"] += pause
+                self._sleep(pause)
+        self._stats["giveups"] += 1
+        raise TransportError(
+            f"{self.describe()}: {op} failed after {self.max_attempts} "
+            f"attempt(s): {last}"
+        ) from last
+
+    def _translate(self, op: str, exc) -> TransportError:
+        code = ""
+        if isinstance(exc, ClientError):
+            code = str(exc.response.get("Error", {}).get("Code", ""))
+        if code in _MISSING_CODES:
+            return TransportError(f"{self.describe()}: no object ({op}): {exc}")
+        if code in _MISSING_BUCKET_CODES:
+            return TransportError(
+                f"{self.describe()}: no such bucket {self.bucket!r} ({op}): {exc}"
+            )
+        return TransportError(f"{self.describe()}: {op} failed: {exc}")
+
+    # -- keys ------------------------------------------------------------- #
+    def _key(self, name: str) -> str:
+        name = _check_blob_name(name)
+        return f"{self.prefix}/{name}" if self.prefix else name
+
+    def _unkey(self, key: str) -> str:
+        if self.prefix:
+            return key[len(self.prefix) + 1:]
+        return key
+
+    def _is_missing(self, exc) -> bool:
+        if not isinstance(exc, ClientError):
+            return False
+        code = str(exc.response.get("Error", {}).get("Code", ""))
+        return code in _MISSING_CODES or code in _MISSING_BUCKET_CODES
+
+    # -- S3-like primitive surface ---------------------------------------- #
+    def put_object(self, name: str, body: bytes) -> None:
+        key = self._key(name)
+        if len(body) >= self.multipart_threshold:
+            self._multipart_put(key, body)
+            return
+        self._call(
+            "put", lambda: self.client.put_object(Bucket=self.bucket, Key=key, Body=body)
+        )
+
+    def _multipart_put(self, key: str, body: bytes) -> None:
+        """Upload one object in parts; visible only at completion."""
+        self._stats["multipart_uploads"] += 1
+        upload = self._call(
+            "multipart",
+            lambda: self.client.create_multipart_upload(Bucket=self.bucket, Key=key),
+        )
+        upload_id = upload["UploadId"]
+        try:
+            parts = []
+            for number, lo in enumerate(
+                range(0, len(body), self.multipart_part_size), start=1
+            ):
+                chunk = body[lo: lo + self.multipart_part_size]
+                part = self._call(
+                    "multipart",
+                    lambda n=number, c=chunk: self.client.upload_part(
+                        Bucket=self.bucket,
+                        Key=key,
+                        UploadId=upload_id,
+                        PartNumber=n,
+                        Body=c,
+                    ),
+                )
+                parts.append({"PartNumber": number, "ETag": part["ETag"]})
+            self._call(
+                "multipart",
+                lambda: self.client.complete_multipart_upload(
+                    Bucket=self.bucket,
+                    Key=key,
+                    UploadId=upload_id,
+                    MultipartUpload={"Parts": parts},
+                ),
+            )
+        except BaseException:
+            # Best effort: an abandoned upload is invisible but billable.
+            try:
+                self.client.abort_multipart_upload(
+                    Bucket=self.bucket, Key=key, UploadId=upload_id
+                )
+            except (ClientError, BotoCoreError):  # pragma: no cover - cleanup
+                pass
+            raise
+
+    def get_object(self, name: str) -> bytes:
+        key = self._key(name)
+
+        def fetch() -> bytes:
+            response = self.client.get_object(Bucket=self.bucket, Key=key)
+            return response["Body"].read()
+
+        return self._call("get", fetch)
+
+    def list_objects(self, prefix: str = "") -> list[str]:
+        """Blob names under ``prefix``, answered server-side in one listing.
+
+        ``prefix`` is blob-name-level (the distributed queue's
+        ``tasks/`` / ``results/`` namespaces); the bucket-level key prefix
+        is applied underneath.  A missing bucket lists as empty — workers
+        may poll a queue location into existence.
+        """
+        scope = f"{self.prefix}/{prefix}" if self.prefix else prefix
+
+        def scan() -> list[str]:
+            names: list[str] = []
+            paginator = self.client.get_paginator("list_objects_v2")
+            for page in paginator.paginate(Bucket=self.bucket, Prefix=scope):
+                for entry in page.get("Contents", ()):
+                    names.append(self._unkey(entry["Key"]))
+            return sorted(names)
+
+        try:
+            return self._call("list", scan)
+        except TransportError as exc:
+            if "no such bucket" in str(exc):
+                return []
+            raise
+
+    def delete_object(self, name: str) -> None:
+        key = self._key(name)
+        try:
+            self._call(
+                "delete",
+                lambda: self.client.delete_object(Bucket=self.bucket, Key=key),
+            )
+        except TransportError as exc:
+            # S3 deletes of missing objects already succeed; a missing
+            # bucket degrades to the same idempotent no-op.
+            if "no such bucket" not in str(exc):
+                raise
+
+    def head_object(self, name: str) -> dict:
+        key = self._key(name)
+        response = self._call(
+            "head", lambda: self.client.head_object(Bucket=self.bucket, Key=key)
+        )
+        return {"ContentLength": int(response["ContentLength"])}
+
+    def copy_object(self, src: str, dst: str) -> None:
+        self._call(
+            "copy",
+            lambda: self.client.copy_object(
+                Bucket=self.bucket,
+                Key=self._key(dst),
+                CopySource={"Bucket": self.bucket, "Key": self._key(src)},
+            ),
+        )
+
+    # -- ShardTransport surface ------------------------------------------- #
+    def list_blobs(self) -> list[str]:
+        return self.list_objects()
+
+    def read_blob(self, name: str) -> bytes:
+        return self.get_object(name)
+
+    def write_blob(self, name: str, data: bytes) -> None:
+        self.put_object(name, data)
+
+    def delete_blob(self, name: str) -> None:
+        self.delete_object(name)
+
+    def rename_blob(self, src: str, dst: str) -> None:
+        # Object stores have no rename: copy, then delete the source.  A
+        # lost claim race surfaces here as the copy's missing-source
+        # TransportError, which try_claim_blob converts to False.
+        self.copy_object(src, dst)
+        self.delete_object(src)
+
+    def blob_exists(self, name: str) -> bool:
+        key = self._key(name)
+        try:
+            self._call(
+                "head", lambda: self.client.head_object(Bucket=self.bucket, Key=key)
+            )
+        except TransportError as exc:
+            cause = exc.__cause__
+            if cause is not None and self._is_missing(cause):
+                return False
+            if "no object" in str(exc) or "no such bucket" in str(exc):
+                return False
+            raise
+        return True
+
+    def blob_size(self, name: str) -> int:
+        return int(self.head_object(name)["ContentLength"])
+
+    def spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "bucket": self.bucket,
+            "prefix": self.prefix,
+            "endpoint_url": self.endpoint_url,
+            "region": self.region,
+            "multipart_threshold": self.multipart_threshold,
+            "multipart_part_size": self.multipart_part_size,
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+        }
+
+    def describe(self) -> str:
+        return f"s3://{self.bucket}/{self.prefix}" if self.prefix else f"s3://{self.bucket}"
+
+    # -- construction helpers --------------------------------------------- #
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "S3ObjectStoreTransport":
+        """Build a transport from an ``s3://bucket/prefix`` spec string."""
+        bucket, prefix = parse_s3_url(url)
+        return cls(bucket, prefix, **kwargs)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "S3ObjectStoreTransport":
+        """Rebuild from :meth:`spec` output (the worker-side inverse)."""
+        return cls(
+            spec["bucket"],
+            spec.get("prefix", ""),
+            endpoint_url=spec.get("endpoint_url"),
+            region=spec.get("region"),
+            multipart_threshold=spec.get(
+                "multipart_threshold", DEFAULT_MULTIPART_THRESHOLD
+            ),
+            multipart_part_size=spec.get(
+                "multipart_part_size", DEFAULT_MULTIPART_PART_SIZE
+            ),
+            max_attempts=spec.get("max_attempts", 5),
+            backoff_base=spec.get("backoff_base", 0.05),
+            backoff_cap=spec.get("backoff_cap", 2.0),
+        )

@@ -12,8 +12,10 @@ never leave a store whose manifest references incomplete data
 
 from __future__ import annotations
 
+import os
 import pickle
 import shutil
+import uuid
 
 import pytest
 
@@ -46,17 +48,59 @@ from repro.events.transport import (
 
 from tests.conftest import TraceBuilder
 
-TRANSPORT_KINDS = ("local", "zip", "fake-object-store")
+TRANSPORT_KINDS = ("local", "zip", "fake-object-store", "s3")
+
+#: A real S3-compatible endpoint (MinIO in CI) — when set (and not the
+#: literal ``moto``), the ``s3`` conformance leg runs against it instead of
+#: the in-process moto mock.
+S3_TEST_ENDPOINT_ENV = "OMPDATAPERF_S3_TEST_ENDPOINT"
+
+try:
+    import boto3  # noqa: F401 — presence probe only
+
+    HAS_BOTO3 = True
+except ImportError:  # pragma: no cover - exercised only without boto3
+    HAS_BOTO3 = False
+
+
+def _s3_transport(monkeypatch):
+    """Yield a fresh s3 transport: real endpoint when configured, else moto."""
+    if not HAS_BOTO3:
+        pytest.skip("boto3 not installed")
+    from repro.events.transport_s3 import S3ObjectStoreTransport
+
+    prefix = f"conformance/{uuid.uuid4().hex[:12]}"
+    endpoint = os.environ.get(S3_TEST_ENDPOINT_ENV)
+    if endpoint and endpoint != "moto":
+        transport = S3ObjectStoreTransport(
+            "ompdataperf-tests", prefix, endpoint_url=endpoint, create=True
+        )
+        try:
+            yield transport
+        finally:
+            for name in transport.list_blobs():
+                transport.delete_blob(name)
+        return
+    moto = pytest.importorskip("moto")
+    for var in ("AWS_ACCESS_KEY_ID", "AWS_SECRET_ACCESS_KEY", "AWS_SECURITY_TOKEN"):
+        monkeypatch.setenv(var, "testing")
+    monkeypatch.setenv("AWS_DEFAULT_REGION", "us-east-1")
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    with moto.mock_aws():
+        yield S3ObjectStoreTransport("ompdataperf-tests", prefix, create=True)
 
 
 @pytest.fixture(params=TRANSPORT_KINDS)
-def transport(request, tmp_path) -> ShardTransport:
+def transport(request, tmp_path, monkeypatch) -> ShardTransport:
     """A fresh empty transport of every kind, same contract expected."""
     if request.param == "local":
-        return LocalDirTransport(tmp_path / "blobs", create=True)
-    if request.param == "zip":
-        return ZipArchiveTransport(tmp_path / "blobs.zip", create=True)
-    return FakeObjectStoreTransport()
+        yield LocalDirTransport(tmp_path / "blobs", create=True)
+    elif request.param == "zip":
+        yield ZipArchiveTransport(tmp_path / "blobs.zip", create=True)
+    elif request.param == "fake-object-store":
+        yield FakeObjectStoreTransport()
+    else:
+        yield from _s3_transport(monkeypatch)
 
 
 def _sample_trace(cycles: int = 9, num_devices: int = 2) -> ColumnarTrace:
@@ -499,3 +543,43 @@ def test_local_dir_listing_survives_concurrent_teardown(tmp_path):
     local.write_blob("a.bin", b"x")
     shutil.rmtree(tmp_path / "gone")
     assert local.list_blobs() == []
+
+
+# --------------------------------------------------------------------- #
+# Lost-race claim semantics: the fake and real object stores must agree
+# --------------------------------------------------------------------- #
+def test_task_queue_second_claimer_gets_none(transport):
+    """The claim contract every transport must honour identically: the
+    losing claimant of a task gets ``None`` — never an exception — whether
+    the rename is an atomic ``os.replace`` (local), an archive swap (zip),
+    or a non-atomic copy-then-delete (fake and real object stores).  The
+    fake and real S3 transports running the SAME assertion is what keeps
+    their lost-race semantics from drifting."""
+    from repro.core.distributed import TaskQueue
+    from repro.core.engine import PartitionTask
+
+    queue = TaskQueue(transport)
+    queue.publish_task(
+        PartitionTask(index=0, lo=0, hi=1, data_op_offset=0, num_events=5)
+    )
+    (pending,) = queue.pending_task_names()
+    winner = queue.claim(pending, "w1")
+    assert winner is not None
+    assert winner.task.num_events == 5
+    # The task blob is gone: the second claimant loses cleanly.
+    assert queue.claim(pending, "w2") is None
+    assert not transport.blob_exists(f"claims/{winner.stem}.w2")
+
+
+def test_claim_lost_race_never_raises_even_when_delete_lags():
+    """On object stores the rename is copy-then-delete, so a claim can die
+    between the halves (copy landed, delete failed).  The claimant must
+    see that as an ordinary lost race — ``False``, never an exception —
+    and the task stays claimable by the next worker."""
+    remote = FakeObjectStoreTransport()
+    remote.write_blob("tasks/task-00000.a000", b"payload")
+    remote.fail_next("delete")
+    assert not try_claim_blob(remote, "tasks/task-00000.a000", "claims/a.w1")
+    # The source survived the failed rename, so another claimant wins it.
+    assert try_claim_blob(remote, "tasks/task-00000.a000", "claims/a.w2")
+    assert remote.read_blob("claims/a.w2") == b"payload"

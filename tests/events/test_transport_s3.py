@@ -1,0 +1,347 @@
+"""S3 transport specifics: retry/backoff, multipart, URLs, spec plumbing.
+
+The conformance suite (``test_transport.py``) holds ``S3ObjectStoreTransport``
+to the shared :class:`ShardTransport` contract; this module pins the parts
+only the real client has — the bounded retry loop with jittered backoff on
+throttling/5xx (asserted through a scripted stub client and the ``stats()``
+counter block), the multipart upload path above the size threshold, the
+``s3://bucket/prefix`` URL plumbing into :func:`open_transport` /
+:func:`transport_from_spec` / :func:`load_trace`, and pickling across the
+process-engine boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+boto3 = pytest.importorskip("boto3")
+from botocore.exceptions import ClientError, EndpointConnectionError  # noqa: E402
+
+from repro.events.transport import (  # noqa: E402
+    TransportError,
+    open_transport,
+    transport_from_spec,
+)
+from repro.events.transport_s3 import (  # noqa: E402
+    S3ObjectStoreTransport,
+    is_s3_url,
+    parse_s3_url,
+)
+
+
+def _client_error(code: str, status: int = 400) -> ClientError:
+    return ClientError(
+        {
+            "Error": {"Code": code, "Message": code},
+            "ResponseMetadata": {"HTTPStatusCode": status},
+        },
+        "GetObject",
+    )
+
+
+class _ScriptedBody:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+
+    def read(self) -> bytes:
+        return self._data
+
+
+class _ScriptedClient:
+    """A stub boto3 client that raises a scripted error sequence first."""
+
+    def __init__(self, errors: list[BaseException], payload: bytes = b"ok") -> None:
+        self.errors = list(errors)
+        self.payload = payload
+        self.calls = 0
+
+    def get_object(self, *, Bucket, Key):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return {"Body": _ScriptedBody(self.payload)}
+
+
+def _transport(client, **kwargs) -> S3ObjectStoreTransport:
+    t = S3ObjectStoreTransport("bkt", "pre", client=client, **kwargs)
+    t._sleep = t.__dict__.setdefault("_recorded_sleeps", []).append
+    return t
+
+
+# --------------------------------------------------------------------- #
+# Bounded retry with jittered backoff
+# --------------------------------------------------------------------- #
+def test_throttling_is_retried_until_success():
+    client = _ScriptedClient([_client_error("SlowDown"), _client_error("Throttling")])
+    t = _transport(client, max_attempts=5)
+    assert t.read_blob("x.bin") == b"ok"
+    assert client.calls == 3
+    stats = t.stats()
+    assert stats["throttled"] == 2
+    assert stats["retries"] == 2
+    assert stats["giveups"] == 0
+    assert len(t._recorded_sleeps) == 2
+
+
+def test_server_errors_and_connection_drops_are_retried():
+    client = _ScriptedClient(
+        [
+            _client_error("InternalError", status=500),
+            EndpointConnectionError(endpoint_url="http://s3.test"),
+            _client_error("ServiceUnavailable", status=503),
+        ]
+    )
+    t = _transport(client, max_attempts=5)
+    assert t.read_blob("x.bin") == b"ok"
+    stats = t.stats()
+    assert stats["server_errors"] == 2
+    assert stats["connection_errors"] == 1
+    assert stats["retries"] == 3
+
+
+def test_attempts_are_bounded_and_giveup_is_counted():
+    client = _ScriptedClient([_client_error("SlowDown", status=503)] * 50)
+    t = _transport(client, max_attempts=4)
+    with pytest.raises(TransportError, match="failed after 4 attempt"):
+        t.read_blob("x.bin")
+    assert client.calls == 4  # bounded: max_attempts requests, no more
+    stats = t.stats()
+    assert stats["giveups"] == 1
+    assert stats["retries"] == 3  # sleeps happen between attempts only
+    assert len(t._recorded_sleeps) == 3
+
+
+def test_backoff_grows_exponentially_with_jitter():
+    client = _ScriptedClient([_client_error("SlowDown")] * 4)
+    t = _transport(client, max_attempts=5, backoff_base=0.1, backoff_cap=10.0)
+    import random
+
+    t._jitter = random.Random(1234)  # deterministic jitter for the bounds
+    assert t.read_blob("x.bin") == b"ok"
+    sleeps = t._recorded_sleeps
+    assert len(sleeps) == 4
+    for attempt, pause in enumerate(sleeps):
+        ceiling = 0.1 * 2**attempt
+        # Uniform jitter in [ceiling/2, ceiling]: never a fixed ladder.
+        assert ceiling / 2 <= pause <= ceiling
+    assert t.stats()["backoff_seconds"] == pytest.approx(sum(sleeps))
+
+
+def test_backoff_is_capped():
+    client = _ScriptedClient([_client_error("SlowDown")] * 6)
+    t = _transport(client, max_attempts=7, backoff_base=1.0, backoff_cap=2.0)
+    assert t.read_blob("x.bin") == b"ok"
+    assert max(t._recorded_sleeps) <= 2.0
+
+
+def test_non_retryable_errors_fail_immediately():
+    client = _ScriptedClient([_client_error("NoSuchKey", status=404)])
+    t = _transport(client, max_attempts=5)
+    with pytest.raises(TransportError, match="no object"):
+        t.read_blob("x.bin")
+    assert client.calls == 1  # zero retries, zero sleeps
+    assert t._recorded_sleeps == []
+    assert t.stats()["retries"] == 0
+
+
+def test_access_denied_fails_immediately():
+    client = _ScriptedClient([_client_error("AccessDenied", status=403)] * 3)
+    t = _transport(client, max_attempts=5)
+    with pytest.raises(TransportError, match="get failed"):
+        t.read_blob("x.bin")
+    assert client.calls == 1
+
+
+def test_stats_counts_logical_ops():
+    client = _ScriptedClient([])
+    t = _transport(client)
+    t.read_blob("a.bin")
+    t.read_blob("b.bin")
+    assert t.stats()["ops"] == {"get": 2}
+
+
+# --------------------------------------------------------------------- #
+# Multipart upload
+# --------------------------------------------------------------------- #
+class _MultipartRecorder:
+    """Stub client that records the multipart call sequence."""
+
+    def __init__(self, fail_part: int = 0) -> None:
+        self.sequence: list[str] = []
+        self.parts: list[tuple[int, int]] = []
+        self.fail_part = fail_part
+        self.aborted = False
+        self.completed = None
+
+    def put_object(self, **kwargs):
+        self.sequence.append("put_object")
+
+    def create_multipart_upload(self, *, Bucket, Key):
+        self.sequence.append("create")
+        return {"UploadId": "up-1"}
+
+    def upload_part(self, *, Bucket, Key, UploadId, PartNumber, Body):
+        if PartNumber == self.fail_part:
+            raise _client_error("NoSuchUpload")
+        self.sequence.append(f"part-{PartNumber}")
+        self.parts.append((PartNumber, len(Body)))
+        return {"ETag": f"etag-{PartNumber}"}
+
+    def complete_multipart_upload(self, *, Bucket, Key, UploadId, MultipartUpload):
+        self.sequence.append("complete")
+        self.completed = MultipartUpload["Parts"]
+        return {}
+
+    def abort_multipart_upload(self, *, Bucket, Key, UploadId):
+        self.aborted = True
+
+
+def test_small_payloads_use_plain_put():
+    client = _MultipartRecorder()
+    t = _transport(client, multipart_threshold=1024, multipart_part_size=512)
+    t.write_blob("small.bin", b"x" * 1023)
+    assert client.sequence == ["put_object"]
+    assert t.stats()["multipart_uploads"] == 0
+
+
+def test_large_payloads_upload_in_parts():
+    client = _MultipartRecorder()
+    t = _transport(client, multipart_threshold=1024, multipart_part_size=400)
+    t.write_blob("big.bin", b"x" * 1000 + b"y" * 100)
+    assert client.sequence == ["create", "part-1", "part-2", "part-3", "complete"]
+    assert client.parts == [(1, 400), (2, 400), (3, 300)]
+    assert client.completed == [
+        {"PartNumber": 1, "ETag": "etag-1"},
+        {"PartNumber": 2, "ETag": "etag-2"},
+        {"PartNumber": 3, "ETag": "etag-3"},
+    ]
+    assert t.stats()["multipart_uploads"] == 1
+
+
+def test_failed_multipart_upload_is_aborted():
+    client = _MultipartRecorder(fail_part=2)
+    t = _transport(client, multipart_threshold=64, multipart_part_size=64, max_attempts=1)
+    with pytest.raises(TransportError):
+        t.write_blob("big.bin", b"x" * 200)
+    assert client.aborted
+    assert client.completed is None
+
+
+def test_multipart_round_trips_through_moto(monkeypatch):
+    moto = pytest.importorskip("moto")
+    for var in ("AWS_ACCESS_KEY_ID", "AWS_SECRET_ACCESS_KEY"):
+        monkeypatch.setenv(var, "testing")
+    monkeypatch.setenv("AWS_DEFAULT_REGION", "us-east-1")
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    with moto.mock_aws():
+        # Real S3 requires >= 5 MiB parts; moto enforces the same floor.
+        t = S3ObjectStoreTransport(
+            "bkt",
+            "mp",
+            multipart_threshold=6 * 1024 * 1024,
+            multipart_part_size=5 * 1024 * 1024,
+            create=True,
+        )
+        payload = bytes(range(256)) * (32 * 1024)  # 8 MiB, patterned
+        t.write_blob("big.bin", payload)
+        assert t.stats()["multipart_uploads"] == 1
+        assert t.read_blob("big.bin") == payload
+        assert t.blob_size("big.bin") == len(payload)
+
+
+# --------------------------------------------------------------------- #
+# URLs, specs, pickling
+# --------------------------------------------------------------------- #
+def test_s3_url_parsing():
+    assert is_s3_url("s3://bucket/a/b")
+    assert not is_s3_url("/local/path")
+    assert not is_s3_url(None)
+    assert parse_s3_url("s3://bucket/a/b/") == ("bucket", "a/b")
+    assert parse_s3_url("s3://bucket") == ("bucket", "")
+    with pytest.raises(ValueError):
+        parse_s3_url("s3:///no-bucket")
+    with pytest.raises(ValueError):
+        parse_s3_url("http://bucket/x")
+
+
+def test_open_transport_resolves_s3_urls(monkeypatch):
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    t = open_transport("s3://bucket/runs/a", create=False)
+    assert isinstance(t, S3ObjectStoreTransport)
+    assert t.bucket == "bucket"
+    assert t.prefix == "runs/a"
+    assert t.describe() == "s3://bucket/runs/a"
+
+
+def test_spec_round_trips_without_a_live_client(monkeypatch):
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    t = S3ObjectStoreTransport(
+        "bucket",
+        "runs/a",
+        endpoint_url="http://minio.test:9000",
+        multipart_threshold=123,
+        max_attempts=7,
+    )
+    rebuilt = transport_from_spec(pickle.loads(pickle.dumps(t.spec())))
+    assert isinstance(rebuilt, S3ObjectStoreTransport)
+    assert rebuilt.bucket == "bucket"
+    assert rebuilt.prefix == "runs/a"
+    assert rebuilt.endpoint_url == "http://minio.test:9000"
+    assert rebuilt.multipart_threshold == 123
+    assert rebuilt.max_attempts == 7
+
+
+def test_transport_pickles_without_client(monkeypatch):
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    t = S3ObjectStoreTransport("bucket", "p", endpoint_url="http://minio.test:9000")
+    clone = pickle.loads(pickle.dumps(t))
+    assert clone.bucket == "bucket"
+    assert clone._client is None  # rebuilt lazily on first use
+
+
+def test_store_and_load_trace_through_s3_url(monkeypatch):
+    moto = pytest.importorskip("moto")
+    for var in ("AWS_ACCESS_KEY_ID", "AWS_SECRET_ACCESS_KEY"):
+        monkeypatch.setenv(var, "testing")
+    monkeypatch.setenv("AWS_DEFAULT_REGION", "us-east-1")
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    from repro.events.backends import load_trace
+    from repro.events.store import ShardedTraceStore, merge_shards, shard_trace
+    from repro.events.synth import make_synthetic_columnar_trace
+
+    with moto.mock_aws():
+        ct = make_synthetic_columnar_trace(400)
+        url = "s3://bkt/runs/demo"
+        shard_trace(ct, open_transport(url, create=True), shard_events=100)
+        loaded = load_trace(url)
+        assert isinstance(loaded, ShardedTraceStore)
+        assert loaded.num_shards >= 4
+        merged = merge_shards(loaded)
+        assert merged.to_trace().to_dict() == ct.to_trace().to_dict()
+
+
+def test_ensure_bucket_is_idempotent(monkeypatch):
+    moto = pytest.importorskip("moto")
+    for var in ("AWS_ACCESS_KEY_ID", "AWS_SECRET_ACCESS_KEY"):
+        monkeypatch.setenv(var, "testing")
+    monkeypatch.setenv("AWS_DEFAULT_REGION", "us-east-1")
+    monkeypatch.delenv("OMPDATAPERF_S3_ENDPOINT", raising=False)
+    with moto.mock_aws():
+        a = S3ObjectStoreTransport("same-bucket", "a", create=True)
+        b = S3ObjectStoreTransport("same-bucket", "b", create=True)
+        a.write_blob("x", b"1")
+        b.write_blob("x", b"2")
+        # Prefixes isolate the namespaces inside the shared bucket.
+        assert a.read_blob("x") == b"1"
+        assert b.read_blob("x") == b"2"
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="bucket"):
+        S3ObjectStoreTransport("", client=object())
+    with pytest.raises(ValueError, match="max_attempts"):
+        S3ObjectStoreTransport("b", client=object(), max_attempts=0)
+    with pytest.raises(ValueError, match="part_size"):
+        S3ObjectStoreTransport("b", client=object(), multipart_part_size=0)
